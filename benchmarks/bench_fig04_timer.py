@@ -1,0 +1,35 @@
+"""Fig. 4 — custom SLM-counter timer characterization.
+
+Paper: the timer separates system-memory, LLC and L3 access times; 224
+counter threads were needed (one extra wavefront was too coarse, §III-B).
+"""
+
+from repro.analysis.figures import fig4_timer_characterization
+from repro.analysis.render import format_table
+
+
+def test_fig04_timer_characterization(benchmark, figure_report):
+    data = benchmark.pedantic(
+        fig4_timer_characterization,
+        kwargs={"samples": 24, "thread_counts": (32, 96, 224)},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["counter threads", "level", "mean ticks", "stdev"], data.rows()
+    )
+    separation = "\n".join(
+        f"counter_threads={char.counter_threads}: separated={char.levels_separated}"
+        for char in [data.main] + data.sweep
+    )
+    figure_report(
+        "fig04",
+        "Fig. 4: timer ticks per hierarchy level "
+        "(paper: three clearly separated bands)",
+        table + "\n" + separation,
+    )
+    assert data.main.levels_separated
+    # Full work-group timer resolves far better than a single wavefront.
+    full = data.sweep[-1]
+    single_wavefront = data.sweep[0]
+    assert full.memory.mean > 2 * single_wavefront.memory.mean

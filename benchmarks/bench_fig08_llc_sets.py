@@ -1,0 +1,37 @@
+"""Fig. 8 — error and bandwidth vs number of redundant LLC sets.
+
+Paper: 1 set → 7% (GPU→CPU) / 9% (CPU→GPU) error; 2 sets → 2% / 6%;
+beyond 2 sets error stays flat while bandwidth keeps decaying
+(128→120 kb/s and 125→118 kb/s going from 1 to 2 sets).
+"""
+
+from repro.analysis.figures import fig8_llc_sets
+from repro.analysis.render import format_table
+from repro.core.channel import ChannelDirection
+
+
+def test_fig08_llc_sets(benchmark, figure_report):
+    data = benchmark.pedantic(
+        fig8_llc_sets,
+        kwargs={"set_counts": (1, 2, 4), "n_bits": 96, "seeds": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(["sets", "direction", "kb/s", "err %"], data.rows())
+    paper = "\n".join(f"paper {k}: {v}" for k, v in data.paper.items())
+    figure_report("fig08", "Fig. 8: error and bandwidth vs LLC sets", table + "\n" + paper)
+
+    def err(n_sets, direction):
+        for point in data.points:
+            if point.n_sets == n_sets and point.direction == direction:
+                return point.aggregate.error_percent
+        return None
+
+    g2c_1, g2c_2 = err(1, ChannelDirection.GPU_TO_CPU), err(2, ChannelDirection.GPU_TO_CPU)
+    assert g2c_1 is not None and g2c_2 is not None
+    # Redundancy reduces the GPU→CPU error (7% → 2% in the paper).
+    assert g2c_2 <= g2c_1
+    # Error at 4 sets does not keep improving dramatically (flat tail).
+    g2c_4 = err(4, ChannelDirection.GPU_TO_CPU)
+    if g2c_4 is not None:
+        assert g2c_4 <= g2c_1

@@ -1,0 +1,59 @@
+"""Fig. 9 — optimal iteration factor vs GPU buffer size.
+
+Paper: with the CPU buffer fixed at 512 KB, the calibrated iteration
+factor falls as the GPU buffer grows (the two sides' execution times are
+matched).  The ablation block shows what the calibration buys: forcing
+whole-pass slots on a large buffer tanks the bandwidth.
+"""
+
+from repro.analysis.figures import fig9_iteration_factor
+from repro.analysis.render import format_table
+from repro.core.contention_channel import (
+    ContentionChannel,
+    ContentionChannelConfig,
+)
+
+KB, MB = 1024, 1024 * 1024
+
+
+def test_fig09_iteration_factor(benchmark, figure_report):
+    data = benchmark.pedantic(
+        fig9_iteration_factor,
+        kwargs={"gpu_buffer_sizes": (256 * KB, 512 * KB, 1 * MB, 2 * MB)},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["gpu buffer (paper)", "iteration factor", "pass us", "slot us"],
+        data.rows(),
+    )
+    figure_report(
+        "fig09",
+        "Fig. 9: iteration factor vs GPU buffer size "
+        "(paper: factor falls as the buffer grows)",
+        table,
+    )
+    factors = [p.iteration_factor for p in data.points]
+    assert factors == sorted(factors, reverse=True)
+
+
+def test_fig09_ablation_uncalibrated_slots(benchmark, figure_report):
+    """Without the I_F calibration the slot is tied to whole passes."""
+
+    def run():
+        calibrated = ContentionChannel(ContentionChannelConfig())
+        forced = ContentionChannel(ContentionChannelConfig(iteration_factor=4))
+        cal_a = calibrated.calibrate(seed=1)
+        cal_b = forced.calibrate(seed=1)
+        return (
+            calibrated.transmit(n_bits=48, seed=2, calibration=cal_a),
+            forced.transmit(n_bits=48, seed=2, calibration=cal_b),
+        )
+
+    result_a, result_b = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure_report(
+        "fig09_ablation",
+        "Fig. 9 ablation: calibrated vs forced iteration factor",
+        f"calibrated: {result_a.summary()}\nforced I_F=4: {result_b.summary()}",
+    )
+    assert result_a.bandwidth_kbps > 2 * result_b.bandwidth_kbps

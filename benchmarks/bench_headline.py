@@ -1,0 +1,29 @@
+"""§V headline numbers: both channels at their default operating points.
+
+Paper: LLC PRIME+PROBE 120 kb/s @ 2% error; ring contention 400 kb/s @
+0.8% error.
+"""
+
+from repro.analysis.figures import headline
+from repro.analysis.render import format_table
+
+
+def test_headline_numbers(benchmark, figure_report):
+    data = benchmark.pedantic(
+        headline, kwargs={"n_bits": 96, "seeds": (1, 2, 3)},
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["channel", "measured kb/s", "measured err %", "paper"],
+        [
+            row + (data.paper["llc" if "llc" in row[0] else "contention"],)
+            for row in data.rows()
+        ],
+    )
+    figure_report("headline", "§V headline: channel bandwidth and error", table)
+    assert data.llc.bandwidth_kbps > 50
+    assert data.llc.error_percent < 10
+    assert data.contention.bandwidth_kbps > 200
+    assert data.contention.error_percent < 10
+    # The contention channel is the faster of the two, as in the paper.
+    assert data.contention.bandwidth_kbps > data.llc.bandwidth_kbps

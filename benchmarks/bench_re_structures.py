@@ -1,0 +1,66 @@
+"""§III-C/D reverse engineering as benchmarks: recovery + cost.
+
+Paper: Eq. (1)/(2) slice hash recovered with huge pages and timing; the
+GPU L3 is non-inclusive; its placement uses the low 16 address bits with
+pLRU replacement needing repeated sweeps for stable eviction.
+"""
+
+from repro.analysis.render import format_table
+from repro.config import SLICE_HASH_S0_MASK, SLICE_HASH_S1_MASK, kaby_lake
+from repro.core.reverse_engineering import (
+    check_l3_inclusiveness,
+    discover_l3_geometry,
+    recover_slice_hash,
+)
+from repro.soc.slice_hash import SliceHash
+
+
+def test_re_slice_hash(benchmark, figure_report):
+    report = benchmark.pedantic(
+        recover_slice_hash,
+        kwargs={"seed": 1, "pool_size": 120, "verify_offsets": 16},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ("slices found", report.n_slices),
+            ("probed PA bits", f"{min(report.probed_bits)}..{max(report.probed_bits)}"),
+            ("verification accuracy", report.verification_accuracy),
+            ("oracle queries", report.oracle_queries),
+        ],
+    )
+    figure_report(
+        "re_slice_hash",
+        "§III-C: slice-hash recovery (paper: Eq. (1)/(2) over bits 6..37)",
+        table,
+    )
+    truth = SliceHash([SLICE_HASH_S0_MASK, SLICE_HASH_S1_MASK], 4)
+    config = kaby_lake()
+    period = config.llc.line_bytes << config.llc.set_index_bits
+    offsets = [unit * period for unit in range(0, 4096, 37)]
+    assert report.partition_matches(lambda o: truth.slice_of(o), offsets)
+    assert report.n_slices == 4
+
+
+def test_re_l3_structures(benchmark, figure_report):
+    geometry = benchmark.pedantic(
+        discover_l3_geometry, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    inclusiveness = check_l3_inclusiveness(n_lines=12, seed=1)
+    config = kaby_lake().gpu_l3
+    table = format_table(
+        ["quantity", "recovered", "configured/paper"],
+        [
+            ("placement bits", geometry.placement_bits, f"{config.placement_bits} (paper: 16)"),
+            ("ways", geometry.ways, config.ways),
+            ("stable-eviction rounds", geometry.eviction_rounds,
+             f"{config.plru_rounds_for_eviction} (paper: >=5)"),
+            ("LLC inclusive of L3", inclusiveness.inclusive, "False (paper: non-inclusive)"),
+        ],
+    )
+    figure_report("re_l3", "§III-D: GPU L3 reverse engineering", table)
+    assert geometry.placement_bits == config.placement_bits
+    assert geometry.ways == config.ways
+    assert inclusiveness.inclusive is False

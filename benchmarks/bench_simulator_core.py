@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are conventional pytest-benchmark measurements (ops/sec of the DES
+engine and cache models) — useful when tuning the simulator, and a cheap
+regression canary for the heavy figure harnesses.
+"""
+
+from repro.config import kaby_lake
+from repro.sim import Timeout
+from repro.sim.engine import Engine
+from repro.soc.cache import SetAssocCache
+from repro.soc.machine import SoC
+from repro.soc.replacement import TreePlru, TrueLru
+
+
+def test_engine_event_throughput(benchmark):
+    def run():
+        engine = Engine()
+
+        def ticker():
+            for _ in range(2000):
+                yield Timeout(engine, 10)
+
+        engine.process(ticker())
+        engine.run()
+        return engine.events_executed
+
+    events = benchmark(run)
+    assert events >= 2000
+
+
+def test_lru_cache_access_throughput(benchmark):
+    cache = SetAssocCache("bench", 256, 16, 64, TrueLru(16))
+    addresses = [(i * 2654435761) % (1 << 26) for i in range(4096)]
+
+    def run():
+        for paddr in addresses:
+            cache.access(paddr)
+        return cache.hits + cache.misses
+
+    assert benchmark(run) > 0
+
+
+def test_plru_cache_access_throughput(benchmark):
+    cache = SetAssocCache("bench-plru", 256, 8, 64, TreePlru(8))
+    addresses = [(i * 2246822519) % (1 << 24) for i in range(4096)]
+
+    def run():
+        for paddr in addresses:
+            cache.access(paddr)
+        return cache.hits + cache.misses
+
+    assert benchmark(run) > 0
+
+
+def test_slice_hash_throughput(benchmark):
+    soc = SoC(kaby_lake())
+    addresses = [(i * 40503) << 6 for i in range(8192)]
+
+    def run():
+        return sum(soc.llc.hash.slice_of(paddr) for paddr in addresses)
+
+    assert benchmark(run) >= 0
+
+
+def test_cpu_access_path_throughput(benchmark):
+    """Timed end-to-end accesses through the full SoC wiring."""
+    soc = SoC(kaby_lake())
+    lines = soc.new_process("bench").mmap(64 * 512).line_paddrs(64)
+
+    def run():
+        def body():
+            for paddr in lines:
+                yield from soc.cpu_access(0, paddr)
+            return soc.now_fs
+
+        return soc.engine.run_until_complete(soc.engine.process(body()))
+
+    assert benchmark(run) > 0

@@ -1,0 +1,26 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every ``bench_fig*`` module regenerates one evaluation artifact of the
+paper: it runs the experiment, prints the measured rows next to the
+paper-reported values, and records the text report under
+``benchmarks/results/`` (EXPERIMENTS.md is written from those reports).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, body: str) -> None:
+    """Print a figure report and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"== {title} ==\n{body}\n"
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+@pytest.fixture
+def figure_report():
+    return report

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Half-duplex covert "chat" between the iGPU and the CPU (§II-B).
+
+The paper implements the channel in both directions; this example runs a
+framed request/response exchange — GPU→CPU then CPU→GPU — with FEC and
+retransmission, over the same pre-agreed LLC sets.
+
+    python examples/bidirectional_chat.py
+"""
+
+from repro.core.llc_channel import LLCChannelConfig
+from repro.core.llc_channel.bidirectional import BidirectionalLink
+
+
+def main() -> None:
+    link = BidirectionalLink(LLCChannelConfig())
+    request = b"key?"
+    response = b"0xDEADBEEF"
+    print(f"GPU trojan asks : {request!r}")
+    print(f"CPU trojan holds: {response!r}")
+
+    exchange = link.exchange_messages(request, response, seed=17)
+    print(f"\nGPU→CPU leg: {exchange.raw.forward.summary()}")
+    print(f"CPU→GPU leg: {exchange.raw.backward.summary()}")
+    print(
+        f"FEC corrections: {exchange.gpu_to_cpu.corrected_bits} forward, "
+        f"{exchange.cpu_to_gpu.corrected_bits} backward"
+    )
+    if exchange.both_delivered:
+        print(
+            f"\nDelivered both ways: CPU received {exchange.gpu_to_cpu.payload!r}, "
+            f"GPU received {exchange.cpu_to_gpu.payload!r}"
+        )
+    else:
+        print("\nA leg failed CRC after retries — increase max_attempts.")
+
+
+if __name__ == "__main__":
+    main()

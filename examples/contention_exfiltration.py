@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The §IV contention channel end to end, including Fig. 9 calibration.
+
+The GPU Trojan modulates ring-bus contention (bursts of LLC traffic for
+1-bits, timed idling for 0-bits, paced with the §III-B SLM timer) while
+the CPU Spy pointer-chases a set-disjoint buffer and timestamps probe
+groups.  Decoding is offline run-length recovery — no pre-agreed cache
+sets needed.
+
+    python examples/contention_exfiltration.py
+"""
+
+from repro import (
+    ContentionChannel,
+    ContentionChannelConfig,
+    bits_to_bytes,
+    bytes_to_bits,
+)
+
+
+def main() -> None:
+    secret = b"ring bus leak"
+    payload = bytes_to_bits(secret)
+
+    config = ContentionChannelConfig(
+        cpu_buffer_paper_bytes=512 * 1024,  # the paper's spy buffer
+        gpu_buffer_paper_bytes=2 * 1024 * 1024,  # best Fig. 10 point
+        n_workgroups=2,
+    )
+    channel = ContentionChannel(config)
+
+    print("Calibrating the iteration factor (Fig. 9)...")
+    calibration = channel.calibrate(seed=7)
+    print(
+        f"  GPU pass {calibration.gpu_pass_fs / 1e9:.2f} us, "
+        f"slot {calibration.slot_fs / 1e9:.2f} us, "
+        f"I_F = {calibration.iteration_factor}"
+    )
+
+    print(f"Transmitting {len(payload)} bits over the ring bus...")
+    result = channel.transmit(bits=payload, seed=7, calibration=calibration)
+    recovered = bits_to_bytes(result.received[: len(payload)])
+
+    print(f"Spy decoded: {recovered!r}")
+    print(f"Channel    : {result.summary()}")
+    print(
+        f"Decoder saw {result.meta['n_samples']} probe-group samples; "
+        f"threshold {result.meta['threshold_cycles']:.0f} cycles"
+    )
+
+
+if __name__ == "__main__":
+    main()

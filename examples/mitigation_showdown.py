@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""§VI mitigations vs both covert channels.
+
+Runs each channel unprotected and then under its §VI defense:
+
+* LLC way partitioning vs the PRIME+PROBE channel,
+* ring TDM traffic isolation vs the contention channel,
+* SLM timer fuzzing vs the CPU→GPU direction (which must trust the
+  custom timer for its data decisions).
+
+    python examples/mitigation_showdown.py
+"""
+
+from repro import (
+    ChannelDirection,
+    ContentionChannel,
+    ContentionChannelConfig,
+    LLCChannel,
+    LLCChannelConfig,
+    llc_way_partition,
+    ring_tdm,
+    timer_fuzzing,
+)
+from repro.analysis.render import format_table
+from repro.errors import ChannelProtocolError
+
+
+def llc_row(label, config, n_bits=32):
+    try:
+        result = LLCChannel(config).transmit(n_bits=n_bits, seed=99)
+        return (label, f"{result.bandwidth_kbps:.1f}",
+                f"{result.error_percent:.1f}%")
+    except ChannelProtocolError:
+        return (label, "-", "channel dead")
+
+
+def contention_row(label, mitigation):
+    channel = ContentionChannel(ContentionChannelConfig(mitigation=mitigation))
+    calibration = channel.calibrate(seed=99)
+    try:
+        result = channel.transmit(n_bits=48, seed=99, calibration=calibration)
+        return (label, f"{result.bandwidth_kbps:.1f}",
+                f"{result.error_percent:.1f}%")
+    except ChannelProtocolError:
+        return (label, "-", "channel dead")
+
+
+def main() -> None:
+    rows = [
+        llc_row("LLC P+P, unprotected", LLCChannelConfig()),
+        llc_row("LLC P+P, way partitioning",
+                LLCChannelConfig(mitigation=llc_way_partition())),
+        llc_row("LLC P+P CPU→GPU, unprotected",
+                LLCChannelConfig(direction=ChannelDirection.CPU_TO_GPU)),
+        llc_row("LLC P+P CPU→GPU, timer fuzzing",
+                LLCChannelConfig(direction=ChannelDirection.CPU_TO_GPU,
+                                 mitigation=timer_fuzzing())),
+        contention_row("contention, unprotected", None),
+        contention_row("contention, ring TDM", ring_tdm()),
+    ]
+    print(format_table(["configuration", "kb/s", "error"], rows))
+    print(
+        "\nA dead channel means the handshake starved; ~50% error means the"
+        "\nbits carry no information — either way the §VI defense worked."
+    )
+
+
+if __name__ == "__main__":
+    main()

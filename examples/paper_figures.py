@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate every evaluation figure of the paper in one run.
+
+Prints the measured series next to the values the paper reports.  This is
+the same machinery the ``benchmarks/`` harness uses, packaged as a single
+script.  Expect a few minutes of runtime.
+
+    python examples/paper_figures.py [--quick]
+"""
+
+import sys
+
+from repro.analysis import figures
+from repro.analysis.render import format_table
+
+
+def main(quick: bool = False) -> None:
+    seeds = (1,) if quick else (1, 2, 3)
+    bits = 48 if quick else 96
+
+    print("Fig. 4 — custom timer characterization")
+    fig4 = figures.fig4_timer_characterization(samples=16 if quick else 24)
+    print(format_table(["counter threads", "level", "ticks", "stdev"], fig4.rows()))
+    print(f"paper: {fig4.paper['claim']}\n")
+
+    print("Fig. 7 — LLC channel bandwidth by L3 eviction strategy")
+    fig7 = figures.fig7_llc_strategies(n_bits=bits, seeds=seeds[:2])
+    print(format_table(["strategy", "direction", "kb/s", "err %"], fig7.rows()))
+    for key, value in fig7.paper.items():
+        print(f"paper {key}: {value}")
+    print()
+
+    print("Fig. 8 — error and bandwidth vs number of LLC sets")
+    fig8 = figures.fig8_llc_sets(set_counts=(1, 2, 4), n_bits=bits, seeds=seeds)
+    print(format_table(["sets", "direction", "kb/s", "err %"], fig8.rows()))
+    for key, value in fig8.paper.items():
+        print(f"paper {key}: {value}")
+    print()
+
+    print("Fig. 9 — iteration factor vs GPU buffer size")
+    fig9 = figures.fig9_iteration_factor()
+    print(format_table(["gpu buffer", "I_F", "pass us", "slot us"], fig9.rows()))
+    print(f"paper: {fig9.paper['claim']}\n")
+
+    print("Fig. 10 — contention channel sweep")
+    fig10 = figures.fig10_contention_sweep(
+        workgroup_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
+        n_bits=bits,
+        seeds=seeds,
+    )
+    print(format_table(
+        ["WGs", "buffer", "kb/s", "err %", "err ±", "I_F"], fig10.rows()
+    ))
+    best = fig10.best()
+    print(
+        f"best point: {best.n_workgroups} WGs @ "
+        f"{best.gpu_buffer_paper_bytes // (1024 * 1024)} MB -> "
+        f"{best.aggregate.error_percent:.2f}% error "
+        f"(paper: 0.82% at 2 WGs / 2 MB)\n"
+    )
+
+    print("§V headline")
+    head = figures.headline(n_bits=bits, seeds=seeds)
+    print(format_table(["channel", "kb/s", "err %"], head.rows()))
+    for key, value in head.paper.items():
+        print(f"paper {key}: {value}")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Reliable exfiltration: FEC framing over the raw covert channel.
+
+The raw channels run at a few percent bit error (§V).  This example runs
+the LLC channel in its *least* reliable configuration (a single LLC set
+per role, the paper's 7-9% regime), wraps the secret in the
+Hamming(7,4)+CRC framing from ``repro.core.framing``, and shows the
+receiver recovering the exact payload — plus the information-theoretic
+cost of the redundancy.
+
+    python examples/reliable_exfiltration.py
+"""
+
+from repro import LLCChannel, LLCChannelConfig
+from repro.analysis.capacity import capacity_of
+from repro.core.framing import decode_frame, encode_frame, frame_overhead_ratio
+
+
+def main() -> None:
+    secret = b"meet at dawn"
+    framed = encode_frame(secret)
+    print(
+        f"Secret: {secret!r} -> {len(framed)} channel bits "
+        f"({frame_overhead_ratio(len(secret)):.2f}x overhead)"
+    )
+
+    channel = LLCChannel(LLCChannelConfig(n_sets_per_role=1))
+    for attempt in range(1, 6):
+        result = channel.transmit(bits=framed, seed=40 + attempt)
+        print(f"Attempt {attempt}: {result.summary()}")
+        print(f"  capacity view: {capacity_of(result).summary()}")
+        report = decode_frame(result.received)
+        print(
+            f"  FEC corrected {report.corrected_bits} bit(s); "
+            f"CRC {'ok' if report.crc_ok else 'FAILED'}"
+        )
+        if report.delivered:
+            print(f"Delivered intact on attempt {attempt}: {report.payload!r}")
+            break
+        print("  frame rejected -> retransmit")
+    else:
+        print("All attempts failed; widen the FEC or add redundancy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — simulation-based reproduction of *Leaky Buddies* (ISCA 2021).
+
+Cross-component covert channels on an integrated CPU-GPU system, rebuilt
+on a cycle-approximate discrete-event simulator of the paper's testbed
+(Kaby Lake i7-7700k + Gen9 iGPU).  See DESIGN.md for the substitution
+rationale and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import LLCChannel, LLCChannelConfig
+    result = LLCChannel(LLCChannelConfig()).transmit(n_bits=128)
+    print(result.summary())
+"""
+
+from repro.config import (
+    SoCConfig,
+    kaby_lake,
+    kaby_lake_model,
+    scale_bytes,
+)
+from repro.core.channel import ChannelDirection, ChannelResult
+from repro.core.contention_channel import (
+    CalibrationResult,
+    ContentionChannel,
+    ContentionChannelConfig,
+)
+from repro.core.encoding import (
+    bit_error_rate,
+    bits_to_bytes,
+    bytes_to_bits,
+    random_bits,
+)
+from repro.core.evictionset import AddressPool, reduce_eviction_set
+from repro.core.framing import decode_frame, encode_frame
+from repro.core.llc_channel import (
+    EvictionStrategy,
+    LLCChannel,
+    LLCChannelConfig,
+)
+from repro.core.llc_channel.bidirectional import BidirectionalLink
+from repro.errors import ReproError
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.mitigations import llc_way_partition, ring_tdm, timer_fuzzing
+from repro.soc.machine import SoC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressPool",
+    "BidirectionalLink",
+    "CalibrationResult",
+    "ChannelDirection",
+    "ChannelResult",
+    "ContentionChannel",
+    "ContentionChannelConfig",
+    "EvictionStrategy",
+    "GpuDevice",
+    "LLCChannel",
+    "LLCChannelConfig",
+    "OpenClContext",
+    "ReproError",
+    "SoC",
+    "SoCConfig",
+    "bit_error_rate",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "decode_frame",
+    "encode_frame",
+    "kaby_lake",
+    "kaby_lake_model",
+    "llc_way_partition",
+    "random_bits",
+    "reduce_eviction_set",
+    "ring_tdm",
+    "scale_bytes",
+    "timer_fuzzing",
+]

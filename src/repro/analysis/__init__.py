@@ -1,0 +1,15 @@
+"""Analysis layer: sweep drivers, aggregate metrics, per-figure harnesses."""
+
+from repro.analysis.metrics import AggregateResult, aggregate_results
+from repro.analysis.render import format_table, horizontal_bar
+from repro.analysis.sweep import SweepResult, grid, run_sweep
+
+__all__ = [
+    "AggregateResult",
+    "SweepResult",
+    "aggregate_results",
+    "format_table",
+    "grid",
+    "horizontal_bar",
+    "run_sweep",
+]

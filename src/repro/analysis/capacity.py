@@ -1,0 +1,65 @@
+"""Channel-capacity analysis (extension).
+
+A covert channel with bit error rate ``p`` behaves as a binary symmetric
+channel; its Shannon capacity is ``1 - H(p)`` bits per symbol.  The paper
+reports raw bandwidth and error separately — these helpers combine them
+into the information-theoretic goodput, which is the fair single number
+for comparing operating points (e.g. Fig. 8's redundancy trade-off).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.channel import ChannelResult
+from repro.errors import AttackError
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) in bits; defined as 0 at the endpoints."""
+    if not 0.0 <= p <= 1.0:
+        raise AttackError(f"probability out of range: {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def bsc_capacity(error_rate: float) -> float:
+    """Capacity of a binary symmetric channel, bits per channel bit."""
+    return 1.0 - binary_entropy(min(max(error_rate, 0.0), 1.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacityReport:
+    """Raw rate, error, and the implied information rate."""
+
+    raw_bandwidth_bps: float
+    error_rate: float
+
+    @property
+    def capacity_per_bit(self) -> float:
+        return bsc_capacity(self.error_rate)
+
+    @property
+    def information_bps(self) -> float:
+        """Shannon-capacity-weighted goodput."""
+        return self.raw_bandwidth_bps * self.capacity_per_bit
+
+    @property
+    def information_kbps(self) -> float:
+        return self.information_bps / 1e3
+
+    def summary(self) -> str:
+        return (
+            f"raw {self.raw_bandwidth_bps / 1e3:.1f} kb/s @ "
+            f"{100 * self.error_rate:.2f}% -> "
+            f"{self.information_kbps:.1f} kb/s of information"
+        )
+
+
+def capacity_of(result: ChannelResult) -> CapacityReport:
+    """Capacity view of one transmission result."""
+    return CapacityReport(
+        raw_bandwidth_bps=result.bandwidth_bps, error_rate=result.error_rate
+    )

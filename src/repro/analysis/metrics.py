@@ -1,0 +1,46 @@
+"""Aggregate metrics over repeated channel runs.
+
+The paper reports each operating point as a mean with a 95% confidence
+interval over repeated runs; this module reproduces that presentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.channel import ChannelResult
+from repro.sim.stats import confidence_interval_95
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateResult:
+    """Mean ± 95% CI of bandwidth and error over repeated runs."""
+
+    n_runs: int
+    bandwidth_kbps: float
+    bandwidth_ci: float
+    error_percent: float
+    error_ci: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.bandwidth_kbps:.1f} ± {self.bandwidth_ci:.1f} kb/s, "
+            f"error {self.error_percent:.2f} ± {self.error_ci:.2f}% "
+            f"(n={self.n_runs})"
+        )
+
+
+def aggregate_results(results: typing.Sequence[ChannelResult]) -> AggregateResult:
+    """Fold repeated transmissions into the paper's reporting format."""
+    bandwidths = [r.bandwidth_kbps for r in results]
+    errors = [r.error_percent for r in results]
+    bw_mean, bw_ci = confidence_interval_95(bandwidths)
+    err_mean, err_ci = confidence_interval_95(errors)
+    return AggregateResult(
+        n_runs=len(results),
+        bandwidth_kbps=bw_mean,
+        bandwidth_ci=bw_ci,
+        error_percent=err_mean,
+        error_ci=err_ci,
+    )

@@ -1,0 +1,36 @@
+"""Plain-text rendering for benchmark output (no plotting dependencies)."""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+) -> str:
+    """A fixed-width text table."""
+    columns = [
+        [str(header)] + [str(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def horizontal_bar(
+    value: float, maximum: float, width: int = 40, fill: str = "#"
+) -> str:
+    """A proportional ASCII bar for quick visual comparison."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * min(1.0, value / maximum)))
+    return fill * filled + "." * (width - filled)

@@ -1,0 +1,454 @@
+"""Hardware configuration for the simulated integrated CPU-GPU SoC.
+
+Two presets are provided:
+
+``kaby_lake()``
+    The full published geometry of the paper's testbed (i7-7700k + Gen9 HD
+    Graphics Neo): 8 MB LLC in 4 slices, the Eq. (1)/(2) slice hash, the
+    banked GPU L3 with the 16-bit placement function, a 4.2 GHz CPU clock
+    and a 1.1 GHz GPU clock.
+
+``kaby_lake_model()``
+    The same machine with every capacity divided by ``scale`` (default 8)
+    while preserving line size, associativity, slice count and clock ratio.
+    The covert-channel figure harnesses run at model scale so that a full
+    parameter sweep stays tractable in a Python discrete-event simulation;
+    structural experiments (reverse engineering, eviction sets) run at full
+    scale.  EXPERIMENTS.md records which scale each experiment used.
+
+All latencies are expressed in the owning component's clock cycles and
+converted to femtoseconds by the SoC wiring.  The values were set once from
+public latency figures for Skylake-class parts and then left alone; no
+per-figure fitting is done.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ConfigError
+
+FS_PER_S = 1_000_000_000_000_000
+
+#: XOR-reduction bit masks of the LLC slice hash, exactly Eq. (1) and
+#: Eq. (2) of the paper.  Bit ``i`` set in the mask means physical-address
+#: bit ``i`` participates in that output bit.
+SLICE_HASH_S0_BITS: typing.Tuple[int, ...] = (
+    6, 10, 12, 14, 16, 17, 18, 20, 22, 24, 25, 26, 27, 28, 30, 32, 33, 35, 36,
+)
+SLICE_HASH_S1_BITS: typing.Tuple[int, ...] = (
+    7, 11, 13, 15, 17, 19, 20, 21, 22, 23, 24, 26, 28, 29, 31, 33, 34, 35, 37,
+)
+
+
+def _bits_to_mask(bits: typing.Iterable[int]) -> int:
+    mask = 0
+    for bit in bits:
+        mask |= 1 << bit
+    return mask
+
+
+SLICE_HASH_S0_MASK = _bits_to_mask(SLICE_HASH_S0_BITS)
+SLICE_HASH_S1_MASK = _bits_to_mask(SLICE_HASH_S1_BITS)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockConfig:
+    """A fixed-frequency clock domain."""
+
+    freq_hz: float
+
+    @property
+    def cycle_fs(self) -> int:
+        """Length of one cycle in femtoseconds (rounded)."""
+        return round(FS_PER_S / self.freq_hz)
+
+    def cycles_fs(self, cycles: float) -> int:
+        """Femtoseconds for a (possibly fractional) number of cycles."""
+        return round(cycles * FS_PER_S / self.freq_hz)
+
+    def validate(self) -> None:
+        _require(self.freq_hz > 0, "clock frequency must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuCacheConfig:
+    """Per-core inclusive L1/L2 hierarchy of the CPU."""
+
+    line_bytes: int = 64
+    l1_sets: int = 64
+    l1_ways: int = 8
+    l1_hit_cycles: int = 4
+    l2_sets: int = 1024
+    l2_ways: int = 4
+    l2_hit_cycles: int = 12
+
+    def validate(self) -> None:
+        _require(_is_pow2(self.line_bytes), "line size must be a power of two")
+        for name in ("l1_sets", "l1_ways", "l2_sets", "l2_ways"):
+            _require(getattr(self, name) > 0, f"{name} must be positive")
+        _require(_is_pow2(self.l1_sets), "l1_sets must be a power of two")
+        _require(_is_pow2(self.l2_sets), "l2_sets must be a power of two")
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.line_bytes * self.l1_sets * self.l1_ways
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.line_bytes * self.l2_sets * self.l2_ways
+
+
+@dataclasses.dataclass(frozen=True)
+class LlcConfig:
+    """The shared, sliced last-level cache."""
+
+    slices: int = 4
+    sets_per_slice: int = 2048
+    ways: int = 16
+    line_bytes: int = 64
+    lookup_cycles: int = 20  # tag + data array access, in CPU cycles
+    hash_s0_mask: int = SLICE_HASH_S0_MASK
+    hash_s1_mask: int = SLICE_HASH_S1_MASK
+
+    def validate(self) -> None:
+        _require(self.slices in (1, 2, 4, 8), "LLC slice count must be 1/2/4/8")
+        _require(_is_pow2(self.sets_per_slice), "sets_per_slice must be a power of two")
+        _require(self.ways > 0, "LLC ways must be positive")
+        _require(_is_pow2(self.line_bytes), "line size must be a power of two")
+        _require(self.lookup_cycles > 0, "lookup_cycles must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.slices * self.sets_per_slice * self.ways * self.line_bytes
+
+    @property
+    def set_index_bits(self) -> int:
+        return self.sets_per_slice.bit_length() - 1
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuL3Config:
+    """The GPU's banked, non-inclusive L3 data cache.
+
+    The placement function follows §III-D: the low address bits select
+    (in order above the byte offset) the set, the bank, and the sub-bank.
+    With the published full-scale geometry that is 6 + 5 + 2 + 3 = 16 bits.
+    Associativity defaults to 8 so the data capacity matches the 512 KB the
+    paper reports for the GT2 part (see DESIGN.md for the known
+    inconsistency in §III-D's way count).
+    """
+
+    banks: int = 4
+    subbanks: int = 8
+    sets_per_bank: int = 32
+    ways: int = 8
+    line_bytes: int = 64
+    hit_cycles: int = 16  # in GPU cycles
+    plru_rounds_for_eviction: int = 5  # §III-D: ">= 5 accesses" for stable eviction
+
+    def validate(self) -> None:
+        for name in ("banks", "subbanks", "sets_per_bank", "ways"):
+            _require(_is_pow2(getattr(self, name)), f"{name} must be a power of two")
+        _require(_is_pow2(self.line_bytes), "line size must be a power of two")
+        _require(self.hit_cycles > 0, "hit_cycles must be positive")
+        _require(self.plru_rounds_for_eviction >= 1, "eviction rounds must be >= 1")
+
+    @property
+    def total_sets(self) -> int:
+        """Distinct placement groups (set x bank x sub-bank)."""
+        return self.sets_per_bank * self.banks * self.subbanks
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_sets * self.ways * self.line_bytes
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def placement_bits(self) -> int:
+        """Number of low address bits that fix L3 placement (incl. offset)."""
+        return self.offset_bits + (self.total_sets.bit_length() - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class RingConfig:
+    """The bidirectional ring interconnect between cores, iGPU and LLC.
+
+    A cache-line transfer occupies the ring for ``line / width`` slots of
+    ``slot_cycles`` ring-clock cycles each; ``traverse_cycles`` models the
+    propagation latency that does *not* occupy the shared resource.  The
+    ring clock is tied to the CPU clock domain, as on client parts.
+    """
+
+    width_bytes: int = 32
+    slot_cycles: int = 2
+    traverse_cycles: int = 8
+    #: The iGPU sits at the far end of the ring, so its requests cross more
+    #: stops than a core's; its traverse latency is scaled by this factor.
+    gpu_traverse_multiplier: int = 2
+
+    def validate(self) -> None:
+        _require(_is_pow2(self.width_bytes), "ring width must be a power of two")
+        _require(self.slot_cycles > 0, "slot_cycles must be positive")
+        _require(self.traverse_cycles >= 0, "traverse_cycles must be >= 0")
+        _require(self.gpu_traverse_multiplier >= 1, "gpu multiplier must be >= 1")
+
+    def slots_per_line(self, line_bytes: int) -> int:
+        return max(1, (line_bytes + self.width_bytes - 1) // self.width_bytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class DramConfig:
+    """A flat DRAM model with row-buffer behaviour folded into a latency mix."""
+
+    base_ns: float = 62.0
+    row_miss_extra_ns: float = 24.0
+    row_hit_probability: float = 0.65
+    jitter_sigma_ns: float = 3.0
+
+    def validate(self) -> None:
+        _require(self.base_ns > 0, "DRAM base latency must be positive")
+        _require(self.row_miss_extra_ns >= 0, "row-miss penalty must be >= 0")
+        _require(
+            0.0 <= self.row_hit_probability <= 1.0,
+            "row hit probability must be in [0, 1]",
+        )
+        _require(self.jitter_sigma_ns >= 0, "jitter sigma must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class SlmConfig:
+    """Shared Local Memory and the atomic counter used as a custom timer.
+
+    The counter rate model follows §III-B: atomics to one SLM address
+    serialize, so the aggregate increment rate rises with the number of
+    counter threads but saturates.  We model
+    ``rate(n) = saturated_rate * n / (n + half_rate_threads)`` increments
+    per GPU cycle, plus multiplicative jitter on each read.  With one
+    wavefront (32 threads) the achieved resolution is visibly poorer than
+    with the paper's 224 threads — reproducing why the authors used a full
+    work-group.
+    """
+
+    bytes_per_subslice: int = 64 * 1024
+    access_cycles: int = 10
+    saturated_rate_per_cycle: float = 1.0
+    half_rate_threads: float = 96.0
+    #: Absolute Gaussian noise on each counter read, in ticks: the atomic
+    #: read itself is exact, but *when* it lands wobbles by a few cycles.
+    read_noise_ticks: float = 2.0
+    #: Probability that one counter read observes a stale value (the
+    #: reading thread was descheduled between its atomic load and its
+    #: use).  The counter itself keeps running; only that read lags.  This
+    #: is the modeled source of the paper's "misinterprets the misses as
+    #: hits" errors on the GPU-receiving side (§V).
+    read_glitch_probability: float = 0.04
+    #: How stale a glitched read is, in counter ticks.
+    glitch_lag_ticks: int = 60
+
+    def validate(self) -> None:
+        _require(self.bytes_per_subslice > 0, "SLM size must be positive")
+        _require(self.access_cycles > 0, "SLM access latency must be positive")
+        _require(self.saturated_rate_per_cycle > 0, "counter rate must be positive")
+        _require(self.half_rate_threads > 0, "half_rate_threads must be positive")
+        _require(self.read_noise_ticks >= 0, "read noise must be >= 0")
+        _require(
+            0.0 <= self.read_glitch_probability <= 1.0,
+            "glitch probability must be in [0, 1]",
+        )
+        _require(self.glitch_lag_ticks >= 0, "glitch lag must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuConfig:
+    """Execution topology of the Gen9 iGPU."""
+
+    slices: int = 1
+    subslices_per_slice: int = 3
+    eus_per_subslice: int = 8
+    #: Hardware threads per EU (Gen9: 7); bounds resident work-groups.
+    threads_per_eu: int = 7
+    wavefront_size: int = 32
+    max_threads_per_workgroup: int = 256
+    mem_parallelism: int = 16  # concurrent outstanding loads per work-group
+    issue_cycles: int = 2  # per-request issue overhead within a batch
+
+    def validate(self) -> None:
+        for name in ("slices", "subslices_per_slice", "eus_per_subslice",
+                     "threads_per_eu"):
+            _require(getattr(self, name) > 0, f"{name} must be positive")
+        _require(_is_pow2(self.wavefront_size), "wavefront size must be a power of two")
+        _require(
+            self.max_threads_per_workgroup % self.wavefront_size == 0,
+            "work-group limit must be a multiple of the wavefront size",
+        )
+        _require(self.mem_parallelism > 0, "mem_parallelism must be positive")
+        _require(self.issue_cycles >= 0, "issue_cycles must be >= 0")
+
+    @property
+    def total_subslices(self) -> int:
+        return self.slices * self.subslices_per_slice
+
+    def workgroups_per_subslice(self, threads_per_workgroup: int) -> int:
+        """How many work-groups of a given size one subslice can host."""
+        hw_items = self.eus_per_subslice * self.threads_per_eu * self.wavefront_size
+        return max(1, hw_items // max(1, threads_per_workgroup))
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseConfig:
+    """System noise on the CPU side of the attack (§II-B: "generally quiet").
+
+    ``background_llc_rate_per_s`` is the Poisson rate of stray LLC accesses
+    from other processes; each lands in a uniformly random LLC set.
+    """
+
+    background_llc_rate_per_s: float = 2.0e6
+    enabled: bool = True
+    #: Interrupt-type events (timer ticks, IPIs, kworkers) stall a random
+    #: core for a few microseconds; a probe spanning one reads wildly long
+    #: and can flip a bit.  This is the dominant CPU-receiving error
+    #: source in the model; the period is the *system-wide* event gap.
+    os_tick_period_us: float = 70.0
+    os_tick_duration_us: float = 2.5
+    os_tick_jitter_us: float = 25.0
+
+    def validate(self) -> None:
+        _require(self.background_llc_rate_per_s >= 0, "noise rate must be >= 0")
+        _require(self.os_tick_period_us > 0, "tick period must be positive")
+        _require(self.os_tick_duration_us >= 0, "tick duration must be >= 0")
+        _require(self.os_tick_jitter_us >= 0, "tick jitter must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class MmuConfig:
+    """Physical memory and page allocation."""
+
+    phys_bits: int = 39
+    page_bytes: int = 4096
+    huge_page_bytes: int = 1 << 30  # 1 GB pages, as used in §III-C
+
+    def validate(self) -> None:
+        _require(30 <= self.phys_bits <= 52, "phys_bits out of range")
+        _require(_is_pow2(self.page_bytes), "page size must be a power of two")
+        _require(_is_pow2(self.huge_page_bytes), "huge page size must be a power of two")
+        _require(
+            self.huge_page_bytes >= self.page_bytes,
+            "huge pages must not be smaller than base pages",
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SoCConfig:
+    """Complete description of the simulated machine."""
+
+    name: str = "kaby-lake-i7-7700k"
+    cpu_clock: ClockConfig = dataclasses.field(default_factory=lambda: ClockConfig(4.2e9))
+    gpu_clock: ClockConfig = dataclasses.field(default_factory=lambda: ClockConfig(1.1e9))
+    cpu_cores: int = 4
+    cpu_cache: CpuCacheConfig = dataclasses.field(default_factory=CpuCacheConfig)
+    llc: LlcConfig = dataclasses.field(default_factory=LlcConfig)
+    gpu: GpuConfig = dataclasses.field(default_factory=GpuConfig)
+    gpu_l3: GpuL3Config = dataclasses.field(default_factory=GpuL3Config)
+    slm: SlmConfig = dataclasses.field(default_factory=SlmConfig)
+    ring: RingConfig = dataclasses.field(default_factory=RingConfig)
+    dram: DramConfig = dataclasses.field(default_factory=DramConfig)
+    mmu: MmuConfig = dataclasses.field(default_factory=MmuConfig)
+    noise: NoiseConfig = dataclasses.field(default_factory=NoiseConfig)
+    seed: int = 0
+
+    def validate(self) -> "SoCConfig":
+        """Check cross-field consistency; returns self for chaining."""
+        _require(self.cpu_cores >= 1, "need at least one CPU core")
+        for section in (
+            self.cpu_clock, self.gpu_clock, self.cpu_cache, self.llc, self.gpu,
+            self.gpu_l3, self.slm, self.ring, self.dram, self.mmu, self.noise,
+        ):
+            section.validate()
+        _require(
+            self.cpu_cache.line_bytes == self.llc.line_bytes == self.gpu_l3.line_bytes,
+            "all caches must share one line size",
+        )
+        _require(
+            self.llc.total_bytes > self.cpu_cache.l2_bytes,
+            "LLC must be larger than L2",
+        )
+        _require(
+            (1 << self.mmu.phys_bits) >= 4 * self.llc.total_bytes,
+            "physical memory must comfortably exceed the LLC",
+        )
+        return self
+
+    def replace(self, **kwargs: object) -> "SoCConfig":
+        """Return a validated copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs).validate()
+
+    @property
+    def clock_ratio(self) -> float:
+        """CPU frequency over GPU frequency (the paper's ~4x disparity)."""
+        return self.cpu_clock.freq_hz / self.gpu_clock.freq_hz
+
+
+def kaby_lake(seed: int = 0) -> SoCConfig:
+    """The paper's testbed at full published geometry."""
+    return SoCConfig(seed=seed).validate()
+
+
+def kaby_lake_model(seed: int = 0, scale: int = 8) -> SoCConfig:
+    """Capacity-scaled variant used by the channel figure harnesses.
+
+    Every set count is divided by ``scale`` (associativity, line size,
+    slice/bank structure and clock ratio are preserved), which divides the
+    event count of a channel run by roughly the same factor while keeping
+    the geometry relationships the attacks depend on.
+    """
+    if scale < 1 or (scale & (scale - 1)) != 0:
+        raise ConfigError("scale must be a power of two >= 1")
+    base = SoCConfig(seed=seed)
+    scaled = dataclasses.replace(
+        base,
+        name=f"kaby-lake-model-1/{scale}",
+        cpu_cache=dataclasses.replace(
+            base.cpu_cache,
+            l1_sets=max(16, base.cpu_cache.l1_sets // scale),
+            l2_sets=max(64, base.cpu_cache.l2_sets // scale),
+        ),
+        llc=dataclasses.replace(
+            base.llc, sets_per_slice=max(64, base.llc.sets_per_slice // scale)
+        ),
+        gpu_l3=dataclasses.replace(
+            base.gpu_l3, sets_per_bank=max(4, base.gpu_l3.sets_per_bank // scale)
+        ),
+    )
+    return scaled.validate()
+
+
+def scale_bytes(config: SoCConfig, paper_bytes: int, paper_config: typing.Optional[SoCConfig] = None) -> int:
+    """Convert a paper-quoted buffer size to the config's capacity scale.
+
+    E.g. the paper's 2 MB GPU buffer becomes 256 KB on a 1/8 model-scale
+    machine, preserving the buffer/LLC capacity ratio the experiments
+    depend on.
+    """
+    reference = paper_config or kaby_lake()
+    ratio = config.llc.total_bytes / reference.llc.total_bytes
+    line = config.llc.line_bytes
+    scaled = max(line, int(paper_bytes * ratio))
+    return (scaled // line) * line

@@ -1,0 +1,25 @@
+"""The paper's contribution: cross-component covert channels.
+
+Layout:
+
+* :mod:`repro.core.encoding` — payloads, bit streams, error metrics;
+* :mod:`repro.core.evictionset` — LLC and GPU-L3 eviction-set construction;
+* :mod:`repro.core.reverse_engineering` — §III-B/C/D procedures (timer
+  characterization, slice-hash recovery, L3 inclusiveness and geometry);
+* :mod:`repro.core.llc_channel` — the §III PRIME+PROBE channel over the
+  shared LLC, both directions, with the three L3-eviction strategies;
+* :mod:`repro.core.contention_channel` — the §IV ring-bus contention
+  channel with iteration-factor calibration.
+"""
+
+from repro.core.channel import ChannelDirection, ChannelResult
+from repro.core.encoding import bit_error_rate, bits_to_bytes, bytes_to_bits, random_bits
+
+__all__ = [
+    "ChannelDirection",
+    "ChannelResult",
+    "bit_error_rate",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "random_bits",
+]

@@ -1,0 +1,69 @@
+"""Common covert-channel abstractions: direction, results, reports."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.core.encoding import bit_error_rate
+from repro.sim import FS_PER_S
+
+
+class ChannelDirection(enum.Enum):
+    """Who transmits: the kernel on the iGPU or the process on the CPU."""
+
+    GPU_TO_CPU = "gpu-to-cpu"
+    CPU_TO_GPU = "cpu-to-gpu"
+
+    @property
+    def pretty(self) -> str:
+        return "GPU→CPU" if self is ChannelDirection.GPU_TO_CPU else "CPU→GPU"
+
+
+@dataclasses.dataclass
+class ChannelResult:
+    """Outcome of one covert-channel transmission run."""
+
+    direction: ChannelDirection
+    sent: typing.List[int]
+    received: typing.List[int]
+    elapsed_fs: int
+    meta: typing.Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.sent)
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_fs / FS_PER_S
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Raw channel bandwidth in bits per second of simulated time."""
+        if self.elapsed_fs <= 0:
+            return 0.0
+        return self.n_bits / self.elapsed_s
+
+    @property
+    def bandwidth_kbps(self) -> float:
+        """Bandwidth in kb/s, the unit the paper reports."""
+        return self.bandwidth_bps / 1e3
+
+    @property
+    def error_rate(self) -> float:
+        """Alignment-aware bit error rate against the sent payload."""
+        return bit_error_rate(self.sent, self.received)
+
+    @property
+    def error_percent(self) -> float:
+        return 100.0 * self.error_rate
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.direction.pretty}: {self.n_bits} bits in "
+            f"{self.elapsed_s * 1e3:.2f} ms -> {self.bandwidth_kbps:.1f} kb/s, "
+            f"error {self.error_percent:.2f}%"
+        )

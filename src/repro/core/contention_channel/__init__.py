@@ -1,0 +1,22 @@
+"""The §IV ring-bus contention covert channel."""
+
+from repro.core.contention_channel.calibration import (
+    CalibrationResult,
+    calibrate_iteration_factor,
+)
+from repro.core.contention_channel.channel import (
+    ContentionChannel,
+    ContentionChannelConfig,
+)
+from repro.core.contention_channel.decoder import DecodeResult, decode_samples
+from repro.core.contention_channel.params import ContentionParams
+
+__all__ = [
+    "CalibrationResult",
+    "ContentionChannel",
+    "ContentionChannelConfig",
+    "ContentionParams",
+    "DecodeResult",
+    "calibrate_iteration_factor",
+    "decode_samples",
+]

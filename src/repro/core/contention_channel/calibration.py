@@ -1,0 +1,176 @@
+"""Iteration-factor calibration (§IV, Fig. 9).
+
+The CPU and GPU run at a ~4x frequency ratio and see the LLC through
+asymmetric paths, so an uncalibrated sender either starves the slot (bits
+bleed into each other) or overshoots it (bandwidth collapses).  The paper
+introduces the *Iteration Factor* :math:`I_F` — how many passes over its
+buffer the GPU makes per bit — "so that the ratio between the GPU and CPU
+execution time is near 1".
+
+The calibration runs a short joint measurement on a scratch SoC wired
+exactly like the channel: the Spy pointer-chases while the Trojan performs
+single passes, yielding the *contended* pass time and probe-group time.
+The slot itself is a pre-agreed constant (``params.slot_us``); ``I_F`` is
+the resulting buffer-passes-per-slot ratio the paper plots in Fig. 9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import SoCConfig
+from repro.core.contention_channel.params import ContentionParams
+from repro.cpu.core import CpuProgram
+from repro.cpu.pointer_chase import PointerChaseBuffer
+from repro.errors import CalibrationError
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.sim import FS_PER_S
+from repro.soc.machine import SoC
+
+if typing.TYPE_CHECKING:
+    from repro.gpu.workgroup import WorkGroupCtx
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Pre-agreed timing constants of one operating point.
+
+    ``iteration_factor`` is the Fig. 9 quantity: buffer passes per bit
+    slot.  For small buffers it is an integer > 1; for buffers whose pass
+    outlasts the slot it drops below 1 (the burst covers part of the
+    buffer per bit, wrapping across bits).
+    """
+
+    iteration_factor: float
+    gpu_pass_fs: int
+    cpu_group_fs: int
+    slot_fs: int
+
+    @property
+    def nominal_bandwidth_bps(self) -> float:
+        """1 / slot: the raw symbol rate this calibration implies."""
+        return FS_PER_S / self.slot_fs
+
+
+def split_lines_by_set_index(
+    soc: SoC, buffer, n_lines: int, upper_half: bool
+) -> typing.List[int]:
+    """Select ``n_lines`` lines whose LLC set index falls in one half.
+
+    Implements the Eq. 6 constraint: the CPU buffer draws from the lower
+    half of the set-index space and the GPU buffer from the upper half, so
+    the two working sets can never collide in an LLC set.
+    """
+    config = soc.config.llc
+    half = config.sets_per_slice // 2
+    chosen: typing.List[int] = []
+    for paddr in buffer.line_paddrs(config.line_bytes):
+        set_index = (paddr >> config.offset_bits) % config.sets_per_slice
+        if (set_index >= half) == upper_half:
+            chosen.append(paddr)
+            if len(chosen) == n_lines:
+                return chosen
+    raise CalibrationError(
+        f"buffer too small: found {len(chosen)}/{n_lines} lines in the "
+        f"{'upper' if upper_half else 'lower'} set-index half"
+    )
+
+
+def build_gpu_stripes(
+    lines: typing.Sequence[int], n_workgroups: int
+) -> typing.List[typing.List[int]]:
+    """Interleave the buffer lines across work-groups (Eq. 7 split)."""
+    return [list(lines[wg::n_workgroups]) for wg in range(n_workgroups)]
+
+
+def _measure(
+    config: SoCConfig, params: ContentionParams, seed: int, n_passes: int
+) -> typing.Tuple[int, int]:
+    """Joint contended measurement: (gpu_pass_fs, cpu_group_fs)."""
+    soc = SoC(config.replace(seed=seed))
+    device = GpuDevice(soc)
+    spy_space = soc.new_process("cal-spy")
+    trojan_space = soc.new_process("cal-trojan")
+    spy = CpuProgram(soc, 0, spy_space, name="cal-spy")
+    cl = OpenClContext(soc, device, trojan_space)
+
+    cpu_buffer = spy_space.mmap_huge(4 * params.cpu_buffer_bytes)
+    cpu_lines = split_lines_by_set_index(
+        soc, cpu_buffer, params.cpu_lines(config), upper_half=False
+    )
+    gpu_buffer = cl.svm_alloc(4 * params.gpu_buffer_bytes, huge=True)
+    gpu_lines = split_lines_by_set_index(
+        soc, gpu_buffer, params.gpu_lines(config), upper_half=True
+    )
+    stripes = build_gpu_stripes(gpu_lines, params.n_workgroups)
+
+    chase = PointerChaseBuffer.from_lines(cpu_lines, soc.rng.stream("cal-chase"))
+
+    group_times: typing.List[int] = []
+
+    def spy_warm(program: CpuProgram) -> typing.Generator:
+        yield from program.read_batch(cpu_lines)
+        return None
+
+    def spy_loop(program: CpuProgram) -> typing.Generator:
+        while True:
+            start = program.soc.now_fs
+            for paddr in chase.next_paddrs(params.probe_group):
+                yield from program.read(paddr)
+            group_times.append(program.soc.now_fs - start)
+
+    pass_times: typing.List[int] = []
+
+    def trojan_kernel(wg: "WorkGroupCtx") -> typing.Generator:
+        lines_for_wg = stripes[wg.workgroup_id]
+        yield from wg.parallel_read(lines_for_wg)  # warm
+        for _ in range(n_passes):
+            start = wg.soc.now_fs
+            yield from wg.parallel_read(lines_for_wg)
+            if wg.workgroup_id == 0:
+                pass_times.append(wg.soc.now_fs - start)
+        return 0
+
+    # Sequence the joint measurement: warm the spy's working set first
+    # (both sides belong to the same attacker, so host-side coordination
+    # is fair game during calibration), then sample while the kernel runs.
+    soc.engine.run_until_complete(soc.engine.process(spy_warm(spy)))
+    spy_process = soc.engine.process(spy_loop(spy))
+    instance = cl.enqueue_nd_range(
+        trojan_kernel, params.n_workgroups,
+        config.gpu.max_threads_per_workgroup, name="cal-trojan",
+    )
+    soc.engine.run_until_complete(instance.completion)
+    spy_process.interrupt("calibration done")
+    if not pass_times or not group_times:
+        raise CalibrationError("calibration produced no samples")
+    gpu_pass_fs = sorted(pass_times)[len(pass_times) // 2]
+    cpu_group_fs = sorted(group_times)[len(group_times) // 2]
+    return gpu_pass_fs, cpu_group_fs
+
+
+def calibrate_iteration_factor(
+    config: SoCConfig,
+    params: ContentionParams,
+    seed: int = 0,
+    n_passes: int = 6,
+) -> CalibrationResult:
+    """Derive :math:`I_F` and the slot length for one operating point."""
+    params.validate(config)
+    gpu_pass_fs, cpu_group_fs = _measure(config, params, seed, n_passes)
+    if params.iteration_factor > 0:
+        # Forced iteration factor (the Fig. 9 ablation): the slot is tied
+        # to whole GPU passes instead of the pre-agreed symbol rate.
+        iteration_factor = float(params.iteration_factor)
+        slot_fs = int(1.25 * iteration_factor * gpu_pass_fs)
+    else:
+        slot_fs = int(params.slot_us * 1_000_000_000)
+        iteration_factor = round(slot_fs / gpu_pass_fs, 3)
+    return CalibrationResult(
+        iteration_factor=iteration_factor,
+        gpu_pass_fs=gpu_pass_fs,
+        cpu_group_fs=cpu_group_fs,
+        slot_fs=slot_fs,
+    )

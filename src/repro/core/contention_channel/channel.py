@@ -1,0 +1,251 @@
+"""User-facing facade for the ring-contention covert channel (§IV).
+
+The Trojan's GPU kernel modulates ring/LLC-path contention — per bit it
+either sweeps its buffer :math:`I_F` times (a ``1``) or idles for the same
+duration (a ``0``) — while the Spy pointer-chases its own, set-disjoint
+buffer and records per-group access times with ``clock_gettime``-style
+timestamps.  Decoding is offline run-length recovery (see
+:mod:`repro.core.contention_channel.decoder`); no pre-agreed cache sets
+are needed, exactly as the paper argues for this channel type.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import SoCConfig, kaby_lake_model, scale_bytes
+from repro.core.channel import ChannelDirection, ChannelResult
+from repro.core.contention_channel.calibration import (
+    CalibrationResult,
+    build_gpu_stripes,
+    calibrate_iteration_factor,
+    split_lines_by_set_index,
+)
+from repro.core.contention_channel.decoder import decode_samples, frame_bits
+from repro.core.contention_channel.params import ContentionParams
+from repro.core.encoding import random_bits
+from repro.cpu.core import CpuProgram
+from repro.cpu.pointer_chase import PointerChaseBuffer
+from repro.errors import ChannelProtocolError
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.sim import FS_PER_S, FS_PER_US
+from repro.soc.machine import SoC
+
+if typing.TYPE_CHECKING:
+    from repro.gpu.workgroup import WorkGroupCtx
+
+
+@dataclasses.dataclass
+class ContentionChannelConfig:
+    """Configuration of one contention-channel deployment.
+
+    Buffer sizes are given in *paper units* (the i7-7700k's 8 MB LLC) and
+    scaled to the simulated machine automatically, preserving the
+    buffer/LLC/L3 capacity ratios the experiment depends on.
+    """
+
+    cpu_buffer_paper_bytes: int = 512 * 1024
+    gpu_buffer_paper_bytes: int = 2 * 1024 * 1024
+    n_workgroups: int = 2
+    iteration_factor: int = 0  # 0 = calibrate (Fig. 9)
+    probe_group: int = 8
+    slot_us: float = 2.6
+    spy_core: int = 0
+    trojan_core: int = 1
+    system_effects: bool = True
+    #: Quiet lead-in before the preamble, in bit slots.
+    lead_in_slots: int = 4
+    #: Safety margin of receiver recording beyond the expected duration.
+    record_margin: float = 1.35
+    #: Optional §VI mitigation applied to the freshly wired machine.
+    mitigation: typing.Optional[typing.Callable] = None
+    max_sim_seconds: float = 2.0
+
+
+class ContentionChannel:
+    """Run ring-contention covert transmissions (GPU → CPU)."""
+
+    def __init__(
+        self,
+        config: typing.Optional[ContentionChannelConfig] = None,
+        soc_config: typing.Optional[SoCConfig] = None,
+    ) -> None:
+        self.config = config or ContentionChannelConfig()
+        self.soc_config = soc_config or kaby_lake_model(scale=16)
+
+    def params(self) -> ContentionParams:
+        """The machine-scaled operating point."""
+        return ContentionParams(
+            cpu_buffer_bytes=scale_bytes(self.soc_config, self.config.cpu_buffer_paper_bytes),
+            gpu_buffer_bytes=scale_bytes(self.soc_config, self.config.gpu_buffer_paper_bytes),
+            n_workgroups=self.config.n_workgroups,
+            probe_group=self.config.probe_group,
+            slot_us=self.config.slot_us,
+            iteration_factor=self.config.iteration_factor,
+        ).validate(self.soc_config)
+
+    def calibrate(self, seed: int = 0) -> CalibrationResult:
+        """Run (or re-run) the Fig. 9 iteration-factor calibration."""
+        return calibrate_iteration_factor(self.soc_config, self.params(), seed=seed)
+
+    def transmit(
+        self,
+        bits: typing.Optional[typing.Sequence[int]] = None,
+        n_bits: int = 128,
+        seed: int = 0,
+        calibration: typing.Optional[CalibrationResult] = None,
+    ) -> ChannelResult:
+        """Send a payload over a freshly wired SoC; returns the result."""
+        params = self.params()
+        if calibration is None:
+            calibration = calibrate_iteration_factor(
+                self.soc_config, params, seed=seed + 10_000
+            )
+        soc = SoC(self.soc_config.replace(seed=seed))
+        device = GpuDevice(soc)
+        spy_space = soc.new_process("spy")
+        trojan_space = soc.new_process("trojan")
+        spy = CpuProgram(soc, self.config.spy_core, spy_space, name="spy")
+        cl = OpenClContext(soc, device, trojan_space)
+
+        if bits is None:
+            bits = random_bits(n_bits, soc.rng.stream("payload"))
+        payload = [int(b) & 1 for b in bits]
+        frame = frame_bits(payload)
+
+        cpu_buffer = spy_space.mmap_huge(4 * params.cpu_buffer_bytes)
+        cpu_lines = split_lines_by_set_index(
+            soc, cpu_buffer, params.cpu_lines(soc.config), upper_half=False
+        )
+        gpu_buffer = cl.svm_alloc(4 * params.gpu_buffer_bytes, huge=True)
+        gpu_lines = split_lines_by_set_index(
+            soc, gpu_buffer, params.gpu_lines(soc.config), upper_half=True
+        )
+        stripes = build_gpu_stripes(gpu_lines, params.n_workgroups)
+        chase = PointerChaseBuffer.from_lines(cpu_lines, soc.rng.stream("chase"))
+
+        if self.config.system_effects:
+            soc.start_system_effects()
+        if self.config.mitigation is not None:
+            self.config.mitigation(soc, device)
+
+        slot_fs = calibration.slot_fs
+        expected_fs = (
+            (len(frame) + self.config.lead_in_slots + 2) * slot_fs
+        )
+        # The sender's warm-up (two passes over a cold working set) and the
+        # framing precede the payload; record past all of it with margin.
+        deadline_fs = soc.engine.now + int(
+            self.config.record_margin * (expected_fs + 6 * calibration.gpu_pass_fs)
+        )
+        samples: typing.List[typing.Tuple[int, int]] = []
+
+        def spy_loop(program: CpuProgram) -> typing.Generator:
+            yield from program.read_batch(cpu_lines)  # warm the LLC
+            while soc.now_fs < deadline_fs:
+                start = yield from program.rdtsc()
+                for paddr in chase.next_paddrs(params.probe_group):
+                    yield from program.read(paddr)
+                end = yield from program.rdtsc()
+                samples.append((soc.now_fs, end - start))
+            return len(samples)
+
+        def pace_until(wg: "WorkGroupCtx", target_ticks: float) -> typing.Generator:
+            """Spin until the SLM counter reaches an absolute target."""
+            assert wg.timer is not None
+            rate = wg.timer.rate_per_cycle
+            while True:
+                now_ticks = yield from wg.read_timer()
+                remaining = target_ticks - now_ticks
+                if remaining <= 0:
+                    return
+                yield from wg.wait_cycles(max(4.0, 0.9 * remaining / rate))
+
+        def trojan_kernel(wg: "WorkGroupCtx") -> typing.Generator:
+            lines_for_wg = stripes[wg.workgroup_id]
+            timer = wg.start_timer()
+            cycle_fs = soc.config.gpu_clock.cycle_fs
+            ticks_per_slot = timer.rate_per_cycle * slot_fs / cycle_fs
+            chunk = max(wg.mem_parallelism, min(64, len(lines_for_wg)))
+            # Warm pass (cold, DRAM-heavy) brings the working set into the
+            # LLC; the *second* pass measures the steady-state chunk cost
+            # used to stop 1-bursts before the slot boundary.
+            yield from wg.parallel_read(lines_for_wg)
+            t0 = yield from wg.read_timer()
+            yield from wg.parallel_read(lines_for_wg)
+            t1 = yield from wg.read_timer()
+            chunk_ticks = max(1.0, (t1 - t0) * chunk / len(lines_for_wg))
+            # Pace every bit against an *absolute* tick schedule: with
+            # several work-groups transmitting simultaneously, relative
+            # pacing would let their bit edges drift apart (this is the
+            # job the §III-B custom timer exists for).  Bursts sweep the
+            # buffer in chunks with a wrap-around cursor, so a bit need
+            # not cover a whole pass (fractional iteration factors).
+            target = float(t1) + self.config.lead_in_slots * ticks_per_slot
+            yield from pace_until(wg, target)
+            cursor = 0
+            for bit in frame:
+                target += ticks_per_slot
+                if bit:
+                    while True:
+                        now_ticks = yield from wg.read_timer()
+                        if now_ticks + 0.8 * chunk_ticks > target:
+                            break
+                        if cursor + chunk <= len(lines_for_wg):
+                            piece = lines_for_wg[cursor : cursor + chunk]
+                        else:
+                            wrap = (cursor + chunk) - len(lines_for_wg)
+                            piece = lines_for_wg[cursor:] + lines_for_wg[:wrap]
+                        cursor = (cursor + chunk) % len(lines_for_wg)
+                        yield from wg.parallel_read(piece)
+                yield from pace_until(wg, target)
+            return chunk_ticks
+
+        spy_process = soc.engine.process(spy_loop(spy))
+        cl.enqueue_nd_range(
+            trojan_kernel,
+            params.n_workgroups,
+            soc.config.gpu.max_threads_per_workgroup,
+            name="contention-trojan",
+        )
+        start_fs = soc.engine.now
+        limit_fs = start_fs + int(self.config.max_sim_seconds * FS_PER_S)
+        try:
+            soc.engine.run_until_complete(spy_process, limit_fs=limit_fs)
+        except ChannelProtocolError:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            raise ChannelProtocolError(f"transmission failed: {exc}") from exc
+
+        decoded = decode_samples(
+            samples,
+            slot_fs,
+            expected_bits=len(payload),
+            lead_in_slots=self.config.lead_in_slots,
+            cycle_fs=soc.config.cpu_clock.cycle_fs,
+        )
+        # Bandwidth over the payload span, as the paper reports it.  When
+        # decoding collapsed (e.g. under a mitigation) the span is
+        # meaningless; charge the whole recording instead.
+        span_fs = decoded.payload_span_fs
+        if not span_fs or len(decoded.bits) < len(payload) // 2:
+            span_fs = soc.engine.now - start_fs
+        return ChannelResult(
+            direction=ChannelDirection.GPU_TO_CPU,
+            sent=payload,
+            received=decoded.bits,
+            elapsed_fs=max(1, span_fs),
+            meta={
+                "iteration_factor": calibration.iteration_factor,
+                "slot_us": slot_fs / FS_PER_US,
+                "gpu_pass_us": calibration.gpu_pass_fs / FS_PER_US,
+                "n_workgroups": params.n_workgroups,
+                "cpu_buffer_bytes": params.cpu_buffer_bytes,
+                "gpu_buffer_bytes": params.gpu_buffer_bytes,
+                "threshold_cycles": decoded.threshold_cycles,
+                "n_samples": decoded.n_samples,
+                "seed": seed,
+            },
+        )

@@ -1,0 +1,240 @@
+"""Offline decoder for the contention channel's latency trace.
+
+The Spy records one sample per probe group: ``(timestamp, measured
+cycles)``.  Decoding is classic self-clocked run-length recovery:
+
+1. clip outliers (OS preemption spikes dwarf the contention signal);
+2. split the samples into contended / uncontended with a 1-D 2-means
+   threshold — no pre-shared baseline needed;
+3. smooth with a short majority filter;
+4. measure the duration of each run of equal state and round it to a
+   whole number of nominal bit slots (the pre-agreed slot length from
+   calibration — this rounding step is where a badly chosen Iteration
+   Factor turns into bit errors, reproducing the paper's Fig. 9/10
+   sensitivity);
+5. strip the framing (a ``1 0`` preamble and a ``1`` postamble).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import AttackError
+
+Sample = typing.Tuple[int, int]  # (timestamp_fs, measured_cycles)
+
+#: Frame layout: preamble bits, payload, postamble bits.
+PREAMBLE: typing.Tuple[int, ...] = (1, 0)
+POSTAMBLE: typing.Tuple[int, ...] = (1,)
+
+
+@dataclasses.dataclass
+class DecodeResult:
+    """Decoded payload plus decoder diagnostics."""
+
+    bits: typing.List[int]
+    threshold_cycles: float
+    n_samples: int
+    first_edge_fs: typing.Optional[int]
+    last_edge_fs: typing.Optional[int]
+    runs: typing.List[typing.Tuple[int, int]]  # (state, duration_fs)
+
+    @property
+    def payload_span_fs(self) -> int:
+        """Duration between the first and last observed signal edge."""
+        if self.first_edge_fs is None or self.last_edge_fs is None:
+            return 0
+        return self.last_edge_fs - self.first_edge_fs
+
+
+def two_means_threshold(values: typing.Sequence[float]) -> float:
+    """1-D 2-means decision level between the two latency populations.
+
+    Centers initialize at the 10th/90th percentiles rather than min/max:
+    a single preemption spike or cold lead-in window must not drag an
+    initial center away from the real clusters.
+    """
+    if not values:
+        raise AttackError("cannot threshold an empty trace")
+    ordered = sorted(values)
+    low = ordered[int(0.10 * (len(ordered) - 1))]
+    high = ordered[int(0.90 * (len(ordered) - 1))]
+    if low == high:
+        return low + 0.5
+    center_low, center_high = float(low), float(high)
+    for _iteration in range(16):
+        midpoint = (center_low + center_high) / 2.0
+        below = [v for v in values if v <= midpoint]
+        above = [v for v in values if v > midpoint]
+        if not below or not above:
+            break
+        new_low = sum(below) / len(below)
+        new_high = sum(above) / len(above)
+        if abs(new_low - center_low) < 1e-9 and abs(new_high - center_high) < 1e-9:
+            break
+        center_low, center_high = new_low, new_high
+    return (center_low + center_high) / 2.0
+
+
+def _clip_outliers(values: typing.List[float], factor: float = 4.0) -> typing.List[float]:
+    ordered = sorted(values)
+    median = ordered[len(ordered) // 2]
+    cap = median * factor
+    return [min(v, cap) for v in values]
+
+
+def _majority_smooth(states: typing.List[int], window: int = 5) -> typing.List[int]:
+    if window <= 1 or len(states) < window:
+        return list(states)
+    half = window // 2
+    smoothed = list(states)
+    for i in range(len(states)):
+        lo = max(0, i - half)
+        hi = min(len(states), i + half + 1)
+        ones = sum(states[lo:hi])
+        smoothed[i] = 1 if 2 * ones >= (hi - lo) else 0
+    return smoothed
+
+
+def decode_samples(
+    samples: typing.Sequence[Sample],
+    slot_fs: int,
+    expected_bits: typing.Optional[int] = None,
+    smooth_window: int = 3,
+    windows_per_slot: int = 4,
+    lead_in_slots: int = 4,
+    cycle_fs: typing.Optional[int] = None,
+) -> DecodeResult:
+    """Recover the framed bit stream from a latency trace.
+
+    Individual probe groups are noisy, so samples are first integrated
+    over sub-slot windows (``slot / windows_per_slot``); the 2-means
+    threshold and the run-length extraction then operate on the much
+    tighter window means.
+    """
+    if len(samples) < 4:
+        raise AttackError("trace too short to decode")
+    if slot_fs <= 0:
+        raise AttackError("slot duration must be positive")
+    window_fs = max(1, slot_fs // max(1, windows_per_slot))
+    values = _clip_outliers([float(v) for _, v in samples])
+    t0 = samples[0][0]
+    sums: typing.Dict[int, float] = {}
+    counts: typing.Dict[int, int] = {}
+    for (t, _), v in zip(samples, values):
+        index = (t - t0) // window_fs
+        sums[index] = sums.get(index, 0.0) + v
+        counts[index] = counts.get(index, 0) + 1
+    # Decision statistic per window: the mean measured group time where
+    # the window is densely sampled; where the receiver crawled (ring
+    # saturated — few samples land), the sampling *density* itself is the
+    # signal, expressed in the same units as a group measurement.  A
+    # window with no samples at all inherits its neighbour's state.
+    last_index = max(sums)
+    indices = list(range(last_index + 1))
+    window_times = [t0 + i * window_fs for i in indices]
+    window_means: typing.List[typing.Optional[float]] = []
+    for i in indices:
+        count = counts.get(i, 0)
+        if count == 0:
+            window_means.append(None)
+        elif count >= 4:
+            window_means.append(sums[i] / count)
+        else:
+            density = (window_fs / count) / cycle_fs if cycle_fs else None
+            mean = sums[i] / count
+            window_means.append(max(mean, density) if density else mean)
+    dense = [v for v in window_means if v is not None]
+    if len(dense) < 3:
+        raise AttackError("trace too short for windowed decoding")
+    # Guard the 2-means against residual spike windows.
+    dense_sorted = sorted(dense)
+    cap = dense_sorted[min(len(dense_sorted) - 1, int(0.95 * len(dense_sorted)))]
+    threshold = two_means_threshold([min(v, cap) for v in dense])
+    states: typing.List[int] = []
+    previous_state = 0
+    for mean in window_means:
+        if mean is None:
+            states.append(previous_state)
+        else:
+            previous_state = 1 if mean > threshold else 0
+            states.append(previous_state)
+    states = _majority_smooth(states, smooth_window)
+
+    # Run-length extraction over window time.
+    runs: typing.List[typing.Tuple[int, int]] = []
+    edges: typing.List[int] = []
+    run_start = window_times[0]
+    current = states[0]
+    for t, state in zip(window_times[1:], states[1:]):
+        if state != current:
+            runs.append((current, t - run_start))
+            edges.append(t)
+            run_start = t
+            current = state
+    runs.append((current, window_times[-1] + window_fs - run_start))
+
+    # Synchronize on the pre-agreed lead-in gap: the sender's warm-up
+    # passes look like contention too, so the frame starts at the first
+    # rising edge *after* a quiet run of roughly lead-in length.
+    gap_fs = int(0.5 * lead_in_slots * slot_fs)
+    start_index = 0
+    for i, (state, duration) in enumerate(runs):
+        if state == 0 and duration >= gap_fs:
+            start_index = i + 1
+            break
+    runs = runs[start_index:]
+    while runs and runs[0][0] == 0:
+        runs.pop(0)
+    # Consume runs only up to the frame length: windows in the quiet
+    # recording tail can contain phantom edges (preemption spikes) that
+    # would otherwise inflate both the bit count and the measured span.
+    frame_limit = (
+        None
+        if expected_bits is None
+        else len(PREAMBLE) + expected_bits + len(POSTAMBLE)
+    )
+    bits: typing.List[int] = []
+    frame_span_fs = 0
+    for state, duration in runs:
+        count = max(1, round(duration / slot_fs))
+        if frame_limit is not None and len(bits) + count > frame_limit:
+            count = max(0, frame_limit - len(bits))
+            duration = count * slot_fs
+        bits.extend([state] * count)
+        frame_span_fs += duration
+        if frame_limit is not None and len(bits) >= frame_limit:
+            break
+
+    # Strip framing.  The quiet tail after the final postamble '1' decodes
+    # as phantom zeros: cut everything after the last 1 first, then remove
+    # the preamble prefix and postamble suffix.
+    frame = bits
+    if 1 in frame:
+        last_one = len(frame) - 1 - frame[::-1].index(1)
+        frame = frame[: last_one + 1]
+    if len(frame) > len(PREAMBLE) + len(POSTAMBLE):
+        payload = frame[len(PREAMBLE) : len(frame) - len(POSTAMBLE)]
+    else:
+        payload = []
+    if expected_bits is not None and len(payload) > expected_bits:
+        payload = payload[:expected_bits]
+    frame_start_fs = None
+    if runs:
+        frame_start_fs = window_times[-1] + window_fs - sum(d for _, d in runs)
+    return DecodeResult(
+        bits=payload,
+        threshold_cycles=threshold,
+        n_samples=len(samples),
+        first_edge_fs=frame_start_fs,
+        last_edge_fs=(
+            frame_start_fs + frame_span_fs if frame_start_fs is not None else None
+        ),
+        runs=runs,
+    )
+
+
+def frame_bits(payload: typing.Sequence[int]) -> typing.List[int]:
+    """Wrap a payload in the pre-agreed preamble/postamble framing."""
+    return list(PREAMBLE) + [int(b) & 1 for b in payload] + list(POSTAMBLE)

@@ -1,0 +1,61 @@
+"""Parameters of the contention channel (§IV, Eq. 3-7).
+
+The paper identifies the knobs that shape the contention signal: the CPU
+and GPU buffer sizes (Eq. 5 bounds their sum by the LLC capacity, Eq. 6
+requires disjoint LLC sets), the number of work-groups, and the Iteration
+Factor :math:`I_F` aligning the two clock domains (Eq. 4).  Paper-quoted
+buffer sizes are scaled to the simulated machine's capacity via
+:func:`repro.config.scale_bytes` so the buffer/LLC/L3 ratios match.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import SoCConfig
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class ContentionParams:
+    """One operating point of the contention channel."""
+
+    cpu_buffer_bytes: int
+    gpu_buffer_bytes: int
+    n_workgroups: int = 2
+    #: Accesses measured per receiver sample (one rdtsc-bracketed group).
+    probe_group: int = 8
+    #: Pre-agreed bit-slot duration in microseconds: sets the symbol rate
+    #: (2.6 us is roughly the paper's ~400 kb/s operating point).
+    slot_us: float = 2.6
+    #: Forced whole-pass iteration factor (> 0) for the Fig. 9 ablation;
+    #: 0 means normal fixed-slot operation.
+    iteration_factor: int = 0
+
+    def validate(self, config: SoCConfig) -> "ContentionParams":
+        line = config.llc.line_bytes
+        if self.cpu_buffer_bytes < 4 * line or self.gpu_buffer_bytes < 4 * line:
+            raise ConfigError("buffers must span at least a few cache lines")
+        # Eq. 5: both working sets must fit in the LLC together.
+        if self.cpu_buffer_bytes + self.gpu_buffer_bytes >= config.llc.total_bytes:
+            raise ConfigError(
+                "S_CPU + S_GPU must be (well) below the LLC capacity (Eq. 5)"
+            )
+        if self.n_workgroups < 1:
+            raise ConfigError("need at least one work-group")
+        if self.probe_group < 1:
+            raise ConfigError("probe group must be positive")
+        if self.slot_us <= 0:
+            raise ConfigError("slot duration must be positive")
+        return self
+
+    def cpu_lines(self, config: SoCConfig) -> int:
+        return self.cpu_buffer_bytes // config.llc.line_bytes
+
+    def gpu_lines(self, config: SoCConfig) -> int:
+        return self.gpu_buffer_bytes // config.llc.line_bytes
+
+    def num_els_per_thread(self, config: SoCConfig) -> float:
+        """Eq. 7: cache lines per GPU thread."""
+        total_threads = self.n_workgroups * config.gpu.max_threads_per_workgroup
+        return self.gpu_lines(config) / total_threads

@@ -1,0 +1,111 @@
+"""Bit-stream utilities and error metrics.
+
+The covert channels move raw bits; these helpers generate payloads,
+convert to/from bytes, and score a received stream against the sent one.
+``bit_error_rate`` uses a banded edit-distance alignment so that a single
+inserted or deleted bit (a synchronization slip) is charged as one error
+instead of corrupting every subsequent position.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import AttackError
+
+Bits = typing.List[int]
+
+
+def random_bits(count: int, rng: np.random.Generator) -> Bits:
+    """A uniformly random payload of ``count`` bits."""
+    if count <= 0:
+        raise AttackError("payload must contain at least one bit")
+    return [int(b) for b in rng.integers(0, 2, size=count)]
+
+
+def bytes_to_bits(data: bytes) -> Bits:
+    """MSB-first bit expansion of a byte string."""
+    bits: Bits = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: typing.Sequence[int]) -> bytes:
+    """Pack MSB-first bits into bytes; the tail is zero-padded."""
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        chunk = bits[start : start + 8]
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | (bit & 1)
+        value <<= 8 - len(chunk)
+        out.append(value)
+    return bytes(out)
+
+
+def hamming_errors(sent: typing.Sequence[int], received: typing.Sequence[int]) -> int:
+    """Positional mismatches; lengths may differ (excess counts as errors)."""
+    errors = abs(len(sent) - len(received))
+    for a, b in zip(sent, received):
+        if a != b:
+            errors += 1
+    return errors
+
+
+def edit_distance(
+    sent: typing.Sequence[int],
+    received: typing.Sequence[int],
+    band: int = 64,
+) -> int:
+    """Levenshtein distance restricted to a diagonal band.
+
+    The band makes the DP linear-ish in payload length; channel slips are
+    small, so a band of 64 is far wider than any real misalignment.  If
+    the length difference exceeds the band, the exact distance can't be in
+    the band, so the raw length gap is added.
+    """
+    n, m = len(sent), len(received)
+    if abs(n - m) > band:
+        # Outside the band's reach: fall back to a safe upper bound.
+        return max(n, m)
+    inf = n + m + 1
+    previous = [j if j <= band else inf for j in range(m + 1)]
+    for i in range(1, n + 1):
+        current = [inf] * (m + 1)
+        low = max(0, i - band)
+        high = min(m, i + band)
+        if low == 0:
+            current[0] = i
+        for j in range(max(1, low), high + 1):
+            cost = 0 if sent[i - 1] == received[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,       # deletion
+                current[j - 1] + 1,    # insertion
+                previous[j - 1] + cost # substitution / match
+            )
+        previous = current
+    return previous[m]
+
+
+def bit_error_rate(
+    sent: typing.Sequence[int],
+    received: typing.Sequence[int],
+    align: bool = True,
+) -> float:
+    """Fraction of sent bits received incorrectly.
+
+    With ``align`` (default) the rate is edit-distance based, which is the
+    fair metric for a channel that can slip a bit; without it, plain
+    positional comparison is used.
+    """
+    if not sent:
+        raise AttackError("cannot score an empty payload")
+    if align:
+        errors = edit_distance(sent, received)
+    else:
+        errors = hamming_errors(sent, received)
+    return min(1.0, errors / len(sent))

@@ -1,0 +1,268 @@
+"""Eviction-set construction (§III-C / §III-D).
+
+Two kinds of sets are needed:
+
+* **LLC eviction sets** — ``ways`` addresses mapping to one (slice, set).
+  Built from a huge-page buffer: the page gives the attacker the physical
+  bits below the page size, and the slice is computed with the
+  reverse-engineered hash (recovered by
+  :mod:`repro.core.reverse_engineering.slice_hash_re`; the channel code
+  consumes the recovered masks, not the hidden ones).
+
+* **GPU L3 eviction ("pollute") sets** — the L3 is non-inclusive, so LLC
+  targets must be pushed out of the L3 *from the GPU side* before every
+  prime/probe.  Addresses sharing the target's low placement bits conflict
+  in the L3; the constraint is that they must land in *different* LLC sets
+  than every communication set, or they would self-interfere (§III-D).
+
+The module also implements the generic timing-based group-testing
+reduction (Vila et al. [39]) used when no geometry knowledge is assumed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import GpuL3Config, LlcConfig
+from repro.errors import EvictionSetError
+from repro.soc.llc import LlcLocation
+from repro.soc.mmu import Buffer
+from repro.soc.slice_hash import SliceHash
+
+
+class AddressPool:
+    """Attacker-controlled addresses with architectural knowledge attached.
+
+    ``hash_model`` is the *recovered* slice hash; on an un-reverse-engineered
+    machine it would come straight out of
+    :func:`repro.core.reverse_engineering.slice_hash_re.recover_slice_hash`.
+    """
+
+    def __init__(
+        self,
+        buffer: Buffer,
+        llc_config: LlcConfig,
+        l3_config: GpuL3Config,
+        hash_model: SliceHash,
+    ) -> None:
+        if not buffer.is_physically_contiguous:
+            raise EvictionSetError(
+                "the address pool must be backed by huge pages (physically "
+                "contiguous), as in §III-C"
+            )
+        self.buffer = buffer
+        self.llc_config = llc_config
+        self.l3_config = l3_config
+        self.hash_model = hash_model
+        self._line = llc_config.line_bytes
+        self._set_period = self._line << llc_config.set_index_bits
+        self._l3_period = 1 << l3_config.placement_bits
+
+    # ------------------------------------------------------------------
+    # Geometry helpers (attacker-side model, mirrors the hardware)
+
+    def llc_location_of(self, paddr: int) -> LlcLocation:
+        """(slice, set) under the attacker's recovered model."""
+        set_index = (paddr >> self.llc_config.offset_bits) % self.llc_config.sets_per_slice
+        return LlcLocation(self.hash_model.slice_of(paddr), set_index)
+
+    def l3_set_of(self, paddr: int) -> int:
+        """Flat L3 placement index (same low bits ⇒ same L3 set)."""
+        bits = self.l3_config.placement_bits - self.l3_config.offset_bits
+        return (paddr >> self.l3_config.offset_bits) & ((1 << bits) - 1)
+
+    # ------------------------------------------------------------------
+    # LLC eviction sets
+
+    def llc_eviction_set(
+        self,
+        location: LlcLocation,
+        count: int,
+        exclude: typing.Container[int] = (),
+    ) -> typing.List[int]:
+        """``count`` buffer addresses mapping to ``location``."""
+        found: typing.List[int] = []
+        offset = location.set_index * self._line
+        while offset < self.buffer.size and len(found) < count:
+            paddr = self.buffer.paddr_of(offset)
+            if paddr not in exclude and (
+                self.hash_model.slice_of(paddr) == location.slice_index
+            ):
+                found.append(paddr)
+            offset += self._set_period
+        if len(found) < count:
+            raise EvictionSetError(
+                f"buffer too small: found {len(found)}/{count} lines for "
+                f"slice {location.slice_index} set {location.set_index}"
+            )
+        return found
+
+    def available_llc_sets(
+        self, min_candidates: int, limit: typing.Optional[int] = None
+    ) -> typing.List[LlcLocation]:
+        """LLC locations for which the buffer holds enough candidates."""
+        locations: typing.List[LlcLocation] = []
+        for set_index in range(self.llc_config.sets_per_slice):
+            for slice_index in range(self.llc_config.slices):
+                location = LlcLocation(slice_index, set_index)
+                try:
+                    self.llc_eviction_set(location, min_candidates)
+                except EvictionSetError:
+                    continue
+                locations.append(location)
+                if limit is not None and len(locations) >= limit:
+                    return locations
+        return locations
+
+    # ------------------------------------------------------------------
+    # GPU L3 pollute sets
+
+    def l3_pollute_set(
+        self,
+        target_paddr: int,
+        count: int,
+        forbidden: typing.Collection[LlcLocation],
+        exclude: typing.Container[int] = (),
+    ) -> typing.List[int]:
+        """Addresses conflicting with ``target_paddr`` in the L3 while
+        avoiding every communication LLC set (precise §III-D strategy)."""
+        found: typing.List[int] = []
+        target_offset = target_paddr - self.buffer.paddr_of(0)
+        offset = target_offset % self._l3_period
+        forbidden_set = set(forbidden)
+        while offset < self.buffer.size and len(found) < count:
+            paddr = self.buffer.paddr_of(offset)
+            if (
+                paddr != target_paddr
+                and paddr not in exclude
+                and self.llc_location_of(paddr) not in forbidden_set
+            ):
+                found.append(paddr)
+            offset += self._l3_period
+        if len(found) < count:
+            raise EvictionSetError(
+                f"buffer too small: found {len(found)}/{count} L3-conflict "
+                f"lines for target {target_paddr:#x}"
+            )
+        return found
+
+    def llc_setindex_pollute_set(
+        self,
+        target_paddr: int,
+        count: int,
+        forbidden: typing.Collection[LlcLocation],
+        exclude: typing.Container[int] = (),
+    ) -> typing.List[int]:
+        """The intermediate (LLC-knowledge-only) strategy of Fig. 7.
+
+        Without L3 geometry, the attacker exploits that addresses sharing
+        the LLC *set-index bits* also share the L3 placement bits they
+        cover; picking ones whose (slice, set) differs from every
+        communication set avoids self-interference but needs more
+        addresses and rounds than the precise variant.
+        """
+        found: typing.List[int] = []
+        target_offset = target_paddr - self.buffer.paddr_of(0)
+        offset = target_offset % self._set_period
+        forbidden_set = set(forbidden)
+        while offset < self.buffer.size and len(found) < count:
+            paddr = self.buffer.paddr_of(offset)
+            if (
+                paddr != target_paddr
+                and paddr not in exclude
+                and self.llc_location_of(paddr) not in forbidden_set
+            ):
+                found.append(paddr)
+            offset += self._set_period
+        if len(found) < count:
+            raise EvictionSetError(
+                f"buffer too small: found {len(found)}/{count} set-index "
+                f"conflict lines for target {target_paddr:#x}"
+            )
+        return found
+
+    def whole_l3_clear_set(self, forbidden: typing.Collection[LlcLocation]) -> typing.List[int]:
+        """The naive Fig. 7 strategy: ways+1 addresses per L3 set.
+
+        Touching all of these flushes the entire L3 without requiring any
+        reverse engineering, at a crushing bandwidth cost.  One line more
+        than the associativity per set guarantees at least one miss every
+        sweep, so the tree-pLRU keeps churning instead of settling into an
+        orbit that spares a resident line.
+        """
+        forbidden_set = set(forbidden)
+        per_set = self.l3_config.ways + 1
+        found: typing.List[int] = []
+        for l3_set in range(self.l3_config.total_sets):
+            anchor = l3_set << self.l3_config.offset_bits
+            offset = anchor
+            picked = 0
+            while offset < self.buffer.size and picked < per_set:
+                paddr = self.buffer.paddr_of(offset)
+                if self.llc_location_of(paddr) not in forbidden_set:
+                    found.append(paddr)
+                    picked += 1
+                offset += self._l3_period
+            if picked < per_set:
+                raise EvictionSetError(
+                    f"buffer too small to cover L3 set {l3_set}"
+                )
+        return found
+
+
+# ----------------------------------------------------------------------
+# Timing-based reduction (no geometry knowledge assumed)
+
+EvictionOracle = typing.Callable[[int, typing.Sequence[int]], bool]
+
+
+def reduce_eviction_set(
+    victim: int,
+    candidates: typing.Sequence[int],
+    oracle: EvictionOracle,
+    ways: int,
+    max_iterations: int = 10_000,
+) -> typing.List[int]:
+    """Group-testing reduction of a conflict pool to a minimal eviction set.
+
+    ``oracle(victim, subset)`` must answer whether accessing ``subset``
+    evicts ``victim`` (a timing measurement in practice).  Implements the
+    O(w²·n) algorithm of Vila et al. [39]: repeatedly split into ``ways+1``
+    groups and drop one group whose removal preserves eviction.
+    """
+    working = list(candidates)
+    if not oracle(victim, working):
+        raise EvictionSetError("candidate pool does not evict the victim")
+    iterations = 0
+    while len(working) > ways:
+        iterations += 1
+        if iterations > max_iterations:
+            raise EvictionSetError("reduction did not converge")
+        n_groups = min(ways + 1, len(working))
+        group_size = (len(working) + n_groups - 1) // n_groups
+        groups = [
+            working[i : i + group_size] for i in range(0, len(working), group_size)
+        ]
+        for group in groups:
+            remainder = [addr for addr in working if addr not in set(group)]
+            if remainder and oracle(victim, remainder):
+                working = remainder
+                break
+        else:
+            # Group testing can wedge on a mixed pool (non-conflicting
+            # fillers spread so every group holds a critical line).  Fall
+            # back to element-wise filtering: any filler is individually
+            # removable, so this pass either shrinks the set or proves it
+            # minimal.
+            removed_any = False
+            index = 0
+            while index < len(working) and len(working) > ways:
+                remainder = working[:index] + working[index + 1 :]
+                if remainder and oracle(victim, remainder):
+                    working = remainder
+                    removed_any = True
+                else:
+                    index += 1
+            if not removed_any:
+                break
+    return working

@@ -1,0 +1,20 @@
+"""The §III PRIME+PROBE covert channel over the shared LLC."""
+
+from repro.core.llc_channel.channel import LLCChannel, LLCChannelConfig
+from repro.core.llc_channel.plan import (
+    ChannelPlan,
+    EndpointPlan,
+    EvictionStrategy,
+    LlcChannelPlanner,
+    Role,
+)
+
+__all__ = [
+    "ChannelPlan",
+    "EndpointPlan",
+    "EvictionStrategy",
+    "LLCChannel",
+    "LLCChannelConfig",
+    "LlcChannelPlanner",
+    "Role",
+]

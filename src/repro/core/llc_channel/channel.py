@@ -1,0 +1,234 @@
+"""User-facing facade for the LLC PRIME+PROBE covert channel.
+
+Each transmission runs on a freshly wired SoC (like the paper's repeated
+independent runs): two unprivileged processes — the Spy pinned to core 0
+and the Trojan on core 1 that launches the GPU kernel — communicate only
+through the shared LLC state.
+
+    >>> from repro import LLCChannel, LLCChannelConfig
+    >>> result = LLCChannel(LLCChannelConfig()).transmit(n_bits=64)
+    >>> result.bandwidth_kbps > 0
+    True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import SoCConfig, kaby_lake_model
+from repro.core.channel import ChannelDirection, ChannelResult
+from repro.core.encoding import random_bits
+from repro.core.evictionset import AddressPool
+from repro.core.llc_channel.plan import (
+    ChannelPlan,
+    EvictionStrategy,
+    LlcChannelPlanner,
+)
+from repro.core.llc_channel.protocol import (
+    CpuEndpoint,
+    GpuEndpoint,
+    ProtocolTuning,
+    derive_t_data_fs,
+    receiver_loop,
+    sender_loop,
+)
+from repro.cpu.core import CpuProgram
+from repro.errors import ChannelProtocolError
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.gpu.workgroup import WorkGroupCtx
+from repro.sim import FS_PER_S
+from repro.soc.machine import SoC
+from repro.soc.slice_hash import SliceHash
+
+
+@dataclasses.dataclass
+class LLCChannelConfig:
+    """Configuration of one LLC covert-channel deployment."""
+
+    direction: ChannelDirection = ChannelDirection.GPU_TO_CPU
+    strategy: EvictionStrategy = EvictionStrategy.PRECISE_L3
+    n_sets_per_role: int = 2
+    spy_core: int = 0
+    trojan_core: int = 1
+    tuning: ProtocolTuning = dataclasses.field(default_factory=ProtocolTuning)
+    #: Attacker pool size; None derives it from the geometry.
+    pool_bytes: typing.Optional[int] = None
+    #: Model the §II-B environment (background traffic + OS ticks).
+    system_effects: bool = True
+    #: Optional §VI mitigation applied to the freshly wired machine.
+    mitigation: typing.Optional[typing.Callable] = None
+    #: Hard cap on simulated time per transmission.
+    max_sim_seconds: float = 2.0
+
+
+class _Session:
+    """One fully wired transmission: SoC, plan, endpoints."""
+
+    def __init__(self, config: LLCChannelConfig, soc_config: SoCConfig, seed: int) -> None:
+        self.config = config
+        self.soc = SoC(soc_config.replace(seed=seed))
+        self.device = GpuDevice(self.soc)
+        spy_space = self.soc.new_process("spy")
+        trojan_space = self.soc.new_process("trojan")
+        self.spy = CpuProgram(self.soc, config.spy_core, spy_space, name="spy")
+        self.trojan = CpuProgram(self.soc, config.trojan_core, trojan_space, name="trojan")
+        self.cl = OpenClContext(self.soc, self.device, trojan_space)
+        pool_bytes = config.pool_bytes or self._default_pool_bytes(soc_config)
+        hash_model = SliceHash(
+            [soc_config.llc.hash_s0_mask, soc_config.llc.hash_s1_mask],
+            soc_config.llc.slices,
+        )
+        cpu_pool = AddressPool(
+            spy_space.mmap_huge(pool_bytes), soc_config.llc, soc_config.gpu_l3, hash_model
+        )
+        gpu_pool = AddressPool(
+            self.cl.svm_alloc(pool_bytes, huge=True),
+            soc_config.llc,
+            soc_config.gpu_l3,
+            hash_model,
+        )
+        planner = LlcChannelPlanner(
+            soc_config,
+            cpu_pool=cpu_pool,
+            gpu_pool=gpu_pool,
+            strategy=config.strategy,
+            n_sets_per_role=config.n_sets_per_role,
+        )
+        self.plan: ChannelPlan = planner.build()
+        # Copy the tuning so auto-derived fields never leak across runs.
+        self.tuning = dataclasses.replace(config.tuning)
+        gpu_estimator = GpuEndpoint(self._estimation_ctx(), self.plan.gpu, self.tuning)
+        cpu_estimator = CpuEndpoint(self.spy, self.plan.cpu, self.tuning)
+        if config.direction is ChannelDirection.GPU_TO_CPU:
+            sender_est: object = gpu_estimator
+        else:
+            sender_est = cpu_estimator
+        self.t_data_fs = (
+            self.tuning.t_data_fs
+            if self.tuning.t_data_fs is not None
+            else derive_t_data_fs(sender_est, self.tuning)
+        )
+        from repro.core.llc_channel.plan import Role
+
+        peer_prime = max(
+            cpu_estimator.estimate_prime_fs(Role.READY_RECV),
+            gpu_estimator.estimate_prime_fs(Role.READY_RECV),
+        )
+        if self.tuning.peer_prime_settle_fs is None:
+            self.tuning.peer_prime_settle_fs = int(0.75 * peer_prime)
+        # A slow strategy (whole-L3 clear) spreads one prime across many
+        # receiver polls; the latch must outlive the whole prime or the
+        # first set's observation expires before the second set's arrives.
+        polls_per_prime = peer_prime // max(1, self.tuning.receiver_poll_gap_fs)
+        self.tuning.latch_window = max(
+            self.tuning.latch_window, int(3 * polls_per_prime)
+        )
+
+    def _estimation_ctx(self) -> WorkGroupCtx:
+        """A throwaway work-group context used only for cost estimates."""
+        return WorkGroupCtx(self.soc, workgroup_id=-1, subslice=0,
+                            threads=self.soc.config.gpu.max_threads_per_workgroup)
+
+    @staticmethod
+    def _default_pool_bytes(soc_config: SoCConfig) -> int:
+        set_period = soc_config.llc.line_bytes << soc_config.llc.set_index_bits
+        l3_period = 1 << soc_config.gpu_l3.placement_bits
+        return 512 * max(set_period, l3_period)
+
+
+class LLCChannel:
+    """Run LLC PRIME+PROBE covert transmissions (either direction)."""
+
+    def __init__(
+        self,
+        config: typing.Optional[LLCChannelConfig] = None,
+        soc_config: typing.Optional[SoCConfig] = None,
+    ) -> None:
+        self.config = config or LLCChannelConfig()
+        self.soc_config = soc_config or kaby_lake_model(scale=16)
+
+    def build_session(self, seed: int = 0) -> _Session:
+        """Wire a fresh SoC + plan (exposed for tests and examples)."""
+        return _Session(self.config, self.soc_config, seed)
+
+    def transmit(
+        self,
+        bits: typing.Optional[typing.Sequence[int]] = None,
+        n_bits: int = 128,
+        seed: int = 0,
+    ) -> ChannelResult:
+        """Send a payload through a fresh session; returns the result."""
+        session = self.build_session(seed)
+        soc = session.soc
+        if bits is None:
+            bits = random_bits(n_bits, soc.rng.stream("payload"))
+        payload = [int(b) & 1 for b in bits]
+        if self.config.system_effects:
+            soc.start_system_effects()
+        if self.config.mitigation is not None:
+            self.config.mitigation(soc, session.device)
+        direction = self.config.direction
+        tuning = session.tuning
+        start_fs = soc.engine.now
+
+        if direction is ChannelDirection.GPU_TO_CPU:
+            def trojan_kernel(wg: WorkGroupCtx, payload_bits: list) -> typing.Generator:
+                endpoint = GpuEndpoint(wg, session.plan.gpu, tuning)
+                sent = yield from sender_loop(endpoint, payload_bits, tuning)
+                return sent
+
+            session.cl.enqueue_nd_range(
+                trojan_kernel,
+                1,
+                soc.config.gpu.max_threads_per_workgroup,
+                payload,
+                name="llc-trojan",
+            )
+            cpu_endpoint = CpuEndpoint(session.spy, session.plan.cpu, tuning)
+            receiver = soc.engine.process(
+                receiver_loop(cpu_endpoint, len(payload), tuning, session.t_data_fs)
+            )
+            received = self._run(soc, receiver)
+        else:
+            def spy_kernel(wg: WorkGroupCtx, count: int) -> typing.Generator:
+                endpoint = GpuEndpoint(wg, session.plan.gpu, tuning)
+                got = yield from receiver_loop(endpoint, count, tuning, session.t_data_fs)
+                return got
+
+            instance = session.cl.enqueue_nd_range(
+                spy_kernel,
+                1,
+                soc.config.gpu.max_threads_per_workgroup,
+                len(payload),
+                name="llc-spy",
+            )
+            cpu_endpoint = CpuEndpoint(session.trojan, session.plan.cpu, tuning)
+            soc.engine.process(sender_loop(cpu_endpoint, payload, tuning))
+            self._run(soc, instance.completion)
+            received = instance.results()[0]
+
+        elapsed_fs = soc.engine.now - start_fs
+        return ChannelResult(
+            direction=direction,
+            sent=payload,
+            received=typing.cast(typing.List[int], received),
+            elapsed_fs=elapsed_fs,
+            meta={
+                "strategy": self.config.strategy.value,
+                "n_sets_per_role": self.config.n_sets_per_role,
+                "t_data_ns": session.t_data_fs / 1e6,
+                "soc": self.soc_config.name,
+                "seed": seed,
+            },
+        )
+
+    def _run(self, soc: SoC, event) -> object:
+        limit_fs = soc.engine.now + int(self.config.max_sim_seconds * FS_PER_S)
+        try:
+            return soc.engine.run_until_complete(event, limit_fs=limit_fs)
+        except ChannelProtocolError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - annotate simulation failures
+            raise ChannelProtocolError(f"transmission failed: {exc}") from exc

@@ -1,0 +1,265 @@
+"""Pre-agreed sets, eviction strategies and address plans (§III-E).
+
+The protocol uses three roles of LLC sets:
+
+* ``READY_SEND`` (the paper's :math:`S_A`) — primed by the sender to say
+  "ready to send";
+* ``READY_RECV`` (:math:`S_B`) — primed by the receiver to say "ready to
+  receive";
+* ``DATA`` (:math:`S_C`) — primed by the sender iff the bit is 1.
+
+Each role uses ``n_sets_per_role`` redundant LLC sets (§V, Fig. 8: the
+paper settles on 2, i.e. 6 sets total).  Sets are assigned to slices 0 and
+1 so that GPU L3-pollute addresses — which necessarily share the targets'
+set-index bits — can be drawn from the remaining slices without touching
+any communication set (§III-D's self-interference constraint).
+
+The three Fig. 7 strategies differ in how the GPU evicts its targets from
+the non-inclusive L3 before each LLC access:
+
+* ``PRECISE_L3`` — full §III-D knowledge: exactly one L3 eviction set per
+  role set, ``plru_rounds`` rounds;
+* ``LLC_ONLY`` — no L3 geometry: conflict addresses chosen by LLC
+  set-index bits only, twice as many of them and more rounds;
+* ``FULL_L3_CLEAR`` — no reverse engineering at all: walk a buffer the
+  size of the whole L3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.config import SoCConfig
+from repro.core.evictionset import AddressPool
+from repro.errors import AttackError
+from repro.soc.llc import LlcLocation
+
+
+class Role(enum.Enum):
+    """The three LLC set roles of the 3-phase protocol."""
+
+    READY_SEND = "A"
+    READY_RECV = "B"
+    DATA = "C"
+
+
+class EvictionStrategy(enum.Enum):
+    """How the GPU evicts targets from the L3 (Fig. 7)."""
+
+    FULL_L3_CLEAR = "full-l3-clear"
+    LLC_ONLY = "llc-only"
+    PRECISE_L3 = "precise-l3"
+
+
+@dataclasses.dataclass
+class RolePlan:
+    """One endpoint's addresses for one role."""
+
+    locations: typing.List[LlcLocation]
+    #: Own lines per location (the prime/probe working set).
+    prime: typing.Dict[LlcLocation, typing.List[int]]
+    #: GPU only: L3 pollute lines per location (empty for CPU endpoints).
+    pollute: typing.Dict[LlcLocation, typing.List[int]]
+
+
+@dataclasses.dataclass
+class CalibrationAddresses:
+    """Scratch lines for self-calibrating the endpoint's threshold.
+
+    ``scratch`` lines are primed then re-probed for the hit baseline
+    (after ``scratch_pollute`` pushed them out of the GPU L3, when on the
+    GPU side); ``cold`` lines are never touched before the calibration
+    probe and give the miss baseline.
+    """
+
+    scratch: typing.List[int]
+    scratch_pollute: typing.List[int]
+    cold: typing.List[int]
+
+
+@dataclasses.dataclass
+class EndpointPlan:
+    """Everything one side needs to play the protocol."""
+
+    roles: typing.Dict[Role, RolePlan]
+    pollute_rounds: int
+    strategy: EvictionStrategy
+    calibration: CalibrationAddresses
+
+    def locations(self, role: Role) -> typing.List[LlcLocation]:
+        return self.roles[role].locations
+
+
+@dataclasses.dataclass
+class ChannelPlan:
+    """The agreed channel layout plus both endpoints' address plans."""
+
+    locations: typing.Dict[Role, typing.List[LlcLocation]]
+    cpu: EndpointPlan
+    gpu: EndpointPlan
+    n_sets_per_role: int
+    strategy: EvictionStrategy
+
+
+class LlcChannelPlanner:
+    """Builds a :class:`ChannelPlan` from two attacker address pools."""
+
+    #: Index of the first set-index used for communication; arbitrary but
+    #: fixed, so both processes can agree without communicating.
+    BASE_SET_INDEX = 32
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        cpu_pool: AddressPool,
+        gpu_pool: AddressPool,
+        strategy: EvictionStrategy = EvictionStrategy.PRECISE_L3,
+        n_sets_per_role: int = 2,
+    ) -> None:
+        if config.llc.slices < 4:
+            raise AttackError(
+                "the planner reserves two slices for pollute traffic and "
+                "needs at least 4 LLC slices"
+            )
+        self.config = config
+        self.cpu_pool = cpu_pool
+        self.gpu_pool = gpu_pool
+        self.strategy = strategy
+        self.n_sets_per_role = n_sets_per_role
+
+    def _role_locations(self) -> typing.Dict[Role, typing.List[LlcLocation]]:
+        """Deterministic pre-agreed (slice, set) assignment.
+
+        Communication sets live on slices 0 and 1 only; for each role the
+        redundant sets spread over consecutive set indices two at a time.
+        """
+        locations: typing.Dict[Role, typing.List[LlcLocation]] = {}
+        indices_per_role = (self.n_sets_per_role + 1) // 2
+        for role_number, role in enumerate(Role):
+            base = self.BASE_SET_INDEX + role_number * indices_per_role
+            role_locations = []
+            for j in range(self.n_sets_per_role):
+                set_index = base + j // 2
+                slice_index = j % 2
+                role_locations.append(LlcLocation(slice_index, set_index))
+            locations[role] = role_locations
+        return locations
+
+    def _calibration_for(
+        self,
+        pool: AddressPool,
+        all_locations: typing.Sequence[LlcLocation],
+        index_offset: int,
+        reps: int = 8,
+    ) -> CalibrationAddresses:
+        """Scratch/cold lines in sets disjoint from every communication set.
+
+        ``index_offset`` keeps the two endpoints' calibration sets apart —
+        they calibrate concurrently and must not evict each other.
+        """
+        ways = self.config.llc.ways
+        scratch_loc = LlcLocation(0, self.BASE_SET_INDEX - index_offset)
+        cold_loc = LlcLocation(1, self.BASE_SET_INDEX - index_offset)
+        scratch = pool.llc_eviction_set(scratch_loc, ways)
+        forbidden = list(all_locations) + [scratch_loc, cold_loc]
+        pollute = pool.l3_pollute_set(scratch[0], self.config.gpu_l3.ways, forbidden)
+        cold = pool.llc_eviction_set(cold_loc, ways * reps)
+        return CalibrationAddresses(
+            scratch=scratch, scratch_pollute=pollute, cold=cold
+        )
+
+    def build(self) -> ChannelPlan:
+        """Construct both endpoints' plans."""
+        locations = self._role_locations()
+        all_locations = [loc for locs in locations.values() for loc in locs]
+        # Pollute traffic must also avoid both endpoints' calibration sets:
+        # strategy traffic (especially the whole-L3 clear) runs while the
+        # peer is measuring its baselines.
+        for index_offset in (8, 16):
+            for slice_index in (0, 1):
+                all_locations.append(
+                    LlcLocation(slice_index, self.BASE_SET_INDEX - index_offset)
+                )
+        ways = self.config.llc.ways
+        cpu_roles: typing.Dict[Role, RolePlan] = {}
+        gpu_roles: typing.Dict[Role, RolePlan] = {}
+        full_clear: typing.Optional[typing.List[int]] = None
+        for role, role_locations in locations.items():
+            cpu_prime = {
+                loc: self.cpu_pool.llc_eviction_set(loc, ways)
+                for loc in role_locations
+            }
+            gpu_prime = {
+                loc: self.gpu_pool.llc_eviction_set(loc, ways)
+                for loc in role_locations
+            }
+            gpu_pollute: typing.Dict[LlcLocation, typing.List[int]] = {}
+            for loc in role_locations:
+                target = gpu_prime[loc][0]
+                gpu_pollute[loc] = self._pollute_for(
+                    target, all_locations, full_clear_cache=lambda: full_clear
+                )
+                if self.strategy is EvictionStrategy.FULL_L3_CLEAR and full_clear is None:
+                    full_clear = gpu_pollute[loc]
+            cpu_roles[role] = RolePlan(
+                locations=list(role_locations), prime=cpu_prime, pollute={}
+            )
+            gpu_roles[role] = RolePlan(
+                locations=list(role_locations), prime=gpu_prime, pollute=gpu_pollute
+            )
+        rounds = self.pollute_rounds()
+        plan = ChannelPlan(
+            locations=locations,
+            cpu=EndpointPlan(
+                roles=cpu_roles,
+                pollute_rounds=rounds,
+                strategy=self.strategy,
+                calibration=self._calibration_for(
+                    self.cpu_pool, all_locations, index_offset=8
+                ),
+            ),
+            gpu=EndpointPlan(
+                roles=gpu_roles,
+                pollute_rounds=rounds,
+                strategy=self.strategy,
+                calibration=self._calibration_for(
+                    self.gpu_pool, all_locations, index_offset=16
+                ),
+            ),
+            n_sets_per_role=self.n_sets_per_role,
+            strategy=self.strategy,
+        )
+        return plan
+
+    def _pollute_for(
+        self,
+        target: int,
+        forbidden: typing.Sequence[LlcLocation],
+        full_clear_cache: typing.Callable[[], typing.Optional[typing.List[int]]],
+    ) -> typing.List[int]:
+        l3_ways = self.config.gpu_l3.ways
+        if self.strategy is EvictionStrategy.PRECISE_L3:
+            return self.gpu_pool.l3_pollute_set(target, l3_ways, forbidden)
+        if self.strategy is EvictionStrategy.LLC_ONLY:
+            return self.gpu_pool.llc_setindex_pollute_set(
+                target, 2 * l3_ways, forbidden
+            )
+        cached = full_clear_cache()
+        if cached is not None:
+            return cached
+        return self.gpu_pool.whole_l3_clear_set(forbidden)
+
+    def pollute_rounds(self) -> int:
+        """Access rounds needed for a stable pLRU eviction, per strategy."""
+        base = self.config.gpu_l3.plru_rounds_for_eviction
+        if self.strategy is EvictionStrategy.PRECISE_L3:
+            return base
+        if self.strategy is EvictionStrategy.LLC_ONLY:
+            # Without the exact conflict set, extra rounds are needed for
+            # confidence that the pLRU tree converged.
+            return base + 2
+        # Clearing the whole L3 needs fewer per-line rounds: the sheer
+        # volume of fills overturns every tree.
+        return 2

@@ -1,0 +1,537 @@
+"""The 3-phase PRIME+PROBE protocol and its two asymmetric endpoints.
+
+Per transmitted bit (§III-E, Fig. 5):
+
+1. sender primes the ``READY_SEND`` sets; receiver polls them by timing
+   probes of *its own* lines (misses ⇒ the sender's prime evicted them);
+2. receiver primes ``READY_RECV``; sender polls symmetrically;
+3. sender primes ``DATA`` iff the bit is 1; after a calibrated delay the
+   receiver probes ``DATA`` and thresholds the time.
+
+The endpoints are deliberately asymmetric, mirroring the paper's
+challenges: the CPU probes serially with ``rdtsc`` and is subject to OS
+preemption; the GPU probes all ways in parallel, must first evict its
+targets from the non-inclusive L3 (the strategy's pollute accesses), and
+times with the jittery SLM counter.
+
+Thresholds are **self-calibrated**: before transmitting, each endpoint
+measures its own probe time on scratch sets in the two ground-truth states
+(lines LLC-resident vs never touched) and places the decision level
+between them.  This is the cross-component calibration the paper calls
+out in §I/§III-E — without it, ring contention from the other side's
+polling pushes hit-state probes over an analytically chosen threshold.
+
+Detection uses an all-sets rule over the redundant sets, which is what
+makes 2 sets so much better than 1 (Fig. 8): a single OS-tick-inflated
+probe can no longer flip a bit by itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.llc_channel.plan import EndpointPlan, EvictionStrategy, Role
+from repro.errors import ChannelProtocolError
+from repro.sim import FS_PER_NS, FS_PER_US, Timeout
+
+if typing.TYPE_CHECKING:
+    from repro.cpu.core import CpuProgram
+    from repro.gpu.workgroup import WorkGroupCtx
+    from repro.soc.machine import SoC
+
+
+@dataclasses.dataclass
+class ProtocolTuning:
+    """Timing knobs of the protocol; ``None`` fields are auto-derived."""
+
+    receiver_poll_gap_fs: int = 150 * FS_PER_NS
+    sender_poll_gap_fs: int = 250 * FS_PER_NS
+    settle_fs: int = 25 * FS_PER_US
+    t_data_fs: typing.Optional[int] = None
+    #: Poll iterations before declaring the channel dead (mitigations do
+    #: exactly this to the handshake).
+    max_poll_iterations: int = 20_000
+    #: Where between the calibrated hit and miss baselines the decision
+    #: level sits.
+    threshold_fraction: float = 0.55
+    #: Handshake (light) probes use a stricter level: stray third-party
+    #: evictions of a single line must not read as a peer prime, which
+    #: always evicts *every* sampled line.
+    light_threshold_fraction: float = 0.75
+    #: Calibration repetitions per endpoint.
+    calibration_reps: int = 6
+    #: Handshake detections latch per-set observations across this many
+    #: polls.  A probe of a half-primed role *refills* the sets it reads,
+    #: destroying the remaining signal, so the two sets of a role are
+    #: rarely seen evicted simultaneously; latching makes the handshake
+    #: robust to that interleaving while the window bounds how much
+    #: unrelated noise can accumulate into a false detection.
+    latch_window: int = 64
+    #: The receiver classifies DATA over a short latched window of polls
+    #: rather than a single probe, absorbing the variable delay between
+    #: its ready-to-receive prime and the sender's DATA prime.
+    data_window_polls: int = 4
+    #: Handshake polls touch only this many (rotating) lines per set: a
+    #: full prime evicts all ``ways`` lines, so sampling a couple answers
+    #: the question without refilling — and thus destroying — the signal.
+    handshake_probe_lines: int = 2
+    #: Light probes detect a prime while it is still in flight; before
+    #: restoring its own lines the detector waits this long so the tail of
+    #: the peer's prime cannot re-evict them (a phantom signal otherwise).
+    #: ``None`` is auto-derived from the peer's prime cost estimate.
+    peer_prime_settle_fs: typing.Optional[int] = None
+
+
+#: Optional protocol trace hook: a callable ``(time_fs, message)`` set by
+#: tests and debugging sessions; ``None`` disables tracing.
+TRACE: typing.Optional[typing.Callable[[int, str], None]] = None
+
+
+def _trace(endpoint: "Endpoint", message: str) -> None:
+    if TRACE is not None:
+        TRACE(endpoint.now_fs(), message)
+
+
+def robust_center(samples: typing.Sequence[int]) -> int:
+    """Trimmed median: drop the extremes, then take the median.
+
+    Calibration samples suffer one-sided corruption in both directions
+    (OS preemption inflates CPU probes; stale counter reads swing GPU
+    deltas by the glitch lag either way), so a plain median over few reps
+    is not enough.
+    """
+    ordered = sorted(samples)
+    if len(ordered) > 4:
+        ordered = ordered[1:-1]
+    return ordered[len(ordered) // 2]
+
+
+class Endpoint:
+    """Shared interface of the two protocol endpoints."""
+
+    plan: EndpointPlan
+
+    def now_fs(self) -> int:
+        raise NotImplementedError
+
+    def calibrate(self) -> typing.Generator:
+        raise NotImplementedError
+
+    def prime(self, role: Role) -> typing.Generator:
+        raise NotImplementedError
+
+    def probe(self, role: Role) -> typing.Generator:
+        """Yields; returns one bool per redundant set: True = evicted."""
+        raise NotImplementedError
+
+    def probe_light(self, role: Role, salt: int) -> typing.Generator:
+        """Non-destructive handshake poll: a few rotating lines per set."""
+        raise NotImplementedError
+
+    def wait_fs(self, duration_fs: int) -> typing.Generator:
+        raise NotImplementedError
+
+    def estimate_prime_fs(self, role: Role) -> int:
+        raise NotImplementedError
+
+    def estimate_probe_fs(self, role: Role) -> int:
+        raise NotImplementedError
+
+    def estimate_light_probe_fs(self, role: Role) -> int:
+        raise NotImplementedError
+
+
+class CpuEndpoint(Endpoint):
+    """The CPU side: serial probes timed with rdtsc."""
+
+    def __init__(self, program: "CpuProgram", plan: EndpointPlan,
+                 tuning: ProtocolTuning) -> None:
+        self.program = program
+        self.plan = plan
+        self.tuning = tuning
+        soc = program.soc
+        self._soc = soc
+        self._cycle_fs = soc.config.cpu_clock.cycle_fs
+        profile = soc.cpu_latency_profile()
+        self._hit_ns = profile["llc_ns"]
+        self._miss_ns = profile["dram_ns"]
+        # Analytic fallback until calibrate() runs.
+        ways = soc.config.llc.ways
+        gap_ns = self._miss_ns - self._hit_ns
+        self._threshold_cycles = self._ns_to_cycles(
+            ways * (self._hit_ns + tuning.threshold_fraction * gap_ns)
+        )
+        self._light_threshold_cycles = self._ns_to_cycles(
+            tuning.handshake_probe_lines
+            * (self._hit_ns + tuning.light_threshold_fraction * gap_ns)
+        )
+
+    def _ns_to_cycles(self, ns: float) -> int:
+        return int(ns * FS_PER_NS / self._cycle_fs)
+
+    def calibrate(self) -> typing.Generator:
+        """Measure hit/miss probe baselines on scratch lines."""
+        calib = self.plan.calibration
+        n = len(calib.scratch)
+        hits: typing.List[int] = []
+        misses: typing.List[int] = []
+        for rep in range(self.tuning.calibration_reps):
+            yield from self.program.read_series(calib.scratch)
+            cycles = yield from self.program.timed_probe(calib.scratch)
+            hits.append(cycles)
+            cold = calib.cold[rep * n : (rep + 1) * n]
+            if len(cold) == n:
+                cycles = yield from self.program.timed_probe(cold)
+                misses.append(cycles)
+        if hits and misses:
+            hit = robust_center(hits)
+            miss = robust_center(misses)
+            if miss > hit:
+                self._threshold_cycles = int(
+                    hit + self.tuning.threshold_fraction * (miss - hit)
+                )
+                # Serial probes scale linearly with the line count; the
+                # strict fraction demands (nearly) all lines missing.
+                light = self.tuning.handshake_probe_lines
+                per_line_gap = (miss - hit) / n
+                self._light_threshold_cycles = int(
+                    hit * light / n
+                    + self.tuning.light_threshold_fraction * per_line_gap * light
+                )
+        return self._threshold_cycles
+
+    def prime(self, role: Role) -> typing.Generator:
+        role_plan = self.plan.roles[role]
+        for location in role_plan.locations:
+            yield from self.program.read_batch(role_plan.prime[location])
+
+    def probe(self, role: Role) -> typing.Generator:
+        role_plan = self.plan.roles[role]
+        verdicts: typing.List[bool] = []
+        for location in role_plan.locations:
+            addrs = role_plan.prime[location]
+            cycles = yield from self.program.timed_probe(addrs)
+            verdicts.append(cycles > self._threshold_cycles)
+        return verdicts
+
+    def probe_light(self, role: Role, salt: int) -> typing.Generator:
+        role_plan = self.plan.roles[role]
+        light = self.tuning.handshake_probe_lines
+        verdicts: typing.List[bool] = []
+        for location in role_plan.locations:
+            addrs = role_plan.prime[location]
+            picked = [addrs[(salt + k) % len(addrs)] for k in range(light)]
+            cycles = yield from self.program.timed_probe(picked)
+            verdicts.append(cycles > self._light_threshold_cycles)
+        return verdicts
+
+    def now_fs(self) -> int:
+        return self._soc.now_fs
+
+    def wait_fs(self, duration_fs: int) -> typing.Generator:
+        yield Timeout(self._soc.engine, max(1, duration_fs))
+
+    def estimate_prime_fs(self, role: Role) -> int:
+        from repro.cpu.core import CPU_MEM_PARALLELISM
+
+        role_plan = self.plan.roles[role]
+        n = sum(len(role_plan.prime[loc]) for loc in role_plan.locations)
+        batches = (n + CPU_MEM_PARALLELISM - 1) // CPU_MEM_PARALLELISM
+        return int(batches * 1.5 * self._miss_ns * FS_PER_NS)
+
+    def estimate_probe_fs(self, role: Role) -> int:
+        role_plan = self.plan.roles[role]
+        n = sum(len(role_plan.prime[loc]) for loc in role_plan.locations)
+        return int(n * self._miss_ns * FS_PER_NS)
+
+    def estimate_light_probe_fs(self, role: Role) -> int:
+        n_sets = len(self.plan.roles[role].locations)
+        n = n_sets * self.tuning.handshake_probe_lines
+        return int(n * self._miss_ns * FS_PER_NS)
+
+
+class GpuEndpoint(Endpoint):
+    """The GPU side: parallel probes, L3 pollution, SLM-counter timing."""
+
+    def __init__(self, wg: "WorkGroupCtx", plan: EndpointPlan,
+                 tuning: ProtocolTuning) -> None:
+        self.wg = wg
+        self.plan = plan
+        self.tuning = tuning
+        soc = wg.soc
+        self._soc = soc
+        profile = soc.gpu_latency_profile()
+        issue_ns = soc.gpu_cycles_fs(soc.config.gpu.issue_cycles) / FS_PER_NS
+        hold_ns = soc.ring.hold_fs(
+            soc.ring.slots_for_line(soc.config.llc.line_bytes)
+        ) / FS_PER_NS
+        self._serial_ns = max(issue_ns, hold_ns)
+        self._hit_base_ns = profile["llc_ns"]
+        self._dram_extra_ns = profile["dram_ns"] - profile["llc_ns"]
+        if wg.timer is None:
+            wg.start_timer()
+        # Analytic fallback until calibrate() runs.
+        ways = soc.config.llc.ways
+        hit_ns = self._batch_hit_ns(min(ways, wg.mem_parallelism))
+        level = hit_ns + tuning.threshold_fraction * self._dram_extra_ns
+        self._threshold_ticks = max(1, int(wg.timer.ticks_for_ns(level)))
+        # Per-line level for the serial handshake probes.
+        line_level = self._hit_base_ns + tuning.threshold_fraction * self._dram_extra_ns
+        self._line_threshold_ticks = max(1, int(wg.timer.ticks_for_ns(line_level)))
+
+    def _batch_hit_ns(self, n_addrs: int) -> float:
+        """Completion estimate for a parallel batch of LLC hits."""
+        return self._hit_base_ns + (n_addrs - 1) * self._serial_ns
+
+    def calibrate(self) -> typing.Generator:
+        """Measure hit/miss probe baselines with the SLM timer.
+
+        Both the full-set (parallel) and the single-line (serial) probe
+        levels are measured; the latter backs the handshake polls.
+        """
+        calib = self.plan.calibration
+        n = len(calib.scratch)
+        hits: typing.List[int] = []
+        misses: typing.List[int] = []
+        line_hits: typing.List[int] = []
+        line_misses: typing.List[int] = []
+        for rep in range(self.tuning.calibration_reps):
+            yield from self.wg.parallel_read(calib.scratch)
+            for _round in range(self.plan.pollute_rounds):
+                yield from self.wg.parallel_read(calib.scratch_pollute)
+            ticks = yield from self.wg.timed_parallel_read(calib.scratch)
+            hits.append(ticks)
+            # Single-line hit: scratch[0] is back in the L3 now; evict it
+            # again, then time one load (LLC hit).
+            for _round in range(self.plan.pollute_rounds):
+                yield from self.wg.parallel_read(calib.scratch_pollute)
+            ticks = yield from self.wg.timed_read(calib.scratch[0])
+            line_hits.append(ticks)
+            cold = calib.cold[rep * n : (rep + 1) * n]
+            if len(cold) == n:
+                ticks = yield from self.wg.timed_read(cold[0])
+                line_misses.append(ticks)
+                ticks = yield from self.wg.timed_parallel_read(cold[1:])
+                misses.append(ticks)
+        if hits and misses:
+            hit = robust_center(hits)
+            miss = robust_center(misses)
+            if miss > hit:
+                self._threshold_ticks = int(
+                    hit + self.tuning.threshold_fraction * (miss - hit)
+                )
+        if line_hits and line_misses:
+            hit = robust_center(line_hits)
+            miss = robust_center(line_misses)
+            if miss > hit:
+                self._line_threshold_ticks = int(
+                    hit + self.tuning.threshold_fraction * (miss - hit)
+                )
+        return self._threshold_ticks
+
+    def _pollute(self, role: Role, location) -> typing.Generator:
+        """Evict this location's targets from the L3 (strategy-dependent)."""
+        role_plan = self.plan.roles[role]
+        pollute_addrs = role_plan.pollute[location]
+        for _round in range(self.plan.pollute_rounds):
+            yield from self.wg.parallel_read(pollute_addrs)
+
+    def prime(self, role: Role) -> typing.Generator:
+        role_plan = self.plan.roles[role]
+        for location in role_plan.locations:
+            yield from self._pollute(role, location)
+            yield from self.wg.parallel_read(role_plan.prime[location])
+
+    def probe(self, role: Role) -> typing.Generator:
+        role_plan = self.plan.roles[role]
+        verdicts: typing.List[bool] = []
+        for location in role_plan.locations:
+            yield from self._pollute(role, location)
+            addrs = role_plan.prime[location]
+            ticks = yield from self.wg.timed_parallel_read(addrs)
+            verdicts.append(ticks > self._threshold_ticks)
+        return verdicts
+
+    def probe_light(self, role: Role, salt: int) -> typing.Generator:
+        """Serial per-line handshake poll.
+
+        Lines are timed one at a time and the set verdict requires *every*
+        sampled line to miss: a peer prime evicts the whole set, while a
+        stray third-party fill evicts one line at most — serial probing
+        keeps the two distinguishable (parallel misses would overlap into
+        the same tick count).
+        """
+        role_plan = self.plan.roles[role]
+        light = self.tuning.handshake_probe_lines
+        verdicts: typing.List[bool] = []
+        for location in role_plan.locations:
+            # The probed lines were refilled into the L3 by the previous
+            # poll; they must be pushed out again before timing.
+            yield from self._pollute(role, location)
+            addrs = role_plan.prime[location]
+            all_missed = True
+            for k in range(light):
+                paddr = addrs[(salt + k) % len(addrs)]
+                ticks = yield from self.wg.timed_read(paddr)
+                if ticks <= self._line_threshold_ticks:
+                    all_missed = False
+            verdicts.append(all_missed)
+        return verdicts
+
+    def now_fs(self) -> int:
+        return self._soc.now_fs
+
+    def wait_fs(self, duration_fs: int) -> typing.Generator:
+        yield Timeout(self._soc.engine, max(1, duration_fs))
+
+    def _pollute_cost_ns(self, role: Role) -> float:
+        role_plan = self.plan.roles[role]
+        total = 0.0
+        for location in role_plan.locations:
+            n = len(role_plan.pollute[location]) * self.plan.pollute_rounds
+            batches = (n + self.wg.mem_parallelism - 1) // self.wg.mem_parallelism
+            # Most pollute rounds hit the L3; the first one largely misses.
+            per_batch = self._batch_hit_ns(self.wg.mem_parallelism)
+            if self.plan.strategy is EvictionStrategy.FULL_L3_CLEAR:
+                per_batch += 0.3 * self._dram_extra_ns
+            total += batches * per_batch
+        return total
+
+    def estimate_prime_fs(self, role: Role) -> int:
+        role_plan = self.plan.roles[role]
+        target_ns = 0.0
+        for location in role_plan.locations:
+            n = len(role_plan.prime[location])
+            target_ns += self._batch_hit_ns(n) + 0.5 * self._dram_extra_ns
+        return int((self._pollute_cost_ns(role) + target_ns) * FS_PER_NS)
+
+    def estimate_probe_fs(self, role: Role) -> int:
+        return self.estimate_prime_fs(role)
+
+    def estimate_light_probe_fs(self, role: Role) -> int:
+        n_sets = len(self.plan.roles[role].locations)
+        probe_ns = n_sets * (
+            self._batch_hit_ns(self.tuning.handshake_probe_lines)
+            + self._dram_extra_ns
+        )
+        return int(self._pollute_cost_ns(role) * FS_PER_NS + probe_ns * FS_PER_NS)
+
+
+def derive_t_data_fs(sender: Endpoint, tuning: ProtocolTuning) -> int:
+    """Delay between the receiver's READY_RECV prime and the start of its
+    DATA window.
+
+    Worst case on the sender side: it had just begun a light poll when the
+    prime landed, needs one more poll to latch the second set, then primes
+    DATA.  The latched window after this delay absorbs the remaining
+    variance."""
+    poll_period = (
+        sender.estimate_light_probe_fs(Role.READY_RECV) + tuning.sender_poll_gap_fs
+    )
+    prime = sender.estimate_prime_fs(Role.DATA)
+    return int(2 * poll_period + prime + 500 * FS_PER_NS)
+
+
+def wait_for_signal(
+    endpoint: Endpoint,
+    role: Role,
+    tuning: ProtocolTuning,
+    poll_gap_fs: int,
+    consume: bool = True,
+) -> typing.Generator:
+    """Poll ``role`` with light probes until every set was seen evicted,
+    then (optionally) *consume* the signal by re-priming with own lines.
+
+    Light probes touch only a couple of rotating lines, so the peer's
+    prime is observed without being destroyed; per-set observations latch
+    across polls within ``latch_window`` to ride out partial primes.
+    The sender passes ``consume=False`` so it can prime DATA immediately
+    on detection and re-prime READY_RECV afterwards.
+    Raises :class:`ChannelProtocolError` if the signal never arrives —
+    which is precisely what the §VI mitigations cause.
+    """
+    n_sets = len(endpoint.plan.roles[role].locations)
+    latched = [False] * n_sets
+    for attempt in range(tuning.max_poll_iterations):
+        if attempt and attempt % tuning.latch_window == 0:
+            latched = [False] * n_sets
+        # Stride the rotation by the window size: consecutive polls must
+        # not share a line, since a probed line is refilled and would veto
+        # the next poll's all-lines-missed verdict.
+        salt = attempt * tuning.handshake_probe_lines
+        verdicts = yield from endpoint.probe_light(role, salt=salt)
+        latched = [seen or new for seen, new in zip(latched, verdicts)]
+        if all(latched):
+            _trace(endpoint, f"detected {role.name} after {attempt + 1} polls")
+            if consume:
+                # Let the tail of the peer's prime drain, then reset the
+                # role for the next round with own lines.
+                yield from endpoint.wait_fs(tuning.peer_prime_settle_fs or 0)
+                yield from endpoint.prime(role)
+            return attempt
+        yield from endpoint.wait_fs(poll_gap_fs)
+    raise ChannelProtocolError(
+        f"never observed the {role.name} signal; channel is dead"
+    )
+
+
+def sender_loop(
+    endpoint: Endpoint, bits: typing.Sequence[int], tuning: ProtocolTuning
+) -> typing.Generator:
+    """Transmit ``bits``; runs as the Trojan's agent."""
+    yield from endpoint.calibrate()
+    yield from endpoint.wait_fs(tuning.settle_fs)
+    # Warm READY_RECV with own lines so the receiver's prime is visible.
+    yield from endpoint.prime(Role.READY_RECV)
+    idle_fs = endpoint.estimate_prime_fs(Role.DATA)
+    for index, bit in enumerate(bits):
+        yield from endpoint.prime(Role.READY_SEND)
+        _trace(endpoint, f"sender primed READY_SEND bit={index} value={bit}")
+        yield from wait_for_signal(
+            endpoint,
+            Role.READY_RECV,
+            tuning,
+            tuning.sender_poll_gap_fs,
+            consume=False,
+        )
+        # Send the bit first — the receiver's DATA window is already
+        # open — then restore READY_RECV for the next round, after the
+        # tail of the receiver's READY_RECV prime has drained.
+        if bit:
+            yield from endpoint.prime(Role.DATA)
+        else:
+            yield from endpoint.wait_fs(idle_fs)
+        yield from endpoint.wait_fs(tuning.peer_prime_settle_fs or 0)
+        yield from endpoint.prime(Role.READY_RECV)
+    return len(bits)
+
+
+def receiver_loop(
+    endpoint: Endpoint, n_bits: int, tuning: ProtocolTuning, t_data_fs: int
+) -> typing.Generator:
+    """Receive ``n_bits``; runs as the Spy's agent.  Returns the bits."""
+    received: typing.List[int] = []
+    yield from endpoint.calibrate()
+    # Warm READY_SEND and DATA with own lines.
+    yield from endpoint.prime(Role.READY_SEND)
+    yield from endpoint.prime(Role.DATA)
+    for _ in range(n_bits):
+        yield from wait_for_signal(
+            endpoint, Role.READY_SEND, tuning, tuning.receiver_poll_gap_fs
+        )
+        yield from endpoint.prime(Role.READY_RECV)
+        _trace(endpoint, f"receiver primed READY_RECV bit={len(received)}")
+        yield from endpoint.wait_fs(t_data_fs)
+        n_sets = len(endpoint.plan.roles[Role.DATA].locations)
+        latched = [False] * n_sets
+        for poll in range(tuning.data_window_polls):
+            verdicts = yield from endpoint.probe(Role.DATA)
+            latched = [seen or new for seen, new in zip(latched, verdicts)]
+            if all(latched):
+                break
+            if poll + 1 < tuning.data_window_polls:
+                yield from endpoint.wait_fs(tuning.receiver_poll_gap_fs)
+        received.append(1 if all(latched) else 0)
+        _trace(endpoint, f"receiver decoded bit={len(received) - 1} value={received[-1]}")
+    return received

@@ -1,0 +1,39 @@
+"""Reverse-engineering procedures of §III.
+
+Everything here works through *timing only* (plus huge-page physical-bit
+knowledge), exactly as an unprivileged attacker would: the procedures never
+touch the simulator's hidden configuration, and the tests then check that
+what they recover matches it.
+"""
+
+from repro.core.reverse_engineering.l3_geometry import (
+    L3GeometryReport,
+    discover_l3_geometry,
+    find_l3_eviction_rounds,
+)
+from repro.core.reverse_engineering.l3_inclusive import (
+    InclusivenessReport,
+    check_l3_inclusiveness,
+)
+from repro.core.reverse_engineering.slice_hash_re import (
+    SliceHashReport,
+    build_conflict_oracle,
+    recover_slice_hash,
+)
+from repro.core.reverse_engineering.timer_char import (
+    TimerCharacterization,
+    characterize_timer,
+)
+
+__all__ = [
+    "InclusivenessReport",
+    "L3GeometryReport",
+    "SliceHashReport",
+    "TimerCharacterization",
+    "build_conflict_oracle",
+    "characterize_timer",
+    "discover_l3_geometry",
+    "find_l3_eviction_rounds",
+    "recover_slice_hash",
+    "check_l3_inclusiveness",
+]

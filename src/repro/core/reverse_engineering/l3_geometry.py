@@ -1,0 +1,220 @@
+"""GPU L3 geometry recovery (§III-D).
+
+Discovers, from timing alone:
+
+* the number of low address bits fixing L3 placement (6-bit line offset +
+  set + bank + sub-bank — 16 at the full published geometry): the smallest
+  power-of-two stride at which addresses still evict one another;
+* the set associativity: the smallest conflict-set size that reliably
+  evicts a target;
+* the pLRU round count: how many sweeps of that conflict set are needed
+  for a *stable* eviction (the paper found 5).
+
+All probes run inside one work-group using the custom SLM timer, and the
+conflict addresses are chosen so they never share an LLC set with the
+target (§III-D's self-interference constraint) — eviction of the target
+from the *LLC* would fake an L3 conflict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import SoCConfig, kaby_lake
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.soc.machine import SoC
+
+if typing.TYPE_CHECKING:
+    from repro.gpu.workgroup import WorkGroupCtx
+    from repro.soc.mmu import Buffer
+
+
+@dataclasses.dataclass
+class L3GeometryReport:
+    """Recovered L3 structure."""
+
+    placement_bits: int
+    ways: int
+    eviction_rounds: int
+    conflicts_by_stride_bits: typing.Dict[int, bool]
+
+    @property
+    def total_sets(self) -> int:
+        """Placement groups implied by the recovered bit count (line = 64B)."""
+        return 1 << (self.placement_bits - 6)
+
+
+def _gpu_threshold_ticks(soc: SoC) -> int:
+    """Decision level between an L3 hit and anything beyond it.
+
+    A timed read spans the access plus one SLM timer read (the closing
+    ``atomic_add(counter, 0)``), so that overhead is part of both levels.
+    """
+    from repro.gpu.timer import counter_rate_per_cycle
+
+    profile = soc.gpu_latency_profile()
+    rate = counter_rate_per_cycle(
+        soc.config.slm,
+        soc.config.gpu.max_threads_per_workgroup - soc.config.gpu.wavefront_size,
+    )
+    ticks_per_ns = rate * 1e6 / soc.config.gpu_clock.cycle_fs
+    level_ns = (profile["l3_ns"] + profile["llc_ns"]) / 2
+    overhead_ticks = rate * soc.config.slm.access_cycles
+    return max(1, int(level_ns * ticks_per_ns + overhead_ticks))
+
+
+def _evicted_after(
+    soc: SoC,
+    cl: OpenClContext,
+    target: int,
+    conflicts: typing.Sequence[int],
+    rounds: int,
+    margin_ticks: int = 5,
+    trials: int = 5,
+    require_all: bool = False,
+) -> bool:
+    """Timing conflict test: do ``conflicts`` push ``target`` out of the L3?
+
+    Differential form: the verdict compares the timed re-access against an
+    immediate second read of the same line (which is L3-resident by then).
+    The pair shares the timer overhead and every slow path above the L3,
+    so a positive difference cleanly means "the first read was not an L3
+    hit" without an absolute threshold.
+    """
+
+    def kernel(wg: "WorkGroupCtx") -> typing.Generator:
+        wg.start_timer()
+        diffs = []
+        for _trial in range(trials):
+            yield from wg.read(target)  # ensure L3 residency
+            for _round in range(rounds):
+                for paddr in conflicts:
+                    yield from wg.read(paddr)
+            first = yield from wg.timed_read(target)
+            second = yield from wg.timed_read(target)
+            diffs.append(first - second)
+        return diffs
+
+    instance = cl.enqueue_nd_range(
+        kernel, 1, soc.config.gpu.max_threads_per_workgroup, name="l3-evict-test"
+    )
+    soc.engine.run_until_complete(instance.completion)
+    diffs = typing.cast(typing.List[int], instance.results()[0])
+    if require_all:
+        # "Stable eviction": every trial must individually show it.
+        return all(diff >= margin_ticks for diff in diffs)
+    # Structural probe: a stale counter read *inflates* a difference (the
+    # start timestamp lags), so the low order statistics are trustworthy.
+    # A real eviction lifts every trial; demand it of the 2nd smallest.
+    return sorted(diffs)[min(1, len(diffs) - 1)] >= margin_ticks
+
+
+def _conflict_addrs(
+    buffer: "Buffer", target_offset: int, stride: int, count: int, soc: SoC
+) -> typing.List[int]:
+    """Addresses at *odd* multiples of ``stride`` from the target.
+
+    Odd multiples all flip the bit at the stride position: if that bit is
+    still inside the placement field, none of them share the target's L3
+    set, and the conflict test correctly fails.  (Even multiples would
+    alias back onto the target's set and fake a conflict at half the true
+    period.)  Addresses sharing the target's LLC set are skipped to avoid
+    the §III-D self-interference false positive.
+    """
+    target = buffer.paddr_of(target_offset)
+    target_loc = soc.llc.location_of(target)
+    out: typing.List[int] = []
+    multiple = 1
+    while len(out) < count:
+        offset = target_offset + multiple * stride
+        multiple += 2
+        if offset >= buffer.size:
+            break
+        paddr = buffer.paddr_of(offset)
+        if soc.llc.location_of(paddr) != target_loc:
+            out.append(paddr)
+    return out
+
+
+def discover_l3_geometry(
+    config: typing.Optional[SoCConfig] = None,
+    min_bits: int = 9,
+    max_bits: int = 20,
+    max_ways: int = 64,
+    seed: int = 0,
+) -> L3GeometryReport:
+    """Recover placement bits, associativity and pLRU rounds."""
+    soc_config = (config or kaby_lake()).replace(seed=seed)
+    soc = SoC(soc_config)
+    device = GpuDevice(soc)
+    space = soc.new_process("l3-geometry")
+    cl = OpenClContext(soc, device, space)
+    # Generous rounds while probing structure; tightened afterwards.
+    probe_rounds = 2 * soc_config.gpu_l3.plru_rounds_for_eviction
+    buffer = cl.svm_alloc((2 * max_ways) << max_bits, huge=True)
+
+    line = soc_config.llc.line_bytes
+    conflicts_by_stride: typing.Dict[int, bool] = {}
+    placement_bits = max_bits
+    for probe_index, bits in enumerate(range(min_bits, max_bits + 1)):
+        # Every probe targets a fresh line in a fresh L3 set so residual
+        # conflict lines from earlier probes cannot alias into it.
+        target_offset = probe_index * line
+        conflicts = _conflict_addrs(buffer, target_offset, 1 << bits, max_ways, soc)
+        evicted = _evicted_after(
+            soc, cl, buffer.paddr_of(target_offset), conflicts, probe_rounds
+        )
+        conflicts_by_stride[bits] = evicted
+        if evicted:
+            placement_bits = bits
+            break
+
+    stride = 1 << placement_bits
+    ways = max_ways
+    size = 1
+    probe_index = 64
+    while size <= max_ways:
+        target_offset = probe_index * line
+        probe_index += 1
+        conflicts = _conflict_addrs(buffer, target_offset, stride, size, soc)
+        if _evicted_after(
+            soc, cl, buffer.paddr_of(target_offset), conflicts, probe_rounds
+        ):
+            ways = size
+            break
+        size *= 2
+
+    rounds = find_l3_eviction_rounds(soc, cl, buffer, stride, ways)
+    return L3GeometryReport(
+        placement_bits=placement_bits,
+        ways=ways,
+        eviction_rounds=rounds,
+        conflicts_by_stride_bits=conflicts_by_stride,
+    )
+
+
+def find_l3_eviction_rounds(
+    soc: SoC,
+    cl: OpenClContext,
+    buffer: "Buffer",
+    stride: int,
+    ways: int,
+    max_rounds: int = 12,
+) -> int:
+    """Smallest sweep count giving a *stable* pLRU eviction (§III-D).
+
+    Stability means eviction in every one of five trials, matching the
+    paper's "5 times or more ... guarantees stable eviction" criterion.
+    """
+    line = soc.config.llc.line_bytes
+    for rounds in range(1, max_rounds + 1):
+        target_offset = (128 + rounds) * line  # fresh set per attempt
+        conflicts = _conflict_addrs(buffer, target_offset, stride, ways, soc)
+        if _evicted_after(
+            soc, cl, buffer.paddr_of(target_offset), conflicts, rounds,
+            trials=5, require_all=True,
+        ):
+            return rounds
+    return max_rounds

@@ -1,0 +1,215 @@
+"""LLC slice-hash recovery (§III-C).
+
+Works the way the attacker must: allocate a 1 GB huge page (physical bits
+below 30 are then known offsets), build a timing *conflict oracle* — does
+accessing this candidate set evict that victim from the LLC? — and exploit
+the hash's GF(2) linearity.
+
+Within one huge page the oracle can compare addresses that share the LLC
+set-index bits but differ in bits 17..29; the hash restricted to those
+bits is recovered exactly, up to an invertible relabeling of the slice
+numbers (the absolute labels depend on unknowable bits ≥ 30 of the page's
+base).  ``SliceHashReport.partition_matches`` verifies the recovery
+against any reference hash by comparing the induced address partitions,
+which is label-free.  Bits 6..16 participate in the set index, so a
+single-page timing oracle cannot probe them — the report records that
+limitation explicitly (the paper leaned on prior work [20], [32], [48]
+plus performance-counter assists for the full mask).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import SoCConfig, kaby_lake
+from repro.core.evictionset import reduce_eviction_set
+from repro.cpu.core import CpuProgram
+from repro.errors import ReverseEngineeringError
+from repro.soc.machine import SoC
+from repro.soc.mmu import Buffer
+
+ConflictOracle = typing.Callable[[int, typing.Sequence[int]], bool]
+
+
+@dataclasses.dataclass
+class SliceHashReport:
+    """Recovered hash structure."""
+
+    #: Recovered per-output-bit masks, restricted to the probed bits.
+    masks: typing.Tuple[int, ...]
+    #: Physical-address bit positions actually probed.
+    probed_bits: typing.Tuple[int, ...]
+    #: Self-check accuracy on held-out offsets (1.0 = perfect).
+    verification_accuracy: float
+    #: Number of distinct slices observed.
+    n_slices: int
+    oracle_queries: int
+
+    def predict_code(self, offset: int) -> int:
+        """Relabeled slice code of a page offset under the recovery."""
+        code = 0
+        for j, mask in enumerate(self.masks):
+            code |= (bin(offset & mask).count("1") & 1) << j
+        return code
+
+    def partition_matches(
+        self,
+        reference: typing.Callable[[int], int],
+        offsets: typing.Iterable[int],
+    ) -> bool:
+        """Label-free check: does the recovery split ``offsets`` into the
+        same groups as ``reference``?"""
+        forward: typing.Dict[int, int] = {}
+        backward: typing.Dict[int, int] = {}
+        for offset in offsets:
+            mine = self.predict_code(offset)
+            theirs = reference(offset)
+            if forward.setdefault(mine, theirs) != theirs:
+                return False
+            if backward.setdefault(theirs, mine) != mine:
+                return False
+        return True
+
+
+def build_conflict_oracle(
+    soc: SoC, program: CpuProgram
+) -> typing.Tuple[ConflictOracle, typing.Callable[[], int]]:
+    """A CPU timing oracle: "does this candidate set evict that victim?"
+
+    Accessing the candidates (which share the victim's set-index bits)
+    also pushes the victim out of the inclusive L1/L2, so the timed
+    re-access cleanly discriminates LLC-hit from DRAM.
+    """
+    profile = soc.cpu_latency_profile()
+    cycle_fs = soc.config.cpu_clock.cycle_fs
+    threshold_cycles = int(
+        (profile["llc_ns"] + profile["dram_ns"]) / 2 * 1_000_000 / cycle_fs
+    )
+    queries = 0
+
+    def oracle(victim: int, candidates: typing.Sequence[int]) -> bool:
+        nonlocal queries
+        queries += 1
+
+        def body() -> typing.Generator:
+            yield from program.read(victim)
+            for paddr in candidates:
+                yield from program.read(paddr)
+            cycles = yield from program.timed_read(victim)
+            return cycles > threshold_cycles
+
+        return typing.cast(
+            bool, soc.engine.run_until_complete(soc.engine.process(body()))
+        )
+
+    return oracle, lambda: queries
+
+
+def recover_slice_hash(
+    config: typing.Optional[SoCConfig] = None,
+    seed: int = 0,
+    pool_size: int = 160,
+    verify_offsets: int = 24,
+) -> SliceHashReport:
+    """Recover the hash over bits 17..29 from one 1 GB huge page."""
+    soc_config = (config or kaby_lake()).replace(seed=seed)
+    soc = SoC(soc_config)
+    space = soc.new_process("slice-re")
+    program = CpuProgram(soc, 0, space, name="slice-re")
+    llc = soc_config.llc
+    set_period = llc.line_bytes << llc.set_index_bits
+    page = space.mmap_huge(soc_config.mmu.huge_page_bytes)
+    base = page.paddr_of(0)
+    probed_bits = tuple(
+        bit
+        for bit in range(llc.offset_bits + llc.set_index_bits, 30)
+        if (1 << bit) < page.size
+    )
+    oracle, query_count = build_conflict_oracle(soc, program)
+
+    rng = soc.rng.stream("slice-re-pool")
+    max_offset_units = page.size // set_period
+    pool_units = sorted(
+        int(u) for u in rng.choice(max_offset_units, size=pool_size, replace=False)
+    )
+    pool = [base + u * set_period for u in pool_units]
+
+    # Slice groups: each is a minimal LLC eviction set acting as a
+    # membership test for its (slice, set-0) class.
+    groups: typing.List[typing.List[int]] = []
+    group_codes: typing.Dict[int, int] = {}
+
+    def group_of(paddr: int) -> int:
+        """Membership test against known groups; grow a new one if none."""
+        for index, eviction_set in enumerate(groups):
+            if oracle(paddr, eviction_set):
+                return index
+        minimal = reduce_eviction_set(
+            paddr, [c for c in pool if c != paddr], oracle, llc.ways
+        )
+        groups.append(minimal)
+        return len(groups) - 1
+
+    # Label the reference and every probed bit's single-bit offset.
+    reference_group = group_of(base)
+    bit_groups: typing.Dict[int, int] = {}
+    for bit in probed_bits:
+        bit_groups[bit] = group_of(base + (1 << bit))
+
+    # Assign binary codes to groups, anchored at the reference = 0.  The
+    # first two new classes get the free labels 1 and 2 (any invertible
+    # relabeling over GF(2)² is equivalent); a third must then be 3.
+    group_codes[reference_group] = 0
+    next_code = 1
+    for bit in probed_bits:
+        group = bit_groups[bit]
+        if group not in group_codes:
+            if next_code > 3:
+                raise ReverseEngineeringError(
+                    "more than 4 slice classes found; the oracle is noisy"
+                )
+            group_codes[group] = next_code
+            next_code += 1
+    for group in range(len(groups)):
+        if group not in group_codes:
+            if next_code > 3:
+                raise ReverseEngineeringError(
+                    "more than 4 slice classes found; the oracle is noisy"
+                )
+            group_codes[group] = next_code
+            next_code += 1
+
+    masks = [0, 0]
+    for bit in probed_bits:
+        code = group_codes[bit_groups[bit]]
+        for j in range(2):
+            if code >> j & 1:
+                masks[j] |= 1 << bit
+
+    # Held-out verification: random multi-bit offsets must land in the
+    # group their XOR-predicted code says.
+    hits = 0
+    trials = 0
+    code_to_group = {code: group for group, code in group_codes.items()}
+    for _ in range(verify_offsets):
+        units = int(rng.integers(1, max_offset_units))
+        offset = units * set_period
+        predicted_code = 0
+        for j, mask in enumerate(masks):
+            predicted_code |= (bin(offset & mask).count("1") & 1) << j
+        predicted_group = code_to_group.get(predicted_code)
+        if predicted_group is None:
+            trials += 1
+            continue
+        actual = oracle(base + offset, groups[predicted_group])
+        trials += 1
+        hits += 1 if actual else 0
+    accuracy = hits / trials if trials else 0.0
+    return SliceHashReport(
+        masks=tuple(masks),
+        probed_bits=probed_bits,
+        verification_accuracy=accuracy,
+        n_slices=len(groups),
+        oracle_queries=query_count(),
+    )

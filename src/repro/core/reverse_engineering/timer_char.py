@@ -1,0 +1,177 @@
+"""Custom-timer characterization (§III-B, Fig. 4).
+
+Launches one work-group whose first wavefront times memory accesses while
+the remaining threads drive the SLM counter, then measures the tick deltas
+for accesses served by system memory, the LLC, and the GPU L3 — following
+Algorithm 1: measure cold (memory), clear the L3 but not the LLC, measure
+again (LLC), measure once more with the line back in the L3 (L3).
+
+The report also sweeps the number of counter threads, reproducing the
+paper's observation that a single extra wavefront yields too coarse a
+timer while a full 256-thread work-group separates the three levels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing
+
+from repro.config import SoCConfig, kaby_lake
+from repro.core.evictionset import AddressPool
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.soc.machine import SoC
+from repro.soc.slice_hash import SliceHash
+
+if typing.TYPE_CHECKING:
+    from repro.gpu.workgroup import WorkGroupCtx
+
+
+@dataclasses.dataclass
+class LevelSamples:
+    """Tick-delta samples for one memory-hierarchy level."""
+
+    level: str
+    ticks: typing.List[int]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.ticks) if self.ticks else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return statistics.pstdev(self.ticks) if len(self.ticks) > 1 else 0.0
+
+    @property
+    def minimum(self) -> int:
+        return min(self.ticks)
+
+    @property
+    def maximum(self) -> int:
+        return max(self.ticks)
+
+
+@dataclasses.dataclass
+class TimerCharacterization:
+    """Fig. 4: per-level tick distributions for one counter-thread count."""
+
+    counter_threads: int
+    memory: LevelSamples
+    llc: LevelSamples
+    l3: LevelSamples
+
+    @property
+    def levels_separated(self) -> bool:
+        """Whether the three levels are clearly orderable.
+
+        Uses medians with a small margin: occasional glitched reads make
+        min/max or stdev-based checks overly pessimistic, just like on
+        real hardware.
+        """
+        l3 = statistics.median(self.l3.ticks)
+        llc = statistics.median(self.llc.ticks)
+        memory = statistics.median(self.memory.ticks)
+        return l3 + 2 <= llc and llc + 2 <= memory
+
+    def rows(self) -> typing.List[typing.Tuple[str, float, float]]:
+        """(level, mean ticks, stdev) rows in Fig. 4 order."""
+        return [
+            ("L3", self.l3.mean, self.l3.stdev),
+            ("LLC", self.llc.mean, self.llc.stdev),
+            ("memory", self.memory.mean, self.memory.stdev),
+        ]
+
+
+def characterize_timer(
+    config: typing.Optional[SoCConfig] = None,
+    counter_threads: typing.Optional[int] = None,
+    samples: int = 24,
+    seed: int = 0,
+) -> TimerCharacterization:
+    """Run the Algorithm-1 experiment on a fresh SoC."""
+    soc_config = (config or kaby_lake()).replace(seed=seed)
+    soc = SoC(soc_config)
+    device = GpuDevice(soc)
+    space = soc.new_process("timer-char")
+    cl = OpenClContext(soc, device, space)
+    hash_model = SliceHash(
+        [soc_config.llc.hash_s0_mask, soc_config.llc.hash_s1_mask],
+        soc_config.llc.slices,
+    )
+    pool_bytes = 512 * max(
+        soc_config.llc.line_bytes << soc_config.llc.set_index_bits,
+        1 << soc_config.gpu_l3.placement_bits,
+    )
+    pool = AddressPool(
+        cl.svm_alloc(pool_bytes, huge=True),
+        soc_config.llc,
+        soc_config.gpu_l3,
+        hash_model,
+    )
+    # One measured line per sample, plus its L3 conflict set for the
+    # "clear from L3 but not LLC" step of Algorithm 1.
+    from repro.soc.llc import LlcLocation
+
+    lines: typing.List[int] = []
+    pollutes: typing.List[typing.List[int]] = []
+    for i in range(samples):
+        location = LlcLocation(i % soc_config.llc.slices, 8 + i)
+        target = pool.llc_eviction_set(location, 1)[0]
+        lines.append(target)
+        pollutes.append(
+            pool.l3_pollute_set(target, soc_config.gpu_l3.ways, [location])
+        )
+
+    n_counter = counter_threads
+    rounds = soc_config.gpu_l3.plru_rounds_for_eviction
+
+    def kernel(wg: "WorkGroupCtx") -> typing.Generator:
+        wg.start_timer(n_counter)
+        memory_ticks: typing.List[int] = []
+        llc_ticks: typing.List[int] = []
+        l3_ticks: typing.List[int] = []
+        for target, pollute in zip(lines, pollutes):
+            # Cold: served from system memory.
+            delta = yield from wg.timed_read(target)
+            memory_ticks.append(delta)
+            # Clear from the L3 but not the LLC, then re-measure.
+            for _round in range(rounds):
+                yield from wg.parallel_read(pollute)
+            delta = yield from wg.timed_read(target)
+            llc_ticks.append(delta)
+            # Now resident in both: the L3 answers.
+            delta = yield from wg.timed_read(target)
+            l3_ticks.append(delta)
+        return memory_ticks, llc_ticks, l3_ticks
+
+    results = cl.run_kernel_to_completion(
+        kernel, 1, soc_config.gpu.max_threads_per_workgroup
+    )
+    memory_ticks, llc_ticks, l3_ticks = results[0]
+    effective_threads = (
+        n_counter
+        if n_counter is not None
+        else soc_config.gpu.max_threads_per_workgroup - soc_config.gpu.wavefront_size
+    )
+    return TimerCharacterization(
+        counter_threads=effective_threads,
+        memory=LevelSamples("memory", memory_ticks),
+        llc=LevelSamples("llc", llc_ticks),
+        l3=LevelSamples("l3", l3_ticks),
+    )
+
+
+def resolution_sweep(
+    config: typing.Optional[SoCConfig] = None,
+    thread_counts: typing.Sequence[int] = (32, 64, 128, 224),
+    samples: int = 16,
+    seed: int = 0,
+) -> typing.List[TimerCharacterization]:
+    """§III-B ablation: timer quality vs number of counter threads."""
+    return [
+        characterize_timer(
+            config, counter_threads=count, samples=samples, seed=seed + i
+        )
+        for i, count in enumerate(thread_counts)
+    ]

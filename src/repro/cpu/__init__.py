@@ -1,0 +1,7 @@
+"""CPU-side execution: user-level programs, timing, pointer chasing, noise."""
+
+from repro.cpu.core import CpuProgram
+from repro.cpu.noise import BurstyNoiseAgent
+from repro.cpu.pointer_chase import PointerChaseBuffer
+
+__all__ = ["BurstyNoiseAgent", "CpuProgram", "PointerChaseBuffer"]

@@ -1,0 +1,144 @@
+"""A user-level CPU program pinned to one core.
+
+Wraps the SoC access paths with the measurement verbs the Spy/Trojan use:
+``rdtsc``-style cycle timestamps (the CPU, unlike the GPU, has a usable
+user-level timer), timed loads, serial set probes, batched (MLP) fills,
+and ``clflush``.  Timestamp reads carry a fixed serialization overhead and
+a small jitter, modeling out-of-order effects around ``rdtscp``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import AllOf, Timeout
+from repro.sim.process import Process
+from repro.soc.mmu import AddressSpace
+
+if typing.TYPE_CHECKING:
+    from repro.soc.machine import SoC
+
+#: Cost of one serialized timestamp read, in CPU cycles (rdtscp + lfence).
+RDTSC_CYCLES = 24
+#: Half-width of the uniform out-of-order jitter on a measurement, cycles.
+RDTSC_JITTER_CYCLES = 2
+#: Outstanding misses one core sustains (line fill buffers).
+CPU_MEM_PARALLELISM = 8
+
+
+class CpuProgram:
+    """An unprivileged process executing on a fixed core."""
+
+    def __init__(self, soc: "SoC", core: int, space: typing.Optional[AddressSpace] = None,
+                 name: str = "cpu-prog") -> None:
+        self.soc = soc
+        self.core = core
+        self.name = name
+        self.space = space if space is not None else soc.new_process(name)
+        self._rng = soc.rng.stream(f"cpu-timer-{name}-{core}")
+
+    # ------------------------------------------------------------------
+    # Plain accesses
+
+    def read(self, paddr: int) -> typing.Generator[object, object, int]:
+        """One load; returns its latency in fs."""
+        latency = yield from self.soc.cpu_access(self.core, paddr)
+        return latency
+
+    def write(self, paddr: int) -> typing.Generator[object, object, int]:
+        """One write-allocate store; returns its latency in fs."""
+        latency = yield from self.soc.cpu_access(self.core, paddr)
+        return latency
+
+    def clflush(self, paddr: int) -> typing.Generator[object, object, int]:
+        """Flush a line from the CPU-coherent domain."""
+        latency = yield from self.soc.clflush(self.core, paddr)
+        return latency
+
+    def read_series(
+        self, paddrs: typing.Sequence[int]
+    ) -> typing.Generator[object, object, typing.List[int]]:
+        """Serial loads (the CPU probes a set one way at a time, §III-E)."""
+        latencies = []
+        for paddr in paddrs:
+            latency = yield from self.read(paddr)
+            latencies.append(latency)
+        return latencies
+
+    def _issue_after(self, delay_fs: int, paddr: int) -> typing.Generator:
+        if delay_fs:
+            yield Timeout(self.soc.engine, delay_fs)
+        latency = yield from self.soc.cpu_access(self.core, paddr)
+        return latency
+
+    def read_batch(
+        self,
+        paddrs: typing.Sequence[int],
+        parallelism: int = CPU_MEM_PARALLELISM,
+    ) -> typing.Generator[object, object, typing.List[int]]:
+        """Independent loads with memory-level parallelism (for priming).
+
+        Out-of-order cores keep several line fills in flight when the
+        addresses carry no data dependency; eviction-set priming is the
+        textbook case.  Timed *probes* use :meth:`read_series` instead —
+        the measurement depends on the serial pointer-chase latency.
+        """
+        engine = self.soc.engine
+        issue_fs = self.soc.cpu_cycles_fs(2)
+        latencies: typing.List[int] = []
+        for start in range(0, len(paddrs), max(1, parallelism)):
+            batch = paddrs[start : start + max(1, parallelism)]
+            children = [
+                Process(engine, self._issue_after(i * issue_fs, paddr))
+                for i, paddr in enumerate(batch)
+            ]
+            results = yield AllOf(engine, children)
+            latencies.extend(typing.cast(typing.List[int], results))
+        return latencies
+
+    # ------------------------------------------------------------------
+    # Timing
+
+    def rdtsc(self) -> typing.Generator[object, object, int]:
+        """Serialized timestamp; returns the time in CPU cycles."""
+        yield from self.soc.stall_if_preempted(self.core)
+        yield Timeout(self.soc.engine, self.soc.cpu_cycles_fs(RDTSC_CYCLES))
+        cycles = self.soc.now_fs / self.soc.config.cpu_clock.cycle_fs
+        jitter = self._rng.integers(-RDTSC_JITTER_CYCLES, RDTSC_JITTER_CYCLES + 1)
+        return int(cycles) + int(jitter)
+
+    def timed_read(self, paddr: int) -> typing.Generator[object, object, int]:
+        """Measure one load; returns measured CPU cycles (incl. overhead)."""
+        start = yield from self.rdtsc()
+        yield from self.read(paddr)
+        end = yield from self.rdtsc()
+        return end - start
+
+    def timed_probe(
+        self, paddrs: typing.Sequence[int]
+    ) -> typing.Generator[object, object, int]:
+        """Measure a serial probe over a whole eviction set.
+
+        Returns total measured cycles for the loop — the quantity the Spy
+        thresholds to distinguish a primed set from an untouched one.
+        """
+        start = yield from self.rdtsc()
+        yield from self.read_series(paddrs)
+        end = yield from self.rdtsc()
+        return end - start
+
+    def wait_cycles(self, cycles: float) -> typing.Generator:
+        """Spin for a number of CPU cycles."""
+        yield Timeout(self.soc.engine, self.soc.cpu_cycles_fs(cycles))
+
+    # ------------------------------------------------------------------
+    # Allocation convenience
+
+    def alloc_lines(self, n_lines: int, huge: bool = False) -> typing.List[int]:
+        """Allocate a buffer of ``n_lines`` cache lines; returns paddrs."""
+        line = self.soc.config.llc.line_bytes
+        if huge:
+            buffer = self.space.mmap_huge(n_lines * line)
+        else:
+            buffer = self.space.mmap(n_lines * line)
+        return buffer.line_paddrs(line)

@@ -1,0 +1,67 @@
+"""Additional CPU-side noise models.
+
+The SoC's built-in background agent (Poisson LLC traffic) models the
+paper's "generally quiet" system.  For robustness experiments beyond the
+paper we also provide a bursty on/off agent: quiet phases alternating with
+intense bursts, the worst realistic case for a threshold-based channel.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import FS_PER_S, Timeout
+from repro.sim.process import Process
+
+if typing.TYPE_CHECKING:
+    from repro.soc.machine import SoC
+
+
+class BurstyNoiseAgent:
+    """Markov on/off LLC traffic from a non-attack process."""
+
+    def __init__(
+        self,
+        soc: "SoC",
+        core: int,
+        burst_rate_per_s: float = 2.0e7,
+        mean_burst_s: float = 50e-6,
+        mean_quiet_s: float = 200e-6,
+        footprint_bytes: int = 128 * 1024,
+    ) -> None:
+        self.soc = soc
+        self.core = core
+        self.burst_rate_per_s = burst_rate_per_s
+        self.mean_burst_s = mean_burst_s
+        self.mean_quiet_s = mean_quiet_s
+        self._rng = soc.rng.stream(f"bursty-noise-{core}")
+        space = soc.new_process(f"bursty-noise-{core}")
+        buffer = space.mmap(footprint_bytes)
+        self._lines = buffer.line_paddrs(soc.config.llc.line_bytes)
+        self._process: typing.Optional[Process] = None
+
+    def start(self) -> None:
+        """Begin emitting noise."""
+        if self._process is not None and self._process.alive:
+            return
+        self._process = self.soc.engine.process(self._loop())
+
+    def stop(self) -> None:
+        """Silence the agent."""
+        if self._process is not None:
+            self._process.interrupt("stop")
+            self._process = None
+
+    def _loop(self) -> typing.Generator:
+        rng = self._rng
+        while True:
+            quiet_fs = max(1, int(rng.exponential(self.mean_quiet_s) * FS_PER_S))
+            yield Timeout(self.soc.engine, quiet_fs)
+            burst_end = self.soc.now_fs + max(
+                1, int(rng.exponential(self.mean_burst_s) * FS_PER_S)
+            )
+            while self.soc.now_fs < burst_end:
+                gap_fs = max(1, int(rng.exponential(1.0 / self.burst_rate_per_s) * FS_PER_S))
+                yield Timeout(self.soc.engine, gap_fs)
+                paddr = self._lines[int(rng.integers(0, len(self._lines)))]
+                yield from self.soc.cpu_access(self.core, paddr)

@@ -1,0 +1,85 @@
+"""Random pointer chasing (§IV, CPU side of the contention channel).
+
+The contention Spy walks its buffer "in a random pointer chasing manner to
+lower prefetching effects".  We build a single random cycle over the
+buffer's cache lines (Sattolo's algorithm) so every line is visited once
+per pass and the next address is data-dependent — the classic
+prefetch-defeating layout.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.soc.mmu import Buffer
+
+if typing.TYPE_CHECKING:
+    from repro.cpu.core import CpuProgram
+
+
+class PointerChaseBuffer:
+    """A buffer threaded into one random cyclic permutation of its lines."""
+
+    def __init__(self, buffer: Buffer, line_bytes: int, rng: np.random.Generator) -> None:
+        paddrs = buffer.line_paddrs(line_bytes)
+        self.buffer = buffer
+        self.line_bytes = line_bytes
+        self._chain = self._sattolo(paddrs, rng)
+        self._cursor = 0
+
+    @staticmethod
+    def _sattolo(
+        paddrs: typing.Sequence[int], rng: np.random.Generator
+    ) -> typing.List[int]:
+        if len(paddrs) < 2:
+            raise MemoryModelError("pointer chase needs at least two lines")
+        order = list(range(len(paddrs)))
+        # Sattolo's algorithm: a uniformly random single-cycle permutation.
+        for i in range(len(order) - 1, 0, -1):
+            j = int(rng.integers(0, i))
+            order[i], order[j] = order[j], order[i]
+        return [paddrs[i] for i in order]
+
+    @classmethod
+    def from_lines(
+        cls, lines: typing.Sequence[int], rng: np.random.Generator
+    ) -> "PointerChaseBuffer":
+        """Chase over an explicit set of line addresses (no Buffer needed)."""
+        instance = cls.__new__(cls)
+        instance.buffer = None  # type: ignore[assignment]
+        instance.line_bytes = 0
+        instance._chain = cls._sattolo(lines, rng)
+        instance._cursor = 0
+        return instance
+
+    @property
+    def n_lines(self) -> int:
+        return len(self._chain)
+
+    def reset(self) -> None:
+        """Restart the chase from the head of the cycle."""
+        self._cursor = 0
+
+    def next_paddrs(self, count: int) -> typing.List[int]:
+        """The next ``count`` chase addresses, wrapping around the cycle."""
+        out = []
+        for _ in range(count):
+            out.append(self._chain[self._cursor])
+            self._cursor = (self._cursor + 1) % len(self._chain)
+        return out
+
+    def all_paddrs(self) -> typing.List[int]:
+        """Every line in chase order (one full pass)."""
+        return list(self._chain)
+
+    def chase(
+        self, program: "CpuProgram", count: int
+    ) -> typing.Generator[object, object, int]:
+        """Issue ``count`` chase loads; returns total elapsed fs."""
+        start = program.soc.now_fs
+        for paddr in self.next_paddrs(count):
+            yield from program.read(paddr)
+        return program.soc.now_fs - start

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation entered an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class MemoryModelError(ReproError):
+    """An address, page, or buffer operation is invalid."""
+
+
+class AllocationError(MemoryModelError):
+    """The MMU could not satisfy an allocation request."""
+
+
+class CacheGeometryError(MemoryModelError):
+    """A cache was configured with an impossible geometry."""
+
+class GpuModelError(ReproError):
+    """Invalid use of the GPU execution model (dispatch, work-groups...)."""
+
+
+class KernelLaunchError(GpuModelError):
+    """A kernel launch violated device limits."""
+
+
+class AttackError(ReproError):
+    """An attack-layer operation (eviction sets, channels) failed."""
+
+
+class EvictionSetError(AttackError):
+    """An eviction set could not be constructed or verified."""
+
+
+class CalibrationError(AttackError):
+    """Channel calibration (e.g. iteration-factor search) failed."""
+
+
+class ChannelProtocolError(AttackError):
+    """The covert-channel protocol lost synchronization unrecoverably."""
+
+
+class ReverseEngineeringError(AttackError):
+    """A reverse-engineering procedure could not recover the structure."""

@@ -1,0 +1,28 @@
+"""GPU execution model: Gen9-style topology, dispatch, kernels, timer.
+
+The iGPU is modeled structurally: a global thread dispatcher assigns
+work-groups to subslices round-robin (the behaviour the paper discovered
+experimentally, §II-A); work-groups on the same subslice serialize while
+different subslices run concurrently; within a work-group, memory requests
+issue with bounded parallelism (the 16-way parallel set probe of §III-E).
+
+Kernels are written as Python generator functions taking a
+:class:`~repro.gpu.workgroup.WorkGroupCtx`; launching them through the
+OpenCL-like veneer in :mod:`repro.gpu.opencl` mirrors the user-level API
+surface the attack is constrained to.
+"""
+
+from repro.gpu.device import GpuDevice, KernelInstance
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.opencl import OpenClContext
+from repro.gpu.timer import SlmTimer
+from repro.gpu.workgroup import WorkGroupCtx
+
+__all__ = [
+    "GpuDevice",
+    "KernelInstance",
+    "KernelSpec",
+    "OpenClContext",
+    "SlmTimer",
+    "WorkGroupCtx",
+]

@@ -1,0 +1,138 @@
+"""GPU device: topology, the global thread dispatcher, kernel launches.
+
+Launch semantics follow §II-A and the threat model (§II-B):
+
+* the global thread dispatcher assigns work-groups to subslices in
+  round-robin order (discovered experimentally by the authors);
+* work-groups mapped to the same subslice serialize; distinct subslices
+  execute concurrently;
+* the device runs a single compute kernel at a time — current iGPUs
+  "are not capable of running multiple computation kernels from separate
+  contexts concurrently", which is why the GPU side of the attack is
+  noise-free.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import KernelLaunchError
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.workgroup import WorkGroupCtx
+from repro.sim import AllOf, Timeout
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.sim.resources import Semaphore
+
+if typing.TYPE_CHECKING:
+    from repro.soc.machine import SoC
+
+
+class KernelInstance:
+    """A launched kernel: completion event plus per-work-group results."""
+
+    def __init__(self, device: "GpuDevice", spec: KernelSpec, args: tuple) -> None:
+        self.device = device
+        self.spec = spec
+        soc = device.soc
+        self.assignments: typing.List[int] = []
+        processes: typing.List[Process] = []
+        for wg_id in range(spec.n_workgroups):
+            subslice = device.next_subslice()
+            self.assignments.append(subslice)
+            ctx = WorkGroupCtx(
+                soc,
+                workgroup_id=wg_id,
+                subslice=subslice,
+                threads=spec.threads_per_workgroup,
+                extra_timer_jitter=device.extra_timer_jitter,
+            )
+            processes.append(
+                Process(soc.engine, self._run_workgroup(ctx, args))
+            )
+        self._barrier = AllOf(soc.engine, processes)
+        self._barrier.subscribe(lambda _e: device._kernel_finished(self))
+
+    def _run_workgroup(self, ctx: WorkGroupCtx, args: tuple) -> typing.Generator:
+        # A subslice hosts a bounded number of resident work-groups
+        # (hardware-thread budget); extra ones queue until a slot frees.
+        semaphore = self.device.subslice_slots[ctx.subslice]
+        yield semaphore.request()
+        try:
+            result = yield from self.spec.body(ctx, *args)
+        finally:
+            semaphore.release()
+        return result
+
+    @property
+    def done(self) -> bool:
+        return self._barrier.triggered
+
+    @property
+    def completion(self) -> Event:
+        """Event triggering when every work-group has returned."""
+        return self._barrier
+
+    def results(self) -> typing.List[object]:
+        """Per-work-group return values (kernel must be done)."""
+        return typing.cast(list, self._barrier.value)
+
+    def wait(self) -> typing.Generator[object, object, typing.List[object]]:
+        """Generator form: ``results = yield from instance.wait()``."""
+        values = yield self._barrier
+        return typing.cast(list, values)
+
+
+class GpuDevice:
+    """The integrated GPU as a kernel-execution engine."""
+
+    def __init__(self, soc: "SoC") -> None:
+        self.soc = soc
+        self.config = soc.config.gpu
+        capacity = self.config.workgroups_per_subslice(
+            self.config.max_threads_per_workgroup
+        )
+        self.subslice_slots = [
+            Semaphore(soc.engine, capacity, name=f"subslice{i}")
+            for i in range(self.config.total_subslices)
+        ]
+        self._dispatch_counter = 0
+        self._running: typing.Optional[KernelInstance] = None
+        #: Raised by the §VI timer-fuzzing mitigation.
+        self.extra_timer_jitter = 0.0
+        #: Modeled user-level launch overhead (driver + dispatch).
+        self.launch_overhead_fs = soc.cpu_cycles_fs(30_000)
+
+    def next_subslice(self) -> int:
+        """Round-robin work-group placement (§II-A observation)."""
+        subslice = self._dispatch_counter % self.config.total_subslices
+        self._dispatch_counter += 1
+        return subslice
+
+    @property
+    def busy(self) -> bool:
+        """Whether a compute kernel is currently resident."""
+        return self._running is not None and not self._running.done
+
+    def launch(self, spec: KernelSpec, *args: object) -> KernelInstance:
+        """Dispatch a kernel; raises if another kernel is resident."""
+        spec.validate(self.config.max_threads_per_workgroup, self.config.wavefront_size)
+        if self.busy:
+            raise KernelLaunchError(
+                "iGPU already runs a compute kernel; concurrent kernels from "
+                "separate contexts are not supported (threat model §II-B)"
+            )
+        instance = KernelInstance(self, spec, args)
+        self._running = instance
+        return instance
+
+    def launch_after_overhead(
+        self, spec: KernelSpec, *args: object
+    ) -> typing.Generator[object, object, KernelInstance]:
+        """Launch including the host-side overhead; for CPU-process agents."""
+        yield Timeout(self.soc.engine, self.launch_overhead_fs)
+        return self.launch(spec, *args)
+
+    def _kernel_finished(self, instance: KernelInstance) -> None:
+        if self._running is instance:
+            self._running = None

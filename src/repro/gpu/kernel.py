@@ -1,0 +1,48 @@
+"""Kernel descriptions.
+
+A kernel is a Python generator function with signature
+``body(wg: WorkGroupCtx, *args)``; each work-group executes one instance of
+the body.  The body expresses *work-group level* behaviour — SIMD execution
+within a wavefront is captured by the batch-access primitives of
+:class:`~repro.gpu.workgroup.WorkGroupCtx` rather than by simulating every
+thread individually.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import KernelLaunchError
+
+KernelBody = typing.Callable[..., typing.Generator]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelSpec:
+    """A kernel body plus its launch geometry."""
+
+    body: KernelBody
+    n_workgroups: int
+    threads_per_workgroup: int
+    name: str = "kernel"
+
+    def validate(self, max_threads: int, wavefront: int) -> None:
+        if self.n_workgroups <= 0:
+            raise KernelLaunchError("need at least one work-group")
+        if self.threads_per_workgroup <= 0:
+            raise KernelLaunchError("need at least one thread per work-group")
+        if self.threads_per_workgroup > max_threads:
+            raise KernelLaunchError(
+                f"{self.threads_per_workgroup} threads exceeds the device limit "
+                f"of {max_threads} per work-group"
+            )
+        if self.threads_per_workgroup % wavefront:
+            raise KernelLaunchError(
+                f"threads per work-group must be a multiple of the wavefront "
+                f"size ({wavefront})"
+            )
+
+    def wavefronts_per_workgroup(self, wavefront: int) -> int:
+        """How many wavefronts one work-group occupies."""
+        return (self.threads_per_workgroup + wavefront - 1) // wavefront

@@ -1,0 +1,85 @@
+"""OpenCL-like user-level veneer.
+
+The attacks are constrained to the user-level OpenCL API surface (§II-B):
+buffer allocation with Shared Virtual Memory / zero-copy semantics, kernel
+launch, and completion waits.  This module provides exactly those verbs on
+top of the device model.  SVM is modeled faithfully: the GPU kernel shares
+the launching process's :class:`~repro.soc.mmu.AddressSpace`, so virtual
+*and* physical addresses coincide between the CPU and GPU views — the
+property §III-C relies on to carry CPU-built eviction sets onto the GPU.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import GpuDevice, KernelInstance
+from repro.gpu.kernel import KernelBody, KernelSpec
+from repro.soc.mmu import AddressSpace, Buffer
+
+if typing.TYPE_CHECKING:
+    from repro.soc.machine import SoC
+
+
+class OpenClContext:
+    """One process's OpenCL context on the integrated device."""
+
+    def __init__(self, soc: "SoC", device: GpuDevice, space: AddressSpace) -> None:
+        self.soc = soc
+        self.device = device
+        self.space = space
+        self._kernels: typing.List[KernelInstance] = []
+
+    def svm_alloc(self, size: int, huge: bool = False) -> Buffer:
+        """Allocate a zero-copy SVM buffer (same VA/PA on CPU and GPU)."""
+        if huge:
+            return self.space.mmap_huge(size)
+        return self.space.mmap(size)
+
+    def enqueue_nd_range(
+        self,
+        body: KernelBody,
+        n_workgroups: int,
+        threads_per_workgroup: int,
+        *args: object,
+        name: str = "kernel",
+    ) -> KernelInstance:
+        """Launch a kernel immediately (no host-side queueing model)."""
+        spec = KernelSpec(
+            body=body,
+            n_workgroups=n_workgroups,
+            threads_per_workgroup=threads_per_workgroup,
+            name=name,
+        )
+        instance = self.device.launch(spec, *args)
+        self._kernels.append(instance)
+        return instance
+
+    def finish(self) -> typing.Generator[object, object, None]:
+        """Generator: wait for every enqueued kernel (clFinish)."""
+        for instance in self._kernels:
+            if not instance.done:
+                yield instance.completion
+        self._kernels.clear()
+
+    def run_kernel_to_completion(
+        self,
+        body: KernelBody,
+        n_workgroups: int,
+        threads_per_workgroup: int,
+        *args: object,
+    ) -> typing.List[object]:
+        """Blocking helper for host code outside the simulation: launch and
+        drive the engine until the kernel completes, returning per-WG
+        results."""
+        instance = self.enqueue_nd_range(
+            body, n_workgroups, threads_per_workgroup, *args
+        )
+        self.soc.engine.run_until_complete(instance.completion)
+        return instance.results()
+
+    def require_idle(self) -> None:
+        """Assert no kernel is resident (used by tests of the threat model)."""
+        if self.device.busy:
+            raise KernelLaunchError("device still busy")

@@ -1,0 +1,112 @@
+"""The custom SLM-counter timer of §III-B.
+
+OpenCL on Intel iGPUs exposes no user-level timestamp, so the paper builds
+one: threads above the first wavefront spin incrementing a ``volatile
+__local`` counter with ``atomic_add`` while the probing threads read it
+before and after a memory access.  Because atomics to one SLM address
+serialize, the aggregate increment rate rises with the number of counter
+threads but saturates; we model
+
+    rate(n) = saturated_rate * n / (n + half_rate_threads)   [ticks/GPU cycle]
+
+so one wavefront (32 threads) yields a visibly coarser timer than the 224
+counter threads the paper settles on — reproducing why a full work-group
+was needed (Fig. 4's usable separation).
+
+Reads are quantized (``floor``), carry multiplicative jitter, and are kept
+monotonic.  The jitter is the modeled stand-in for the erratic counter
+updates the paper works to avoid; the CPU→GPU channel's higher error rate
+("misinterprets the misses as hits", §V) emerges from it.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.config import SlmConfig
+from repro.errors import GpuModelError
+from repro.sim import Timeout
+
+if typing.TYPE_CHECKING:
+    from repro.soc.machine import SoC
+
+
+def counter_rate_per_cycle(config: SlmConfig, n_threads: int) -> float:
+    """Aggregate increment rate for ``n_threads`` counter threads."""
+    if n_threads <= 0:
+        raise GpuModelError("the timer needs at least one counter thread")
+    return (
+        config.saturated_rate_per_cycle
+        * n_threads
+        / (n_threads + config.half_rate_threads)
+    )
+
+
+class SlmTimer:
+    """A running counter kernel bound to one work-group's SLM."""
+
+    def __init__(
+        self,
+        soc: "SoC",
+        n_counter_threads: int,
+        rng: typing.Optional[np.random.Generator] = None,
+        extra_jitter_sigma: float = 0.0,
+    ) -> None:
+        self.soc = soc
+        self.config = soc.config.slm
+        self.n_counter_threads = n_counter_threads
+        self.rate_per_cycle = counter_rate_per_cycle(self.config, n_counter_threads)
+        self._rng = rng if rng is not None else soc.rng.stream("slm-timer")
+        #: Per-read absolute noise in ticks; mitigations can raise it (§VI).
+        self.read_noise_ticks = self.config.read_noise_ticks + extra_jitter_sigma
+        self._started_fs = soc.now_fs
+        self._last_value = 0
+        self.reads = 0
+
+    def restart(self) -> None:
+        """Zero the counter (a fresh kernel launch)."""
+        self._started_fs = self.soc.now_fs
+        self._last_value = 0
+
+    def _value_now(self) -> int:
+        """Sample the counter.
+
+        The counter itself tracks true elapsed time (atomics to SLM are
+        exact); noise enters per *read*: a small Gaussian wobble in when
+        the read lands, and occasionally a stale snapshot when the reading
+        thread is descheduled mid-read.  A stale end-timestamp shrinks a
+        measured delta (a miss misread as a hit) but never inflates one,
+        and reads immediately after a glitch see the true value again —
+        so pacing loops built on the timer do not accumulate drift.
+        """
+        elapsed_fs = self.soc.now_fs - self._started_fs
+        cycles = elapsed_fs / self.soc.config.gpu_clock.cycle_fs
+        value = self.rate_per_cycle * cycles
+        if (
+            self.config.read_glitch_probability > 0
+            and self._rng.random() < self.config.read_glitch_probability
+        ):
+            value -= self.config.glitch_lag_ticks
+        if self.read_noise_ticks > 0:
+            value += self._rng.normal(0.0, self.read_noise_ticks)
+        # Monotonic: the underlying counter never runs backwards.
+        result = max(self._last_value, int(value))
+        self._last_value = result
+        return result
+
+    def read(self) -> typing.Generator[object, object, int]:
+        """``atomic_add(counter, 0)``: costs one SLM access, returns ticks.
+
+        SLM uses a dedicated data path (§III-D), so this read neither waits
+        on nor perturbs the L3/ring traffic being measured.
+        """
+        self.reads += 1
+        yield Timeout(self.soc.engine, self.soc.gpu_cycles_fs(self.config.access_cycles))
+        return self._value_now()
+
+    def ticks_for_ns(self, ns: float) -> float:
+        """Expected tick count for a given wall-clock duration (analysis)."""
+        cycles = ns * 1e6 / self.soc.config.gpu_clock.cycle_fs
+        return self.rate_per_cycle * cycles

@@ -1,0 +1,21 @@
+"""§VI mitigations, each with an ``apply`` hook the channels can inject.
+
+* :func:`llc_way_partition` — static LLC partitioning (CAT-style): the
+  Spy and Trojan can no longer replace each other's lines;
+* :func:`ring_tdm` — time-division isolation of CPU and GPU traffic on
+  the ring (the memory-controller isolation idea of [24], [38], [40]
+  applied to the bus);
+* :func:`timer_fuzzing` — degrade the SLM counter's read precision [31].
+
+Each returns a callable ``(soc, device) -> None`` suitable for the
+``mitigation`` field of the channel configs.
+"""
+
+from repro.mitigations.hooks import (
+    Mitigation,
+    llc_way_partition,
+    ring_tdm,
+    timer_fuzzing,
+)
+
+__all__ = ["Mitigation", "llc_way_partition", "ring_tdm", "timer_fuzzing"]

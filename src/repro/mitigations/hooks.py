@@ -1,0 +1,74 @@
+"""Mitigation hooks (§VI).
+
+A mitigation is a function applied to the freshly wired (SoC, GpuDevice)
+pair before a covert transmission starts.  The ablation benchmarks run
+each channel with and without these hooks; a working mitigation either
+kills the channel outright (the handshake watchdog trips) or drives the
+error rate toward 50% (no mutual information).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ConfigError
+from repro.sim import FS_PER_US
+from repro.soc.ring import TdmSchedule
+
+if typing.TYPE_CHECKING:
+    from repro.gpu.device import GpuDevice
+    from repro.soc.machine import SoC
+
+Mitigation = typing.Callable[["SoC", "GpuDevice"], None]
+
+
+def llc_way_partition(cpu_ways: typing.Optional[int] = None) -> Mitigation:
+    """Static way-partitioning of the LLC between CPU and GPU.
+
+    With disjoint fill partitions, a prime from one side can never evict
+    the other side's lines — the PRIME+PROBE signal disappears and the
+    handshake starves (§VI option 1).
+    """
+
+    def apply(soc: "SoC", device: "GpuDevice") -> None:
+        total = soc.config.llc.ways
+        share = cpu_ways if cpu_ways is not None else total // 2
+        if not 0 < share < total:
+            raise ConfigError(f"cpu_ways must be in (0, {total})")
+        soc.set_llc_partition(
+            cpu_ways=tuple(range(share)),
+            gpu_ways=tuple(range(share, total)),
+        )
+
+    return apply
+
+
+def ring_tdm(period_us: float = 1.0, cpu_share: float = 0.5) -> Mitigation:
+    """Time-division multiplexing of the ring between the two domains.
+
+    Each side only observes its own window's queueing, so the GPU's
+    bursts stop modulating the CPU's access latency (§VI option 2).
+    """
+
+    def apply(soc: "SoC", device: "GpuDevice") -> None:
+        soc.ring.tdm = TdmSchedule(
+            period_fs=int(period_us * FS_PER_US), cpu_share=cpu_share
+        )
+
+    return apply
+
+
+def timer_fuzzing(extra_noise_ticks: float = 40.0) -> Mitigation:
+    """Degrade the GPU's custom timer (TimeWarp-style [31]).
+
+    The SLM counter itself cannot be disabled — the paper notes this —
+    but scheduling-level noise injection can blur every read far beyond
+    the L3/LLC/DRAM separation the probes rely on.
+    """
+
+    def apply(soc: "SoC", device: "GpuDevice") -> None:
+        if extra_noise_ticks < 0:
+            raise ConfigError("extra noise must be >= 0")
+        device.extra_timer_jitter = extra_noise_ticks
+
+    return apply

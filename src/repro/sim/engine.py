@@ -1,0 +1,104 @@
+"""The event loop at the heart of the simulator.
+
+The engine owns a priority queue of ``(time_fs, sequence, action)`` entries.
+Ties on time break on insertion order, which makes every run fully
+deterministic for a given seed — a property the tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Timeout
+
+Action = typing.Callable[[], None]
+
+
+class Engine:
+    """A deterministic discrete-event scheduler with femtosecond time."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._sequence = 0
+        self._queue: typing.List[typing.Tuple[int, int, Action]] = []
+        self._events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in femtoseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of scheduled actions executed so far."""
+        return self._events_executed
+
+    def schedule(self, delay_fs: int, action: Action) -> None:
+        """Run ``action`` after ``delay_fs`` femtoseconds."""
+        if delay_fs < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay_fs}")
+        heapq.heappush(self._queue, (self._now + int(delay_fs), self._sequence, action))
+        self._sequence += 1
+
+    def timeout(self, delay_fs: int, value: object = None) -> Timeout:
+        """Create a :class:`Timeout` event on this engine."""
+        return Timeout(self, delay_fs, value)
+
+    def event(self) -> Event:
+        """Create a plain, manually-triggered event on this engine."""
+        return Event(self)
+
+    def process(self, generator: typing.Generator) -> "Process":
+        """Spawn a :class:`~repro.sim.process.Process` from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def step(self) -> bool:
+        """Execute the next scheduled action.  Returns False if none left."""
+        if not self._queue:
+            return False
+        time_fs, _seq, action = heapq.heappop(self._queue)
+        if time_fs < self._now:
+            raise SimulationError("event queue time went backwards")
+        self._now = time_fs
+        self._events_executed += 1
+        action()
+        return True
+
+    def run(self, until_fs: typing.Optional[int] = None) -> int:
+        """Drain the event queue, optionally stopping at ``until_fs``.
+
+        Returns the simulation time when the run stopped.  When ``until_fs``
+        is given, time is advanced to exactly ``until_fs`` even if the last
+        executed event was earlier.
+        """
+        if until_fs is None:
+            while self.step():
+                pass
+            return self._now
+        if until_fs < self._now:
+            raise SimulationError("run target is in the past")
+        while self._queue and self._queue[0][0] <= until_fs:
+            self.step()
+        self._now = until_fs
+        return self._now
+
+    def run_until_complete(self, event: Event, limit_fs: typing.Optional[int] = None) -> object:
+        """Run until ``event`` triggers and return its value.
+
+        Raises :class:`SimulationError` if the queue drains (deadlock) or the
+        optional time ``limit_fs`` passes before the event triggers.
+        """
+        while not event.triggered:
+            if limit_fs is not None and self._queue and self._queue[0][0] > limit_fs:
+                raise SimulationError(
+                    f"event did not trigger before limit ({limit_fs} fs)"
+                )
+            if not self.step():
+                from repro.errors import DeadlockError
+
+                raise DeadlockError("event queue drained before event triggered")
+        return event.value

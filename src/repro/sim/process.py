@@ -1,0 +1,91 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Yielding suspends the process until the event triggers, at which
+point the event's value is sent back into the generator.  Sub-operations
+compose with ``yield from`` (e.g. a CPU load is a generator that acquires
+the ring, waits a cache latency, and *returns* the measured latency).
+
+A :class:`Process` is itself an event that triggers with the generator's
+return value, so processes can wait on each other and :class:`AllOf` can
+act as a barrier across a batch of parallel memory requests.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:
+    from repro.sim.engine import Engine
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Drives a generator, suspending on the events it yields."""
+
+    def __init__(self, engine: "Engine", generator: typing.Generator) -> None:
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self._generator = generator
+        self._waiting_on: typing.Optional[Event] = None
+        self._alive = True
+        # Start on the next scheduling round so the caller can subscribe
+        # before the first step runs.
+        engine.schedule(0, lambda: self._advance(None, None))
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return self._alive
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self._alive:
+            return
+        self._waiting_on = None
+        self.engine.schedule(0, lambda: self._advance(None, Interrupt(cause)))
+
+    def _advance(self, value: object, exc: typing.Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        try:
+            if exc is not None:
+                yielded = self._generator.throw(exc)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interrupt: treat as a clean
+            # termination with no value.
+            self._alive = False
+            self.succeed(None)
+            return
+        if not isinstance(yielded, Event):
+            raise SimulationError(
+                f"process yielded {type(yielded).__name__}; processes must "
+                "yield Event objects (Timeout, Process, AllOf, ...)"
+            )
+        self._waiting_on = yielded
+        yielded.subscribe(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup after an interrupt
+        self._waiting_on = None
+        self._advance(event.value, None)

@@ -1,0 +1,174 @@
+"""Time-multiplexed hardware resources.
+
+The ring bus and the LLC slice ports are modeled as FIFO resources: a
+request is granted immediately if the resource is idle, otherwise it queues.
+The queueing delay a requester experiences is exactly the "contention" the
+paper's second covert channel modulates (§IV).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Timeout
+
+if typing.TYPE_CHECKING:
+    from repro.sim.engine import Engine
+
+
+class FifoResource:
+    """A single-server FIFO resource with occupancy accounting."""
+
+    def __init__(self, engine: "Engine", name: str = "resource") -> None:
+        self.engine = engine
+        self.name = name
+        self._busy = False
+        self._waiters: typing.List[Event] = []
+        # Accounting for utilization / contention analysis.
+        self.total_grants = 0
+        self.total_wait_fs = 0
+        self.total_hold_fs = 0
+        self._granted_at = 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether the resource is currently held."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting behind the current holder."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for the resource; the returned event triggers when granted."""
+        event = self.engine.event()
+        if not self._busy:
+            self._busy = True
+            self._granted_at = self.engine.now
+            self.total_grants += 1
+            event.succeed(self.engine.now)
+        else:
+            event._request_time = self.engine.now  # type: ignore[attr-defined]
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Give the resource up, waking the next waiter if any."""
+        if not self._busy:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self.total_hold_fs += self.engine.now - self._granted_at
+        if self._waiters:
+            event = self._waiters.pop(0)
+            self.total_wait_fs += self.engine.now - event._request_time  # type: ignore[attr-defined]
+            self._granted_at = self.engine.now
+            self.total_grants += 1
+            event.succeed(self.engine.now)
+        else:
+            self._busy = False
+
+    def occupy(self, hold_fs: int) -> typing.Generator[Event, object, int]:
+        """Acquire, hold for ``hold_fs``, release.
+
+        Usable as ``waited = yield from resource.occupy(hold)``; returns the
+        femtoseconds spent waiting in the queue (the contention delay).
+        """
+        requested_at = self.engine.now
+        yield self.request()
+        waited = self.engine.now - requested_at
+        yield Timeout(self.engine, hold_fs)
+        self.release()
+        return waited
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulation time the resource was held."""
+        if self.engine.now == 0:
+            return 0.0
+        held = self.total_hold_fs
+        if self._busy:
+            held += self.engine.now - self._granted_at
+        return held / self.engine.now
+
+
+class Semaphore:
+    """A counting resource: up to ``capacity`` holders at once, FIFO queue.
+
+    Models structures that host several concurrent occupants — e.g. the
+    hardware-thread budget of a GPU subslice across resident work-groups.
+    """
+
+    def __init__(self, engine: "Engine", capacity: int, name: str = "semaphore") -> None:
+        if capacity < 1:
+            raise SimulationError("semaphore capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: typing.List[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for one slot; the returned event triggers when granted."""
+        event = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self.engine.now)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle semaphore {self.name!r}")
+        if self._waiters:
+            self._waiters.pop(0).succeed(self.engine.now)
+        else:
+            self._in_use -= 1
+
+
+class TokenBucket:
+    """A rate limiter used by background-noise agents.
+
+    Tokens accrue at ``rate_per_s`` and the bucket holds at most ``burst``
+    tokens.  :meth:`next_delay_fs` returns how long a caller must wait
+    before its next permitted action.
+    """
+
+    def __init__(self, engine: "Engine", rate_per_s: float, burst: int = 1) -> None:
+        if rate_per_s <= 0:
+            raise SimulationError("token rate must be positive")
+        self.engine = engine
+        self.rate_per_s = rate_per_s
+        self.burst = max(1, int(burst))
+        self._tokens = float(self.burst)
+        self._last_fs = engine.now
+
+    def _refill(self) -> None:
+        from repro.sim import FS_PER_S
+
+        elapsed = self.engine.now - self._last_fs
+        self._last_fs = self.engine.now
+        self._tokens = min(
+            float(self.burst), self._tokens + elapsed * self.rate_per_s / FS_PER_S
+        )
+
+    def next_delay_fs(self) -> int:
+        """Consume one token, returning the wait (0 if one was available)."""
+        from repro.sim import FS_PER_S
+
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0
+        deficit = 1.0 - self._tokens
+        self._tokens = 0.0
+        return int(deficit * FS_PER_S / self.rate_per_s)

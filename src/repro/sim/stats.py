@@ -1,0 +1,102 @@
+"""Small statistics helpers used across the analysis layer."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+class OnlineStats:
+    """Welford's online mean/variance accumulator."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: typing.Iterable[float]) -> None:
+        """Fold an iterable of observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        merged = OnlineStats()
+        if self.count == 0:
+            merged.count, merged._mean, merged._m2 = other.count, other._mean, other._m2
+        elif other.count == 0:
+            merged.count, merged._mean, merged._m2 = self.count, self._mean, self._m2
+        else:
+            total = self.count + other.count
+            delta = other._mean - self._mean
+            merged.count = total
+            merged._mean = self._mean + delta * other.count / total
+            merged._m2 = (
+                self._m2 + other._m2 + delta * delta * self.count * other.count / total
+            )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+
+def confidence_interval_95(values: typing.Sequence[float]) -> typing.Tuple[float, float]:
+    """Return ``(mean, half_width)`` of a normal-approximation 95% CI.
+
+    Matches the paper's presentation ("a confidence interval of 95% over
+    1000 runs").  For a single sample the half-width is 0.
+    """
+    n = len(values)
+    if n == 0:
+        return (0.0, 0.0)
+    mean = sum(values) / n
+    if n == 1:
+        return (mean, 0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = 1.96 * math.sqrt(variance / n)
+    return (mean, half_width)
+
+
+def percentile(values: typing.Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    frac = position - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac

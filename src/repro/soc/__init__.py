@@ -1,0 +1,27 @@
+"""The simulated SoC substrate: memory, caches, interconnect, wiring.
+
+Everything in this package is *passive state plus timed access paths*; the
+active agents (CPU programs, GPU kernels) live in :mod:`repro.cpu` and
+:mod:`repro.gpu` and drive these models through the access-path generators
+exposed by :class:`repro.soc.machine.SoC`.
+"""
+
+from repro.soc.address import AddressRegion, line_address, line_index, offset_in_line
+from repro.soc.cache import AccessResult, SetAssocCache
+from repro.soc.machine import SoC
+from repro.soc.mmu import AddressSpace, Buffer, Mmu
+from repro.soc.slice_hash import SliceHash
+
+__all__ = [
+    "AccessResult",
+    "AddressRegion",
+    "AddressSpace",
+    "Buffer",
+    "Mmu",
+    "SetAssocCache",
+    "SliceHash",
+    "SoC",
+    "line_address",
+    "line_index",
+    "offset_in_line",
+]

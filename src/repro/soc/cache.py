@@ -1,0 +1,181 @@
+"""A generic set-associative cache with pluggable indexing and replacement.
+
+This one structure backs the CPU L1/L2, each LLC slice, and the GPU L3 —
+they differ only in geometry, index function and replacement policy.  The
+cache is purely a state machine; all timing lives in the access paths of
+:class:`repro.soc.machine.SoC`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import CacheGeometryError
+from repro.soc.address import line_address
+from repro.soc.replacement import ReplacementPolicy, TrueLru
+
+IndexFn = typing.Callable[[int], int]
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    set_index: int
+    way: int
+    evicted: typing.Optional[int] = None  # line address pushed out, if any
+
+
+class SetAssocCache:
+    """Set-associative cache storing line addresses as tags."""
+
+    def __init__(
+        self,
+        name: str,
+        n_sets: int,
+        ways: int,
+        line_bytes: int,
+        policy: ReplacementPolicy,
+        index_fn: typing.Optional[IndexFn] = None,
+    ) -> None:
+        if n_sets <= 0 or ways <= 0:
+            raise CacheGeometryError(f"{name}: sets and ways must be positive")
+        if line_bytes & (line_bytes - 1):
+            raise CacheGeometryError(f"{name}: line size must be a power of two")
+        if policy.ways != ways:
+            raise CacheGeometryError(f"{name}: policy sized for {policy.ways} ways")
+        self.name = name
+        self.n_sets = n_sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.policy = policy
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._index_fn = index_fn or self._default_index
+        self._tags: typing.List[typing.List[typing.Optional[int]]] = [
+            [None] * ways for _ in range(n_sets)
+        ]
+        self._meta = [policy.new_set_state() for _ in range(n_sets)]
+        # Reverse map line -> (set, way) for O(1) invalidation.
+        self._where: typing.Dict[int, typing.Tuple[int, int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _default_index(self, paddr: int) -> int:
+        return (paddr >> self._offset_bits) % self.n_sets
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_sets * self.ways * self.line_bytes
+
+    def set_index_of(self, paddr: int) -> int:
+        """The set a physical address maps to."""
+        return self._index_fn(paddr)
+
+    def contains(self, paddr: int) -> bool:
+        """Whether the line holding ``paddr`` is present (no state change)."""
+        return line_address(paddr, self.line_bytes) in self._where
+
+    def access(
+        self, paddr: int, allowed_ways: typing.Optional[typing.Sequence[int]] = None
+    ) -> AccessResult:
+        """Look up ``paddr``; on miss, install it, evicting if needed.
+
+        ``allowed_ways`` restricts where a *fill* may land (used by the
+        way-partitioning mitigation); hits are unrestricted.
+        """
+        line = line_address(paddr, self.line_bytes)
+        location = self._where.get(line)
+        if location is not None:
+            set_index, way = location
+            self.policy.on_hit(self._meta[set_index], way)
+            self.hits += 1
+            return AccessResult(hit=True, set_index=set_index, way=way)
+        self.misses += 1
+        set_index = self._index_fn(line)
+        way, evicted = self._install(set_index, line, allowed_ways)
+        return AccessResult(hit=False, set_index=set_index, way=way, evicted=evicted)
+
+    def _install(
+        self,
+        set_index: int,
+        line: int,
+        allowed_ways: typing.Optional[typing.Sequence[int]],
+    ) -> typing.Tuple[int, typing.Optional[int]]:
+        tags = self._tags[set_index]
+        meta = self._meta[set_index]
+        candidates = range(self.ways) if allowed_ways is None else allowed_ways
+        for way in candidates:
+            if tags[way] is None:
+                tags[way] = line
+                self._where[line] = (set_index, way)
+                self.policy.on_fill(meta, way)
+                return way, None
+        way = self._pick_victim(set_index, allowed_ways)
+        evicted = tags[way]
+        if evicted is not None:
+            del self._where[evicted]
+            self.evictions += 1
+        tags[way] = line
+        self._where[line] = (set_index, way)
+        self.policy.on_fill(meta, way)
+        return way, evicted
+
+    def _pick_victim(
+        self, set_index: int, allowed_ways: typing.Optional[typing.Sequence[int]]
+    ) -> int:
+        meta = self._meta[set_index]
+        if allowed_ways is None:
+            return self.policy.victim(meta)
+        allowed = set(allowed_ways)
+        if not allowed:
+            raise CacheGeometryError(f"{self.name}: empty way partition")
+        # Honour recency within the partition when the policy is true LRU;
+        # otherwise fall back to the policy victim if allowed, else any.
+        if isinstance(self.policy, TrueLru):
+            for way in reversed(typing.cast(list, meta)):  # LRU end first
+                if way in allowed:
+                    return way
+        victim = self.policy.victim(meta)
+        if victim in allowed:
+            return victim
+        return next(iter(sorted(allowed)))
+
+    def invalidate(self, paddr: int) -> bool:
+        """Drop the line holding ``paddr``; True if it was present."""
+        line = line_address(paddr, self.line_bytes)
+        location = self._where.pop(line, None)
+        if location is None:
+            return False
+        set_index, way = location
+        self._tags[set_index][way] = None
+        return True
+
+    def lines_in_set(self, set_index: int) -> typing.Tuple[int, ...]:
+        """The line addresses currently resident in one set."""
+        return tuple(tag for tag in self._tags[set_index] if tag is not None)
+
+    def occupancy(self, set_index: int) -> int:
+        """Number of valid lines in one set."""
+        return sum(1 for tag in self._tags[set_index] if tag is not None)
+
+    def flush_all(self) -> None:
+        """Invalidate every line (used between experiment repetitions)."""
+        self._tags = [[None] * self.ways for _ in range(self.n_sets)]
+        self._meta = [self.policy.new_set_state() for _ in range(self.n_sets)]
+        self._where.clear()
+
+    def resident_lines(self) -> typing.Iterator[int]:
+        """Iterate over every resident line address."""
+        return iter(self._where)
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssocCache({self.name!r}, sets={self.n_sets}, ways={self.ways}, "
+            f"line={self.line_bytes}, resident={len(self._where)})"
+        )

@@ -1,0 +1,66 @@
+"""Per-core CPU cache hierarchy (L1D + L2).
+
+Both levels are physically indexed set-associative caches with true LRU.
+They are *inclusive* of the LLC in the sense the paper uses: every line in
+L1/L2 is also in the LLC, maintained by the SoC wiring through
+back-invalidations when the LLC evicts (§III-E: "The higher level CPU L1
+and L2 caches are inclusive of the LLC").
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import CpuCacheConfig
+from repro.soc.cache import SetAssocCache
+from repro.soc.replacement import TrueLru
+
+
+class CpuCoreCaches:
+    """One core's private L1D and L2 arrays."""
+
+    def __init__(self, config: CpuCacheConfig, core_id: int) -> None:
+        config.validate()
+        self.config = config
+        self.core_id = core_id
+        self.l1 = SetAssocCache(
+            name=f"core{core_id}-l1d",
+            n_sets=config.l1_sets,
+            ways=config.l1_ways,
+            line_bytes=config.line_bytes,
+            policy=TrueLru(config.l1_ways),
+        )
+        self.l2 = SetAssocCache(
+            name=f"core{core_id}-l2",
+            n_sets=config.l2_sets,
+            ways=config.l2_ways,
+            line_bytes=config.line_bytes,
+            policy=TrueLru(config.l2_ways),
+        )
+
+    def invalidate(self, paddr: int) -> bool:
+        """Drop a line from both private levels (back-invalidation)."""
+        in_l1 = self.l1.invalidate(paddr)
+        in_l2 = self.l2.invalidate(paddr)
+        return in_l1 or in_l2
+
+    def contains(self, paddr: int) -> bool:
+        """Whether either private level holds the line."""
+        return self.l1.contains(paddr) or self.l2.contains(paddr)
+
+    def flush_all(self) -> None:
+        self.l1.flush_all()
+        self.l2.flush_all()
+
+    def fill_after_llc(self, paddr: int) -> typing.Optional[int]:
+        """Install a line returning from the LLC into L2 then L1.
+
+        Returns a line evicted from L2 (if any) so the caller can maintain
+        L1 ⊆ L2; L1 evictions are clean drops in this model.
+        """
+        l2_result = self.l2.access(paddr)
+        if l2_result.evicted is not None:
+            # Keep L1 ⊆ L2 so the inclusion invariant is exact.
+            self.l1.invalidate(l2_result.evicted)
+        self.l1.access(paddr)
+        return l2_result.evicted

@@ -1,0 +1,40 @@
+"""Flat DRAM latency model.
+
+Row-buffer locality and scheduling effects are folded into a latency mix:
+an access is a "row hit" with configured probability, a row miss otherwise,
+plus Gaussian jitter.  This is one of the modeled noise sources that gives
+the covert channels a non-zero error floor (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DramConfig
+from repro.sim import FS_PER_NS
+
+
+class Dram:
+    """Samples per-access DRAM latencies."""
+
+    def __init__(self, config: DramConfig, rng: np.random.Generator) -> None:
+        config.validate()
+        self.config = config
+        self._rng = rng
+        self.accesses = 0
+
+    def latency_fs(self) -> int:
+        """Latency of one memory access, in femtoseconds."""
+        self.accesses += 1
+        latency_ns = self.config.base_ns
+        if self._rng.random() >= self.config.row_hit_probability:
+            latency_ns += self.config.row_miss_extra_ns
+        if self.config.jitter_sigma_ns > 0:
+            latency_ns += abs(self._rng.normal(0.0, self.config.jitter_sigma_ns))
+        return max(1, round(latency_ns * FS_PER_NS))
+
+    def mean_latency_ns(self) -> float:
+        """Expected latency, ignoring jitter (used by calibration code)."""
+        return self.config.base_ns + (
+            (1.0 - self.config.row_hit_probability) * self.config.row_miss_extra_ns
+        )

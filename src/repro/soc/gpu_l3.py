@@ -1,0 +1,115 @@
+"""The GPU's L3 data cache.
+
+§III-D reverse engineers the structure: 64-byte lines; placement is fixed
+by the low address bits — in order above the byte offset: the set within a
+bank, the bank, and the sub-bank (6 + 5 + 2 + 3 = 16 bits at full scale).
+The replacement policy is a binary-tree pseudo-LRU, and the cache is
+**non-inclusive** with the LLC: evicting a line from the LLC (e.g. with
+``clflush`` from the CPU) leaves the GPU L3 copy intact.  That property is
+what forces the attacker to build L3 eviction sets from the GPU side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import GpuL3Config
+from repro.soc.address import extract_bits
+from repro.soc.cache import AccessResult, SetAssocCache
+from repro.soc.replacement import TreePlru
+
+
+@dataclasses.dataclass(frozen=True)
+class L3Placement:
+    """Decomposition of an address's L3 placement (paper's terminology)."""
+
+    set_in_bank: int
+    bank: int
+    subbank: int
+
+    def flat_index(self, config: GpuL3Config) -> int:
+        set_bits = config.sets_per_bank.bit_length() - 1
+        bank_bits = config.banks.bit_length() - 1
+        return (
+            self.set_in_bank
+            | (self.bank << set_bits)
+            | (self.subbank << (set_bits + bank_bits))
+        )
+
+
+class GpuL3:
+    """Banked L3 behind one flat placement index."""
+
+    def __init__(self, config: GpuL3Config) -> None:
+        config.validate()
+        self.config = config
+        self._set_bits = config.sets_per_bank.bit_length() - 1
+        self._bank_bits = config.banks.bit_length() - 1
+        self._subbank_bits = config.subbanks.bit_length() - 1
+        self._cache = SetAssocCache(
+            name="gpu-l3",
+            n_sets=config.total_sets,
+            ways=config.ways,
+            line_bytes=config.line_bytes,
+            policy=TreePlru(config.ways),
+            index_fn=self.flat_index_of,
+        )
+
+    def placement_of(self, paddr: int) -> L3Placement:
+        """Decode the (set, bank, sub-bank) placement of an address."""
+        low = self.config.offset_bits
+        set_in_bank = extract_bits(paddr, low, self._set_bits)
+        bank = extract_bits(paddr, low + self._set_bits, self._bank_bits)
+        subbank = extract_bits(
+            paddr, low + self._set_bits + self._bank_bits, self._subbank_bits
+        )
+        return L3Placement(set_in_bank=set_in_bank, bank=bank, subbank=subbank)
+
+    def flat_index_of(self, paddr: int) -> int:
+        """The flat set index used by the storage array."""
+        low = self.config.offset_bits
+        total_bits = self._set_bits + self._bank_bits + self._subbank_bits
+        return extract_bits(paddr, low, total_bits)
+
+    def same_set(self, paddr_a: int, paddr_b: int) -> bool:
+        """Whether two addresses collide in one L3 set.
+
+        Equivalent to "same low ``placement_bits`` address bits above the
+        offset" — the §III-D observation the eviction sets are built on.
+        """
+        return self.flat_index_of(paddr_a) == self.flat_index_of(paddr_b)
+
+    def access(self, paddr: int) -> AccessResult:
+        """Access (and fill on miss) the line holding ``paddr``."""
+        return self._cache.access(paddr)
+
+    def contains(self, paddr: int) -> bool:
+        return self._cache.contains(paddr)
+
+    def invalidate(self, paddr: int) -> bool:
+        return self._cache.invalidate(paddr)
+
+    def lines_in_set(self, flat_index: int) -> typing.Tuple[int, ...]:
+        return self._cache.lines_in_set(flat_index)
+
+    def flush_all(self) -> None:
+        self._cache.flush_all()
+
+    def resident_lines(self) -> typing.Iterator[int]:
+        return self._cache.resident_lines()
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._cache.capacity_bytes
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,315 @@
+"""SoC wiring: the timed access paths through the memory system.
+
+This module composes the passive models (caches, ring, DRAM) into the two
+asymmetric pathways the paper reverse engineers:
+
+* **CPU path**: L1 → L2 → (ring) → LLC → (DRAM).  L1/L2 are inclusive of
+  the LLC; LLC evictions back-invalidate every core's private caches.
+* **GPU path**: L3 → (ring) → LLC → (DRAM).  The L3 is *non-inclusive*:
+  neither LLC evictions nor CPU ``clflush`` reach into it.
+
+Both paths share the LLC arrays and the ring resource — the two contention
+domains the covert channels are built on.  Access paths are generators
+composable with ``yield from``; each returns the latency it took, in
+femtoseconds, which is what the attacking agents' timers measure.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import SoCConfig, kaby_lake
+from repro.errors import SimulationError
+from repro.sim import FS_PER_S, RngStreams, Timeout
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.soc.cpu_cache import CpuCoreCaches
+from repro.soc.dram import Dram
+from repro.soc.gpu_l3 import GpuL3
+from repro.soc.llc import SlicedLlc
+from repro.soc.mmu import AddressSpace, Mmu
+from repro.soc.ring import Ring
+from repro.soc.slm import SharedLocalMemory
+
+AccessGen = typing.Generator[object, object, int]
+
+
+class SoC:
+    """A simulated integrated CPU-GPU system."""
+
+    def __init__(self, config: typing.Optional[SoCConfig] = None) -> None:
+        self.config = (config or kaby_lake()).validate()
+        self.engine = Engine()
+        self.rng = RngStreams(self.config.seed)
+        self.mmu = Mmu(self.config.mmu, self.rng.stream("mmu"))
+        self.dram = Dram(self.config.dram, self.rng.stream("dram"))
+        self.ring = Ring(self.engine, self.config.ring, self.config.cpu_clock)
+        self.llc = SlicedLlc(self.config.llc)
+        self.cpu_caches = [
+            CpuCoreCaches(self.config.cpu_cache, core)
+            for core in range(self.config.cpu_cores)
+        ]
+        self.gpu_l3 = GpuL3(self.config.gpu_l3)
+        self.slm = [
+            SharedLocalMemory(self.config.slm, subslice)
+            for subslice in range(self.config.gpu.total_subslices)
+        ]
+        # Way partition applied to LLC fills, keyed by "cpu"/"gpu".
+        # None means unrestricted (no mitigation active).
+        self.llc_partition: typing.Optional[typing.Dict[str, typing.Tuple[int, ...]]] = None
+        self._noise_process: typing.Optional[Process] = None
+        self._noise_lines: typing.List[int] = []
+        self._line_slots = self.ring.slots_for_line(self.config.llc.line_bytes)
+        # Per-core OS preemption windows (timer interrupts, §V error floor).
+        self._core_stall_until = [0] * self.config.cpu_cores
+        self._tick_process: typing.Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+
+    def new_process(self, name: str) -> AddressSpace:
+        """Create a fresh user process address space."""
+        return AddressSpace(self.mmu, name=name)
+
+    def set_llc_partition(
+        self,
+        cpu_ways: typing.Sequence[int],
+        gpu_ways: typing.Sequence[int],
+    ) -> None:
+        """Activate the §VI way-partitioning mitigation."""
+        overlap = set(cpu_ways) & set(gpu_ways)
+        if overlap:
+            raise SimulationError(f"partitions overlap on ways {sorted(overlap)}")
+        self.llc_partition = {"cpu": tuple(cpu_ways), "gpu": tuple(gpu_ways)}
+
+    def clear_llc_partition(self) -> None:
+        """Deactivate LLC way partitioning."""
+        self.llc_partition = None
+
+    def _fill_ways(self, domain: str) -> typing.Optional[typing.Tuple[int, ...]]:
+        if self.llc_partition is None:
+            return None
+        return self.llc_partition[domain]
+
+    # ------------------------------------------------------------------
+    # Clock helpers
+
+    def cpu_cycles_fs(self, cycles: float) -> int:
+        return self.config.cpu_clock.cycles_fs(cycles)
+
+    def gpu_cycles_fs(self, cycles: float) -> int:
+        return self.config.gpu_clock.cycles_fs(cycles)
+
+    @property
+    def now_fs(self) -> int:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # CPU access path
+
+    def _llc_evict_cpu_side(self, evicted: typing.Optional[int]) -> None:
+        """Inclusive back-invalidation: LLC eviction purges CPU caches.
+
+        Deliberately does *not* touch the GPU L3 (non-inclusive, §III-D).
+        """
+        if evicted is None:
+            return
+        for caches in self.cpu_caches:
+            caches.invalidate(evicted)
+
+    def stall_if_preempted(self, core: int) -> AccessGen:
+        """Hold the program while the OS has preempted its core."""
+        start = self.engine.now
+        stall_until = self._core_stall_until[core]
+        if stall_until > self.engine.now:
+            yield Timeout(self.engine, stall_until - self.engine.now)
+        return self.engine.now - start
+
+    def cpu_access(self, core: int, paddr: int) -> AccessGen:
+        """One CPU load (or write-allocate store); returns latency in fs."""
+        start = self.engine.now
+        yield from self.stall_if_preempted(core)
+        caches = self.cpu_caches[core]
+        cache_cfg = self.config.cpu_cache
+        l1 = caches.l1.access(paddr)
+        if l1.hit:
+            yield Timeout(self.engine, self.cpu_cycles_fs(cache_cfg.l1_hit_cycles))
+            return self.engine.now - start
+        l2 = caches.l2.access(paddr)
+        if l2.evicted is not None:
+            caches.l1.invalidate(l2.evicted)
+        if l2.hit:
+            yield Timeout(self.engine, self.cpu_cycles_fs(cache_cfg.l2_hit_cycles))
+            return self.engine.now - start
+        # Private caches missed: cross the ring to the LLC slice.
+        yield Timeout(
+            self.engine,
+            self.cpu_cycles_fs(cache_cfg.l2_hit_cycles) + self.ring.traverse_fs,
+        )
+        yield from self.ring.transfer(self._line_slots, "cpu")
+        llc = self.llc.access(paddr, allowed_ways=self._fill_ways("cpu"))
+        self._llc_evict_cpu_side(llc.evicted)
+        tail_fs = (
+            self.cpu_cycles_fs(self.config.llc.lookup_cycles) + self.ring.traverse_fs
+        )
+        if not llc.hit:
+            tail_fs += self.dram.latency_fs()
+        yield Timeout(self.engine, tail_fs)
+        return self.engine.now - start
+
+    def clflush(self, core: int, paddr: int) -> AccessGen:
+        """Flush one line from the CPU-coherent domain (L1, L2, LLC).
+
+        The GPU L3 keeps its copy — exactly the behaviour the §III-D
+        inclusiveness experiment detects.  Returns the latency in fs.
+        """
+        start = self.engine.now
+        for caches in self.cpu_caches:
+            caches.invalidate(paddr)
+        was_in_llc = self.llc.invalidate(paddr)
+        cost_cycles = self.config.cpu_cache.l2_hit_cycles
+        if was_in_llc:
+            cost_cycles += self.config.llc.lookup_cycles
+        yield Timeout(self.engine, self.cpu_cycles_fs(cost_cycles))
+        return self.engine.now - start
+
+    # ------------------------------------------------------------------
+    # GPU access path
+
+    def gpu_access(self, paddr: int) -> AccessGen:
+        """One GPU (OpenCL) load through L3 → ring → LLC → DRAM."""
+        start = self.engine.now
+        l3 = self.gpu_l3.access(paddr)
+        if l3.hit:
+            yield Timeout(self.engine, self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles))
+            return self.engine.now - start
+        # L3 miss detection, then cross the ring.  The L3 fill already
+        # happened in state (non-inclusive victim silently dropped).
+        gpu_traverse_fs = self.ring.traverse_fs * self.config.ring.gpu_traverse_multiplier
+        yield Timeout(
+            self.engine,
+            self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles) + gpu_traverse_fs,
+        )
+        yield from self.ring.transfer(self._line_slots, "gpu")
+        llc = self.llc.access(paddr, allowed_ways=self._fill_ways("gpu"))
+        self._llc_evict_cpu_side(llc.evicted)
+        tail_fs = (
+            self.cpu_cycles_fs(self.config.llc.lookup_cycles) + gpu_traverse_fs
+        )
+        if not llc.hit:
+            tail_fs += self.dram.latency_fs()
+        yield Timeout(self.engine, tail_fs)
+        return self.engine.now - start
+
+    # ------------------------------------------------------------------
+    # Background noise (§II-B: unconstrained CPU side)
+
+    def start_noise(
+        self,
+        core: typing.Optional[int] = None,
+        rate_per_s: typing.Optional[float] = None,
+        footprint_bytes: int = 256 * 1024,
+    ) -> None:
+        """Launch a background process issuing Poisson LLC traffic."""
+        if self._noise_process is not None and self._noise_process.alive:
+            raise SimulationError("noise process already running")
+        if not self.config.noise.enabled:
+            return
+        rate = rate_per_s if rate_per_s is not None else (
+            self.config.noise.background_llc_rate_per_s
+        )
+        if rate <= 0:
+            return
+        if not self._noise_lines:
+            space = self.new_process("background-noise")
+            buffer = space.mmap(footprint_bytes)
+            self._noise_lines = buffer.line_paddrs(self.config.llc.line_bytes)
+        noise_core = core if core is not None else self.config.cpu_cores - 1
+        self._noise_process = self.engine.process(self._noise_loop(noise_core, rate))
+
+    def _noise_loop(self, core: int, rate_per_s: float) -> typing.Generator:
+        rng = self.rng.stream("noise")
+        lines = self._noise_lines
+        while True:
+            gap_fs = max(1, int(rng.exponential(1.0 / rate_per_s) * FS_PER_S))
+            yield Timeout(self.engine, gap_fs)
+            paddr = lines[int(rng.integers(0, len(lines)))]
+            yield from self.cpu_access(core, paddr)
+
+    def stop_noise(self) -> None:
+        """Stop the background noise process, if running."""
+        if self._noise_process is not None:
+            self._noise_process.interrupt("stop")
+            self._noise_process = None
+
+    def start_os_ticks(self) -> None:
+        """Launch the periodic timer-interrupt model (per-core stalls)."""
+        if not self.config.noise.enabled:
+            return
+        if self._tick_process is not None and self._tick_process.alive:
+            raise SimulationError("OS tick process already running")
+        self._tick_process = self.engine.process(self._tick_loop())
+
+    def _tick_loop(self) -> typing.Generator:
+        from repro.sim import FS_PER_US
+
+        rng = self.rng.stream("os-ticks")
+        noise = self.config.noise
+        while True:
+            gap_us = noise.os_tick_period_us + rng.uniform(
+                -noise.os_tick_jitter_us, noise.os_tick_jitter_us
+            )
+            yield Timeout(self.engine, max(1, int(gap_us * FS_PER_US)))
+            core = int(rng.integers(0, self.config.cpu_cores))
+            duration_fs = int(
+                noise.os_tick_duration_us * FS_PER_US * (0.6 + 0.8 * rng.random())
+            )
+            self._core_stall_until[core] = max(
+                self._core_stall_until[core], self.engine.now + duration_fs
+            )
+
+    def stop_os_ticks(self) -> None:
+        """Stop the timer-interrupt model."""
+        if self._tick_process is not None:
+            self._tick_process.interrupt("stop")
+            self._tick_process = None
+
+    def start_system_effects(self) -> None:
+        """Convenience: background noise + OS ticks (the default testbed)."""
+        if self.config.noise.enabled:
+            if self._noise_process is None or not self._noise_process.alive:
+                self.start_noise()
+            if self._tick_process is None or not self._tick_process.alive:
+                self.start_os_ticks()
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and the analysis layer
+
+    def cpu_latency_profile(self) -> typing.Dict[str, float]:
+        """Nominal (uncontended) CPU latencies in nanoseconds, per level."""
+        cc = self.config.cpu_cache
+        ring_fs = 2 * self.ring.traverse_fs + self.ring.hold_fs(self._line_slots)
+        llc_fs = (
+            self.cpu_cycles_fs(cc.l2_hit_cycles + self.config.llc.lookup_cycles)
+            + ring_fs
+        )
+        return {
+            "l1_ns": self.cpu_cycles_fs(cc.l1_hit_cycles) / 1e6,
+            "l2_ns": self.cpu_cycles_fs(cc.l2_hit_cycles) / 1e6,
+            "llc_ns": llc_fs / 1e6,
+            "dram_ns": llc_fs / 1e6 + self.dram.mean_latency_ns(),
+        }
+
+    def gpu_latency_profile(self) -> typing.Dict[str, float]:
+        """Nominal (uncontended) GPU latencies in nanoseconds, per level."""
+        ring_fs = (
+            2 * self.ring.traverse_fs * self.config.ring.gpu_traverse_multiplier
+            + self.ring.hold_fs(self._line_slots)
+        )
+        l3_fs = self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles)
+        llc_fs = l3_fs + ring_fs + self.cpu_cycles_fs(self.config.llc.lookup_cycles)
+        return {
+            "l3_ns": l3_fs / 1e6,
+            "llc_ns": llc_fs / 1e6,
+            "dram_ns": llc_fs / 1e6 + self.dram.mean_latency_ns(),
+        }

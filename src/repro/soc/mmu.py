@@ -1,0 +1,203 @@
+"""Virtual memory: page-frame allocation, buffers, and shared virtual memory.
+
+The attack cares about virtual memory for two reasons (§III-C):
+
+* the LLC is physically indexed, and 4 KB pages only pin the low 12 address
+  bits, so the attacker uses *huge pages* (up to 1 GB) to know the low 30
+  bits of physical addresses when reverse engineering the slice hash;
+* OpenCL Shared Virtual Memory + zero-copy buffers let the GPU kernel see
+  exactly the CPU process's virtual *and* physical addresses, so eviction
+  sets built on the CPU remain valid on the GPU.
+
+We model SVM/zero-copy faithfully by letting a GPU kernel borrow the CPU
+process's :class:`AddressSpace`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.config import MmuConfig
+from repro.errors import AllocationError, MemoryModelError
+from repro.soc.address import AddressRegion
+
+
+class Mmu:
+    """Owns physical memory and hands out page frames.
+
+    Frames for base pages are drawn pseudo-randomly across the physical
+    space (the attacker cannot choose them); huge-page allocations return a
+    naturally aligned contiguous block.
+    """
+
+    #: Physical region [0, _RESERVED_BASE) is reserved for firmware/kernel,
+    #: keeping user allocations away from address zero.
+    _RESERVED_BYTES = 1 << 24
+
+    def __init__(self, config: MmuConfig, rng: np.random.Generator) -> None:
+        config.validate()
+        self.config = config
+        self._rng = rng
+        self._phys_size = 1 << config.phys_bits
+        self._allocated: typing.List[AddressRegion] = [
+            AddressRegion(0, self._RESERVED_BYTES)
+        ]
+
+    @property
+    def phys_size(self) -> int:
+        return self._phys_size
+
+    def _region_free(self, region: AddressRegion) -> bool:
+        return not any(region.overlaps(existing) for existing in self._allocated)
+
+    def _claim(self, base: int, size: int) -> AddressRegion:
+        region = AddressRegion(base, size)
+        if region.end > self._phys_size:
+            raise AllocationError("allocation exceeds physical memory")
+        if not self._region_free(region):
+            raise AllocationError("physical region already allocated")
+        self._allocated.append(region)
+        return region
+
+    def allocate_block(self, size: int, align: int) -> AddressRegion:
+        """Allocate a contiguous, ``align``-aligned physical block."""
+        if align & (align - 1):
+            raise MemoryModelError("alignment must be a power of two")
+        slots = (self._phys_size - size) // align
+        if slots <= 0:
+            raise AllocationError(f"no room for a {size}-byte block")
+        for _attempt in range(4096):
+            base = int(self._rng.integers(0, slots + 1)) * align
+            region = AddressRegion(base, size)
+            if region.base >= self._RESERVED_BYTES and self._region_free(region):
+                self._allocated.append(region)
+                return region
+        raise AllocationError("physical memory too fragmented")
+
+    def allocate_frames(self, count: int, frame_bytes: int) -> typing.List[int]:
+        """Allocate ``count`` scattered page frames (random placement)."""
+        frames: typing.List[int] = []
+        for _ in range(count):
+            frames.append(self.allocate_block(frame_bytes, frame_bytes).base)
+        return frames
+
+    def free(self, region: AddressRegion) -> None:
+        """Return a region to the allocator."""
+        try:
+            self._allocated.remove(region)
+        except ValueError:
+            raise MemoryModelError("freeing a region that was never allocated")
+
+
+class Buffer:
+    """A virtually contiguous allocation with a per-page physical mapping."""
+
+    def __init__(
+        self, space: "AddressSpace", va_base: int, size: int, page_bytes: int,
+        frames: typing.Sequence[int],
+    ) -> None:
+        self.space = space
+        self.va_base = va_base
+        self.size = size
+        self.page_bytes = page_bytes
+        self._frames = list(frames)
+        expected = (size + page_bytes - 1) // page_bytes
+        if len(self._frames) != expected:
+            raise MemoryModelError(
+                f"buffer of {size} bytes needs {expected} frames, got {len(self._frames)}"
+            )
+
+    @property
+    def va_end(self) -> int:
+        return self.va_base + self.size
+
+    @property
+    def is_physically_contiguous(self) -> bool:
+        """Whether the backing frames form one contiguous physical run."""
+        return all(
+            self._frames[i] + self.page_bytes == self._frames[i + 1]
+            for i in range(len(self._frames) - 1)
+        )
+
+    def paddr_of(self, offset: int) -> int:
+        """Physical address of byte ``offset`` within the buffer."""
+        if not 0 <= offset < self.size:
+            raise MemoryModelError(f"offset {offset} outside buffer of {self.size}")
+        page, within = divmod(offset, self.page_bytes)
+        return self._frames[page] + within
+
+    def vaddr_of(self, offset: int) -> int:
+        """Virtual address of byte ``offset`` within the buffer."""
+        if not 0 <= offset < self.size:
+            raise MemoryModelError(f"offset {offset} outside buffer of {self.size}")
+        return self.va_base + offset
+
+    def offset_of_vaddr(self, vaddr: int) -> int:
+        """Byte offset corresponding to a virtual address in this buffer."""
+        if not self.va_base <= vaddr < self.va_end:
+            raise MemoryModelError(f"vaddr {vaddr:#x} outside buffer")
+        return vaddr - self.va_base
+
+    def line_offsets(self, line_bytes: int) -> range:
+        """Offsets of every line-aligned element in the buffer."""
+        return range(0, self.size - (self.size % line_bytes), line_bytes)
+
+    def line_paddrs(self, line_bytes: int) -> typing.List[int]:
+        """Physical addresses of every full cache line in the buffer."""
+        return [self.paddr_of(off) for off in self.line_offsets(line_bytes)]
+
+
+class AddressSpace:
+    """One process's virtual address space.
+
+    A GPU kernel launched by the process shares this object (OpenCL SVM /
+    zero-copy), giving it an identical view of both virtual and physical
+    addresses — the property the paper exploits to reuse CPU-built eviction
+    sets on the GPU.
+    """
+
+    _VA_BASE = 0x0000_5555_0000_0000
+
+    def __init__(self, mmu: Mmu, name: str = "proc") -> None:
+        self.mmu = mmu
+        self.name = name
+        self._next_va = self._VA_BASE
+        self._buffers: typing.List[Buffer] = []
+
+    def mmap(self, size: int, page_bytes: typing.Optional[int] = None) -> Buffer:
+        """Allocate a buffer backed by scattered base pages (default) or,
+        when ``page_bytes`` is larger, by contiguous aligned huge pages."""
+        if size <= 0:
+            raise MemoryModelError("buffer size must be positive")
+        page = page_bytes or self.mmu.config.page_bytes
+        if page & (page - 1):
+            raise MemoryModelError("page size must be a power of two")
+        count = (size + page - 1) // page
+        if page > self.mmu.config.page_bytes:
+            # Huge pages: contiguous and naturally aligned.
+            block = self.mmu.allocate_block(count * page, page)
+            frames = [block.base + i * page for i in range(count)]
+        else:
+            frames = self.mmu.allocate_frames(count, page)
+        va_base = self._next_va
+        self._next_va += count * page
+        buffer = Buffer(self, va_base, size, page, frames)
+        self._buffers.append(buffer)
+        return buffer
+
+    def mmap_huge(self, size: int) -> Buffer:
+        """Allocate with the configured huge-page size (1 GB by default)."""
+        return self.mmap(size, page_bytes=self.mmu.config.huge_page_bytes)
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual-to-physical translation across all buffers."""
+        for buffer in self._buffers:
+            if buffer.va_base <= vaddr < buffer.va_end:
+                return buffer.paddr_of(vaddr - buffer.va_base)
+        raise MemoryModelError(f"unmapped virtual address {vaddr:#x}")
+
+    @property
+    def buffers(self) -> typing.Tuple[Buffer, ...]:
+        return tuple(self._buffers)

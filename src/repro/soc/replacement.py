@@ -1,0 +1,141 @@
+"""Cache replacement policies.
+
+Each policy owns the per-set metadata needed to pick victims.  The GPU L3
+uses a tree-based pseudo-LRU with N-1 internal nodes (§III-D quotes the
+Gen9 PRM); the CPU caches and LLC use true LRU, and a random policy exists
+for ablations.
+
+A policy instance is bound to one cache; per-set state is an opaque object
+created by :meth:`new_set_state`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import CacheGeometryError
+
+
+class ReplacementPolicy:
+    """Interface: victim selection plus hit/fill bookkeeping per set."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise CacheGeometryError(f"ways must be positive, got {ways}")
+        self.ways = ways
+
+    def new_set_state(self) -> object:
+        """Create the metadata object for one cache set."""
+        raise NotImplementedError
+
+    def on_hit(self, state: object, way: int) -> None:
+        """Update metadata after a hit in ``way``."""
+        raise NotImplementedError
+
+    def on_fill(self, state: object, way: int) -> None:
+        """Update metadata after a new line is installed in ``way``."""
+        raise NotImplementedError
+
+    def victim(self, state: object) -> int:
+        """Pick the way to evict from a full set (no state change)."""
+        raise NotImplementedError
+
+
+class TrueLru(ReplacementPolicy):
+    """Exact least-recently-used ordering."""
+
+    def new_set_state(self) -> typing.List[int]:
+        # Recency stack: index 0 = MRU, last = LRU.
+        return list(range(self.ways))
+
+    def _touch(self, stack: typing.List[int], way: int) -> None:
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def on_hit(self, state: object, way: int) -> None:
+        self._touch(typing.cast(list, state), way)
+
+    def on_fill(self, state: object, way: int) -> None:
+        self._touch(typing.cast(list, state), way)
+
+    def victim(self, state: object) -> int:
+        return typing.cast(list, state)[-1]
+
+
+class TreePlru(ReplacementPolicy):
+    """Binary-tree pseudo-LRU with ``ways - 1`` internal nodes.
+
+    Each internal node stores one bit pointing *away* from the recently
+    used half.  Victim selection walks the bits from the root; touching a
+    way flips the bits along its path to point away from it.  ``ways`` must
+    be a power of two.
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise CacheGeometryError("tree-pLRU requires a power-of-two way count")
+        self._levels = ways.bit_length() - 1
+
+    def new_set_state(self) -> typing.List[int]:
+        return [0] * max(1, self.ways - 1)
+
+    def _touch(self, bits: typing.List[int], way: int) -> None:
+        node = 0
+        for level in range(self._levels):
+            side = (way >> (self._levels - 1 - level)) & 1
+            bits[node] = 1 - side  # point away from the touched side
+            node = 2 * node + 1 + side
+
+    def on_hit(self, state: object, way: int) -> None:
+        self._touch(typing.cast(list, state), way)
+
+    def on_fill(self, state: object, way: int) -> None:
+        self._touch(typing.cast(list, state), way)
+
+    def victim(self, state: object) -> int:
+        bits = typing.cast(list, state)
+        node = 0
+        way = 0
+        for _level in range(self._levels):
+            side = bits[node]
+            way = (way << 1) | side
+            node = 2 * node + 1 + side
+        return way
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniformly random victim; used only for ablation experiments."""
+
+    def __init__(self, ways: int, rng: np.random.Generator) -> None:
+        super().__init__(ways)
+        self._rng = rng
+
+    def new_set_state(self) -> None:
+        return None
+
+    def on_hit(self, state: object, way: int) -> None:
+        pass
+
+    def on_fill(self, state: object, way: int) -> None:
+        pass
+
+    def victim(self, state: object) -> int:
+        return int(self._rng.integers(0, self.ways))
+
+
+def make_policy(
+    name: str, ways: int, rng: typing.Optional[np.random.Generator] = None
+) -> ReplacementPolicy:
+    """Factory keyed by policy name: ``lru``, ``tree-plru`` or ``random``."""
+    if name == "lru":
+        return TrueLru(ways)
+    if name == "tree-plru":
+        return TreePlru(ways)
+    if name == "random":
+        if rng is None:
+            raise CacheGeometryError("random policy requires an rng")
+        return RandomReplacement(ways, rng)
+    raise CacheGeometryError(f"unknown replacement policy: {name!r}")

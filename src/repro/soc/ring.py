@@ -1,0 +1,110 @@
+"""The ring interconnect between CPU cores, the iGPU and the LLC slices.
+
+The ring is the contention domain of the paper's second covert channel
+(§IV): when both components stream LLC traffic, each transfer queues behind
+the other side's and the CPU observes its access latency rise by T_OV.
+We model the shared medium as a single FIFO resource; a cache-line
+transfer occupies it for ``slots_per_line x slot_cycles`` ring-clock
+cycles, while the propagation latency (``traverse_cycles`` each way) does
+not occupy the shared resource.
+
+The ring optionally enforces a time-division (TDM) schedule between the
+``cpu`` and ``gpu`` domains — the §VI traffic-isolation mitigation.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import ClockConfig, RingConfig
+from repro.errors import ConfigError
+from repro.sim import Timeout
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource
+
+Domain = str  # "cpu" or "gpu"
+
+
+class TdmSchedule:
+    """A fixed two-phase time-division schedule over the ring.
+
+    The period is split into a CPU window followed by a GPU window; a
+    domain may only begin a transfer inside its own window.
+    """
+
+    def __init__(self, period_fs: int, cpu_share: float = 0.5) -> None:
+        if period_fs <= 0:
+            raise ConfigError("TDM period must be positive")
+        if not 0.0 < cpu_share < 1.0:
+            raise ConfigError("TDM cpu_share must be in (0, 1)")
+        self.period_fs = period_fs
+        self.cpu_window_fs = int(period_fs * cpu_share)
+
+    def wait_fs(self, domain: Domain, now_fs: int) -> int:
+        """Delay before ``domain`` may begin a transfer at time ``now_fs``."""
+        phase = now_fs % self.period_fs
+        if domain == "cpu":
+            if phase < self.cpu_window_fs:
+                return 0
+            return self.period_fs - phase
+        if phase >= self.cpu_window_fs:
+            return 0
+        return self.cpu_window_fs - phase
+
+
+class Ring:
+    """Shared ring bus with per-domain accounting and optional TDM."""
+
+    def __init__(self, engine: Engine, config: RingConfig, clock: ClockConfig) -> None:
+        config.validate()
+        self.engine = engine
+        self.config = config
+        self.clock = clock
+        self._resource = FifoResource(engine, name="ring")
+        self.tdm: typing.Optional[TdmSchedule] = None
+        self.transfers: typing.Dict[Domain, int] = {"cpu": 0, "gpu": 0}
+        self.waited_fs: typing.Dict[Domain, int] = {"cpu": 0, "gpu": 0}
+
+    @property
+    def traverse_fs(self) -> int:
+        """One-way propagation latency (does not occupy the ring)."""
+        return self.clock.cycles_fs(self.config.traverse_cycles)
+
+    def hold_fs(self, payload_slots: int) -> int:
+        """Occupancy time for a transfer of ``payload_slots`` ring slots."""
+        return self.clock.cycles_fs(payload_slots * self.config.slot_cycles)
+
+    def slots_for_line(self, line_bytes: int) -> int:
+        """Ring slots needed to move one cache line plus its request."""
+        return 1 + self.config.slots_per_line(line_bytes)
+
+    def transfer(
+        self, payload_slots: int, domain: Domain
+    ) -> typing.Generator[object, object, int]:
+        """Occupy the ring for a transfer; returns queueing delay in fs.
+
+        Composable with ``yield from``.  The returned value is the
+        contention component of the requester's latency (T_OV in Eq. (3)).
+        """
+        if self.tdm is not None:
+            tdm_wait = self.tdm.wait_fs(domain, self.engine.now)
+            if tdm_wait:
+                yield Timeout(self.engine, tdm_wait)
+        waited = yield from self._resource.occupy(self.hold_fs(payload_slots))
+        self.transfers[domain] += 1
+        self.waited_fs[domain] += waited
+        return waited
+
+    def utilization(self) -> float:
+        """Fraction of simulated time the ring medium was occupied."""
+        return self._resource.utilization()
+
+    def mean_wait_fs(self, domain: Domain) -> float:
+        """Average queueing delay experienced by one domain."""
+        count = self.transfers[domain]
+        return self.waited_fs[domain] / count if count else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the per-domain accounting (between measurement windows)."""
+        self.transfers = {"cpu": 0, "gpu": 0}
+        self.waited_fs = {"cpu": 0, "gpu": 0}

@@ -1,0 +1,59 @@
+"""Shared Local Memory (SLM).
+
+Each subslice carries 64 KB of SLM inside the L3 complex but on a separate
+data path (§II-A / §III-D): SLM traffic neither suffers from nor causes L3
+or ring contention.  That isolation is precisely why the paper's custom
+timer lives here — its counter updates are not perturbed by the memory
+traffic being measured.
+
+The atomic counter itself is modeled in :mod:`repro.gpu.timer`; this module
+provides the storage abstraction and its latency.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import SlmConfig
+from repro.errors import GpuModelError
+
+
+class SharedLocalMemory:
+    """Per-subslice scratch storage, private to one work-group."""
+
+    def __init__(self, config: SlmConfig, subslice: int) -> None:
+        config.validate()
+        self.config = config
+        self.subslice = subslice
+        self._words: typing.Dict[int, int] = {}
+        self._allocated = 0
+
+    def alloc_word(self) -> int:
+        """Reserve one 4-byte word; returns its SLM offset."""
+        offset = self._allocated
+        self._allocated += 4
+        if self._allocated > self.config.bytes_per_subslice:
+            raise GpuModelError("SLM allocation exceeds 64 KB per subslice")
+        self._words[offset] = 0
+        return offset
+
+    def load(self, offset: int) -> int:
+        if offset not in self._words:
+            raise GpuModelError(f"SLM load from unallocated offset {offset}")
+        return self._words[offset]
+
+    def store(self, offset: int, value: int) -> None:
+        if offset not in self._words:
+            raise GpuModelError(f"SLM store to unallocated offset {offset}")
+        self._words[offset] = value
+
+    def atomic_add(self, offset: int, delta: int) -> int:
+        """Atomically add ``delta``; returns the *old* value (OpenCL semantics)."""
+        old = self.load(offset)
+        self.store(offset, old + delta)
+        return old
+
+    @property
+    def access_cycles(self) -> int:
+        """GPU cycles for one SLM access (separate path from L3)."""
+        return self.config.access_cycles

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import kaby_lake, kaby_lake_model
+from repro.soc.machine import SoC
+
+
+@pytest.fixture
+def full_config():
+    """The paper's published full-scale geometry."""
+    return kaby_lake(seed=7)
+
+
+@pytest.fixture
+def model_config():
+    """The capacity-scaled machine used by the channel harnesses."""
+    return kaby_lake_model(seed=7, scale=16)
+
+
+@pytest.fixture
+def soc(full_config):
+    """A quiet full-scale SoC (no noise processes running)."""
+    return SoC(full_config)
+
+
+@pytest.fixture
+def model_soc(model_config):
+    """A quiet model-scale SoC."""
+    return SoC(model_config)
+
+
+def run(soc_instance, generator):
+    """Drive a generator to completion on a SoC's engine."""
+    process = soc_instance.engine.process(generator)
+    return soc_instance.engine.run_until_complete(process)
+
+
+@pytest.fixture
+def drive():
+    """Helper: run(soc, generator) -> return value."""
+    return run

@@ -1,0 +1,87 @@
+"""Analysis layer: aggregation, rendering, figure harnesses (small runs)."""
+
+import pytest
+
+from repro.analysis.metrics import aggregate_results
+from repro.analysis.render import format_table, horizontal_bar
+from repro.core.channel import ChannelDirection, ChannelResult
+
+
+def _result(bandwidth_bits, elapsed_fs, errors):
+    sent = [1, 0] * (bandwidth_bits // 2)
+    received = list(sent)
+    # Spaced substitutions so the aligned edit distance equals the count.
+    for index in range(errors):
+        received[index * 7] ^= 1
+    return ChannelResult(
+        direction=ChannelDirection.GPU_TO_CPU,
+        sent=sent,
+        received=received,
+        elapsed_fs=elapsed_fs,
+    )
+
+
+def test_aggregate_means_and_ci():
+    results = [_result(100, 10**12, 2), _result(100, 10**12, 4)]
+    aggregate = aggregate_results(results)
+    assert aggregate.n_runs == 2
+    assert aggregate.error_percent == pytest.approx(3.0)
+    assert aggregate.bandwidth_kbps == pytest.approx(100 / (10**12 / 1e15) / 1e3)
+    assert aggregate.error_ci > 0
+    assert "kb/s" in aggregate.summary()
+
+
+def test_channel_result_properties():
+    result = _result(50, 5 * 10**11, 1)
+    assert result.n_bits == 50
+    assert result.elapsed_s == pytest.approx(5e-4)
+    assert result.error_rate == pytest.approx(1 / 50)
+    assert result.error_percent == pytest.approx(2.0)
+    assert result.direction.pretty == "GPU→CPU"
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+def test_horizontal_bar_proportions():
+    full = horizontal_bar(10, 10, width=10)
+    half = horizontal_bar(5, 10, width=10)
+    assert full == "#" * 10
+    assert half == "#" * 5 + "." * 5
+    assert horizontal_bar(20, 10, width=10) == "#" * 10  # clamped
+    assert horizontal_bar(1, 0) == ""
+
+
+def test_fig9_harness_shape():
+    from repro.analysis.figures import fig9_iteration_factor
+
+    data = fig9_iteration_factor(gpu_buffer_sizes=(512 * 1024, 2 * 1024 * 1024))
+    assert len(data.points) == 2
+    factors = [p.iteration_factor for p in data.points]
+    assert factors[0] > factors[1]
+    rows = data.rows()
+    assert len(rows) == 2
+    assert "claim" in data.paper
+
+
+def test_fig4_harness_shape():
+    from repro.analysis.figures import fig4_timer_characterization
+
+    data = fig4_timer_characterization(samples=10, thread_counts=(32, 224))
+    assert data.main.levels_separated
+    assert len(data.sweep) == 2
+    assert len(data.rows()) == 9  # 3 characterizations x 3 levels
+
+
+def test_headline_harness_small():
+    from repro.analysis.figures import headline
+
+    data = headline(n_bits=24, seeds=(1,))
+    assert data.llc.bandwidth_kbps > 0
+    assert data.contention.bandwidth_kbps > 0
+    assert len(data.rows()) == 2

@@ -1,0 +1,182 @@
+"""Configuration validation and preset tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ClockConfig,
+    CpuCacheConfig,
+    DramConfig,
+    GpuConfig,
+    GpuL3Config,
+    LlcConfig,
+    MmuConfig,
+    NoiseConfig,
+    RingConfig,
+    SLICE_HASH_S0_BITS,
+    SLICE_HASH_S1_BITS,
+    SlmConfig,
+    SoCConfig,
+    kaby_lake,
+    kaby_lake_model,
+    scale_bytes,
+)
+from repro.errors import ConfigError
+
+
+def test_kaby_lake_validates():
+    config = kaby_lake()
+    assert config.llc.total_bytes == 8 * 1024 * 1024
+    assert config.llc.slices == 4
+    assert config.llc.ways == 16
+    assert config.cpu_cores == 4
+
+
+def test_clock_ratio_near_four():
+    config = kaby_lake()
+    assert config.clock_ratio == pytest.approx(4.2 / 1.1)
+
+
+def test_cpu_clock_cycle_length():
+    clock = ClockConfig(4.2e9)
+    assert clock.cycle_fs == round(1e15 / 4.2e9)
+    assert clock.cycles_fs(10) == pytest.approx(10 * clock.cycle_fs, rel=1e-6)
+
+
+def test_clock_rejects_nonpositive_frequency():
+    with pytest.raises(ConfigError):
+        ClockConfig(0).validate()
+
+
+def test_l3_default_capacity_matches_paper_data_array():
+    config = GpuL3Config()
+    assert config.total_bytes == 512 * 1024
+    assert config.total_sets == 1024
+    assert config.placement_bits == 16  # 6 offset + 10 set/bank/sub-bank
+
+
+def test_l3_rejects_non_pow2_banks():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(GpuL3Config(), banks=3).validate()
+
+
+def test_llc_set_and_offset_bits():
+    config = LlcConfig()
+    assert config.offset_bits == 6
+    assert config.set_index_bits == 11
+
+
+def test_llc_rejects_bad_slice_count():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(LlcConfig(), slices=3).validate()
+
+
+def test_slice_hash_bits_match_paper_equations():
+    # Eq. (1): S0 over 19 bits, Eq. (2): S1 over 19 bits.
+    assert len(SLICE_HASH_S0_BITS) == 19
+    assert len(SLICE_HASH_S1_BITS) == 19
+    assert 6 in SLICE_HASH_S0_BITS and 36 in SLICE_HASH_S0_BITS
+    assert 7 in SLICE_HASH_S1_BITS and 37 in SLICE_HASH_S1_BITS
+
+
+def test_ring_slots_per_line():
+    ring = RingConfig()
+    assert ring.slots_per_line(64) == 2
+    assert ring.slots_per_line(32) == 1
+    assert ring.slots_per_line(65) == 3
+
+
+def test_ring_rejects_zero_slot_cycles():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(RingConfig(), slot_cycles=0).validate()
+
+
+def test_dram_probability_bounds():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(DramConfig(), row_hit_probability=1.5).validate()
+
+
+def test_slm_glitch_probability_bounds():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(SlmConfig(), read_glitch_probability=-0.1).validate()
+
+
+def test_gpu_workgroup_limit_multiple_of_wavefront():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(GpuConfig(), max_threads_per_workgroup=100).validate()
+
+
+def test_gpu_workgroups_per_subslice():
+    config = GpuConfig()
+    # 8 EUs x 7 threads x SIMD32 = 1792 work-items -> 7 WGs of 256.
+    assert config.workgroups_per_subslice(256) == 7
+    assert config.workgroups_per_subslice(1792) == 1
+
+
+def test_gpu_total_subslices():
+    assert GpuConfig().total_subslices == 3
+
+
+def test_mmu_rejects_tiny_huge_pages():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(MmuConfig(), huge_page_bytes=2048).validate()
+
+
+def test_noise_validation():
+    with pytest.raises(ConfigError):
+        dataclasses.replace(NoiseConfig(), os_tick_period_us=0).validate()
+
+
+def test_cpu_cache_capacities():
+    config = CpuCacheConfig()
+    assert config.l1_bytes == 32 * 1024
+    assert config.l2_bytes == 256 * 1024
+
+
+def test_soc_replace_validates():
+    config = kaby_lake()
+    with pytest.raises(ConfigError):
+        config.replace(cpu_cores=0)
+
+
+def test_soc_requires_consistent_line_sizes():
+    config = kaby_lake()
+    with pytest.raises(ConfigError):
+        config.replace(llc=dataclasses.replace(config.llc, line_bytes=128))
+
+
+def test_model_scale_preserves_structure():
+    full = kaby_lake()
+    model = kaby_lake_model(scale=16)
+    assert model.llc.slices == full.llc.slices
+    assert model.llc.ways == full.llc.ways
+    assert model.llc.line_bytes == full.llc.line_bytes
+    assert model.gpu_l3.ways == full.gpu_l3.ways
+    assert model.clock_ratio == full.clock_ratio
+    assert model.llc.total_bytes == full.llc.total_bytes // 16
+
+
+def test_model_scale_rejects_non_pow2():
+    with pytest.raises(ConfigError):
+        kaby_lake_model(scale=3)
+
+
+def test_scale_bytes_preserves_llc_ratio():
+    model = kaby_lake_model(scale=16)
+    scaled = scale_bytes(model, 2 * 1024 * 1024)
+    assert scaled == 2 * 1024 * 1024 // 16
+
+
+def test_scale_bytes_full_scale_identity():
+    full = kaby_lake()
+    assert scale_bytes(full, 512 * 1024) == 512 * 1024
+
+
+def test_scale_bytes_line_aligned():
+    model = kaby_lake_model(scale=16)
+    assert scale_bytes(model, 1000) % model.llc.line_bytes == 0
+
+
+def test_seed_flows_into_config():
+    assert kaby_lake(seed=9).seed == 9

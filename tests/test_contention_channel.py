@@ -1,0 +1,194 @@
+"""Contention channel: parameters, calibration, end-to-end runs (§IV/§V)."""
+
+import pytest
+
+from repro.config import kaby_lake_model, scale_bytes
+from repro.core.contention_channel import (
+    ContentionChannel,
+    ContentionChannelConfig,
+    calibrate_iteration_factor,
+)
+from repro.core.contention_channel.calibration import (
+    build_gpu_stripes,
+    split_lines_by_set_index,
+)
+from repro.core.contention_channel.params import ContentionParams
+from repro.errors import CalibrationError, ConfigError
+
+KB, MB = 1024, 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Parameters (Eq. 3-7)
+
+
+def test_params_validate_llc_budget(model_config):
+    params = ContentionParams(
+        cpu_buffer_bytes=model_config.llc.total_bytes,
+        gpu_buffer_bytes=model_config.llc.total_bytes,
+    )
+    with pytest.raises(ConfigError):
+        params.validate(model_config)  # violates Eq. 5
+
+
+def test_params_validate_minimums(model_config):
+    with pytest.raises(ConfigError):
+        ContentionParams(cpu_buffer_bytes=64, gpu_buffer_bytes=64).validate(
+            model_config
+        )
+    with pytest.raises(ConfigError):
+        ContentionParams(
+            cpu_buffer_bytes=32 * KB, gpu_buffer_bytes=64 * KB, n_workgroups=0
+        ).validate(model_config)
+
+
+def test_num_els_per_thread_eq7(model_config):
+    params = ContentionParams(
+        cpu_buffer_bytes=32 * KB, gpu_buffer_bytes=128 * KB, n_workgroups=2
+    )
+    lines = params.gpu_lines(model_config)
+    assert params.num_els_per_thread(model_config) == lines / (2 * 256)
+
+
+def test_channel_scales_paper_buffer_sizes():
+    channel = ContentionChannel(ContentionChannelConfig())
+    params = channel.params()
+    expected_cpu = scale_bytes(channel.soc_config, 512 * KB)
+    expected_gpu = scale_bytes(channel.soc_config, 2 * MB)
+    assert params.cpu_buffer_bytes == expected_cpu
+    assert params.gpu_buffer_bytes == expected_gpu
+
+
+# ----------------------------------------------------------------------
+# Buffer partitioning (Eq. 6)
+
+
+def test_split_lines_disjoint_set_halves(model_soc):
+    space = model_soc.new_process("split")
+    buffer = space.mmap_huge(1 << 22)
+    low = split_lines_by_set_index(model_soc, buffer, 128, upper_half=False)
+    high = split_lines_by_set_index(model_soc, buffer, 128, upper_half=True)
+    half = model_soc.config.llc.sets_per_slice // 2
+    for paddr in low:
+        assert model_soc.llc.location_of(paddr).set_index < half
+    for paddr in high:
+        assert model_soc.llc.location_of(paddr).set_index >= half
+    low_sets = {model_soc.llc.location_of(p) for p in low}
+    high_sets = {model_soc.llc.location_of(p) for p in high}
+    assert not low_sets & high_sets  # Eq. 6
+
+
+def test_split_lines_exhaustion_raises(model_soc):
+    space = model_soc.new_process("split2")
+    buffer = space.mmap_huge(1 << 14)
+    with pytest.raises(CalibrationError):
+        split_lines_by_set_index(model_soc, buffer, 10_000, upper_half=True)
+
+
+def test_stripes_partition_lines():
+    lines = list(range(0, 64 * 100, 64))
+    stripes = build_gpu_stripes(lines, 4)
+    assert len(stripes) == 4
+    rejoined = sorted(p for stripe in stripes for p in stripe)
+    assert rejoined == lines
+    assert max(len(s) for s in stripes) - min(len(s) for s in stripes) <= 1
+
+
+# ----------------------------------------------------------------------
+# Calibration (Fig. 9)
+
+
+@pytest.fixture(scope="module")
+def default_calibration():
+    channel = ContentionChannel(ContentionChannelConfig())
+    return channel, channel.calibrate(seed=2)
+
+
+def test_calibration_fields(default_calibration):
+    channel, calibration = default_calibration
+    assert calibration.gpu_pass_fs > 0
+    assert calibration.cpu_group_fs > 0
+    assert calibration.slot_fs == int(channel.config.slot_us * 1e9)
+    assert calibration.iteration_factor == pytest.approx(
+        calibration.slot_fs / calibration.gpu_pass_fs, rel=0.01
+    )
+    assert calibration.nominal_bandwidth_bps == pytest.approx(
+        1e15 / calibration.slot_fs
+    )
+
+
+def test_iteration_factor_falls_with_buffer_size():
+    """Fig. 9 shape: bigger GPU buffer -> longer pass -> smaller I_F."""
+    factors = []
+    for size in (512 * KB, 1 * MB, 2 * MB):
+        channel = ContentionChannel(
+            ContentionChannelConfig(gpu_buffer_paper_bytes=size)
+        )
+        factors.append(channel.calibrate(seed=2).iteration_factor)
+    assert factors[0] > factors[1] > factors[2]
+
+
+def test_forced_iteration_factor_scales_slot():
+    channel = ContentionChannel(ContentionChannelConfig(iteration_factor=3))
+    calibration = channel.calibrate(seed=2)
+    assert calibration.iteration_factor == 3.0
+    assert calibration.slot_fs == int(1.25 * 3 * calibration.gpu_pass_fs)
+
+
+# ----------------------------------------------------------------------
+# End-to-end transmissions
+
+
+def test_transmission_recovers_payload(default_calibration):
+    channel, calibration = default_calibration
+    result = channel.transmit(n_bits=64, seed=3, calibration=calibration)
+    assert result.error_rate <= 0.06
+    assert 200 < result.bandwidth_kbps < 600
+
+
+def test_transmission_metadata(default_calibration):
+    channel, calibration = default_calibration
+    result = channel.transmit(n_bits=24, seed=4, calibration=calibration)
+    assert result.meta["n_workgroups"] == 2
+    assert result.meta["iteration_factor"] == calibration.iteration_factor
+    assert result.meta["n_samples"] > 0
+
+
+def test_transmission_reproducible(default_calibration):
+    channel, calibration = default_calibration
+    a = channel.transmit(n_bits=24, seed=5, calibration=calibration)
+    b = channel.transmit(n_bits=24, seed=5, calibration=calibration)
+    assert a.received == b.received
+    assert a.elapsed_fs == b.elapsed_fs
+
+
+def test_transmission_explicit_payload(default_calibration):
+    channel, calibration = default_calibration
+    payload = [1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0] * 2
+    result = channel.transmit(bits=payload, seed=6, calibration=calibration)
+    assert result.sent == payload
+    assert len(result.received) == len(payload)
+
+
+def test_quiet_system_low_error(default_calibration):
+    channel, _ = default_calibration
+    quiet = ContentionChannel(
+        ContentionChannelConfig(system_effects=False),
+        soc_config=channel.soc_config,
+    )
+    calibration = quiet.calibrate(seed=2)
+    result = quiet.transmit(n_bits=48, seed=7, calibration=calibration)
+    assert result.error_rate <= 0.05
+
+
+def test_single_workgroup_weaker_but_alive():
+    channel = ContentionChannel(ContentionChannelConfig(n_workgroups=1))
+    calibration = channel.calibrate(seed=2)
+    result = channel.transmit(n_bits=48, seed=8, calibration=calibration)
+    assert result.error_rate < 0.5  # far from random guessing
+
+
+def test_transmit_calibrates_when_not_given():
+    channel = ContentionChannel(ContentionChannelConfig())
+    result = channel.transmit(n_bits=16, seed=9)
+    assert len(result.received) <= 16 + 4

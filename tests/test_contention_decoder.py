@@ -1,0 +1,160 @@
+"""Offline run-length decoder on synthetic latency traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contention_channel.decoder import (
+    POSTAMBLE,
+    PREAMBLE,
+    DecodeResult,
+    decode_samples,
+    frame_bits,
+    two_means_threshold,
+)
+from repro.errors import AttackError
+
+SLOT = 1_000_000_000  # 1 us in fs
+QUIET, LOUD = 450.0, 900.0
+
+
+def synth_trace(
+    payload,
+    slot_fs=SLOT,
+    samples_per_slot=12,
+    lead_in_slots=4,
+    tail_slots=6,
+    quiet=QUIET,
+    loud=LOUD,
+):
+    """Synthesize the receiver's (timestamp, cycles) trace for a payload."""
+    frame = frame_bits(payload)
+    states = [0] * lead_in_slots + list(frame) + [0] * tail_slots
+    trace = []
+    step = slot_fs // samples_per_slot
+    t = 0
+    for state in states:
+        for _ in range(samples_per_slot):
+            trace.append((t, int(loud if state else quiet)))
+            t += step
+    return trace
+
+
+def test_frame_layout():
+    framed = frame_bits([1, 1, 0])
+    assert framed == list(PREAMBLE) + [1, 1, 0] + list(POSTAMBLE)
+
+
+def test_two_means_on_clean_bimodal():
+    values = [10.0] * 50 + [100.0] * 50
+    threshold = two_means_threshold(values)
+    assert 10 < threshold < 100
+
+
+def test_two_means_initialization_is_percentile_based():
+    """A single low/high outlier must not drag the initial centers."""
+    values = [450.0] * 50 + [550.0] * 50 + [5.0]
+    threshold = two_means_threshold(values)
+    assert 450 < threshold < 550
+
+
+def test_two_means_needs_the_decoders_cap_for_extreme_spikes():
+    """Documents why decode_samples caps window means at p95 first: an
+    un-capped extreme spike legitimately forms its own cluster."""
+    values = [450.0] * 80 + [550.0] * 20 + [5000.0]
+    hijacked = two_means_threshold(values)
+    assert hijacked > 550
+    capped = sorted(values)[int(0.95 * (len(values) - 1))]
+    threshold = two_means_threshold([min(v, capped) for v in values])
+    assert 450 < threshold < 560
+
+
+def test_two_means_empty_raises():
+    with pytest.raises(AttackError):
+        two_means_threshold([])
+
+
+def test_decode_simple_payload():
+    payload = [1, 0, 1, 1, 0, 0, 1, 0]
+    result = decode_samples(synth_trace(payload), SLOT, expected_bits=len(payload))
+    assert result.bits == payload
+
+
+def test_decode_long_runs():
+    payload = [1] * 6 + [0] * 5 + [1] * 3
+    result = decode_samples(synth_trace(payload), SLOT, expected_bits=len(payload))
+    assert result.bits == payload
+
+
+def test_decode_all_zero_payload():
+    payload = [0] * 10
+    result = decode_samples(synth_trace(payload), SLOT, expected_bits=len(payload))
+    assert result.bits == payload
+
+
+def test_decode_all_one_payload():
+    payload = [1] * 10
+    result = decode_samples(synth_trace(payload), SLOT, expected_bits=len(payload))
+    assert result.bits == payload
+
+
+def test_decode_survives_preemption_gap():
+    payload = [1, 0, 0, 1, 1, 0, 1, 0, 1, 1]
+    trace = synth_trace(payload)
+    # Drop ~1.5 slots of samples mid-quiet-run (receiver preempted).
+    hole_start = trace[len(trace) // 2][0]
+    trace = [s for s in trace if not hole_start <= s[0] < hole_start + SLOT // 3]
+    result = decode_samples(trace, SLOT, expected_bits=len(payload))
+    errors = sum(1 for a, b in zip(payload, result.bits) if a != b)
+    assert errors <= 1
+
+
+def test_decode_survives_spike_outliers():
+    payload = [1, 0, 1, 0, 0, 1, 1, 0]
+    trace = synth_trace(payload)
+    corrupted = [
+        (t, v * 12 if i % 37 == 0 else v) for i, (t, v) in enumerate(trace)
+    ]
+    result = decode_samples(corrupted, SLOT, expected_bits=len(payload))
+    assert result.bits == payload
+
+
+def test_decode_warmup_contention_is_skipped():
+    """Sender warm-up looks like contention before the lead-in gap."""
+    payload = [0, 1, 1, 0, 1]
+    trace = synth_trace(payload)
+    warmup = [(t - 6 * SLOT, int(LOUD)) for t in range(0, 2 * SLOT, SLOT // 12)]
+    rebased = [(t + 6 * SLOT, v) for t, v in warmup + trace]
+    result = decode_samples(rebased, SLOT, expected_bits=len(payload))
+    assert result.bits == payload
+
+
+def test_decode_reports_span(synth=synth_trace):
+    payload = [1, 0, 1]
+    result = decode_samples(synth(payload), SLOT, expected_bits=len(payload))
+    frame_slots = len(PREAMBLE) + len(payload) + len(POSTAMBLE)
+    assert result.payload_span_fs == pytest.approx(frame_slots * SLOT, rel=0.35)
+
+
+def test_decode_too_short_raises():
+    with pytest.raises(AttackError):
+        decode_samples([(0, 1), (1, 2)], SLOT)
+
+
+def test_decode_bad_slot_raises():
+    with pytest.raises(AttackError):
+        decode_samples(synth_trace([1, 0]), 0)
+
+
+def test_decode_result_fields():
+    result = decode_samples(synth_trace([1, 0]), SLOT, expected_bits=2)
+    assert isinstance(result, DecodeResult)
+    assert result.n_samples > 0
+    assert result.threshold_cycles > QUIET
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=40))
+def test_decode_roundtrip_clean_traces(payload):
+    result = decode_samples(synth_trace(payload), SLOT, expected_bits=len(payload))
+    assert result.bits == payload

@@ -1,0 +1,197 @@
+"""CPU program verbs: timers, probes, batches, pointer chasing, noise."""
+
+import pytest
+
+from repro.cpu.core import CPU_MEM_PARALLELISM, CpuProgram, RDTSC_CYCLES
+from repro.cpu.noise import BurstyNoiseAgent
+from repro.cpu.pointer_chase import PointerChaseBuffer
+from repro.errors import MemoryModelError
+from repro.sim import FS_PER_US
+
+
+@pytest.fixture
+def program(soc):
+    return CpuProgram(soc, core=0, name="unit")
+
+
+def drive(soc, generator):
+    return soc.engine.run_until_complete(soc.engine.process(generator))
+
+
+def test_alloc_lines_count_and_alignment(soc, program):
+    lines = program.alloc_lines(10)
+    assert len(lines) == 10
+    assert all(line % 64 == 0 for line in lines)
+
+
+def test_alloc_lines_huge_contiguous(soc, program):
+    lines = program.alloc_lines(4, huge=True)
+    assert lines[1] - lines[0] == 64
+
+
+def test_rdtsc_monotonic_and_advances(soc, program):
+    def body():
+        first = yield from program.rdtsc()
+        second = yield from program.rdtsc()
+        return first, second
+
+    first, second = drive(soc, body())
+    assert second >= first + RDTSC_CYCLES - 3
+
+
+def test_timed_read_discriminates_hit_from_miss(soc, program):
+    lines = program.alloc_lines(2)
+
+    def body():
+        cold = yield from program.timed_read(lines[0])
+        warm = yield from program.timed_read(lines[0])
+        return cold, warm
+
+    cold, warm = drive(soc, body())
+    assert cold > 3 * warm
+
+
+def test_timed_probe_scales_with_set_size(soc, program):
+    lines = program.alloc_lines(16)
+
+    def body():
+        yield from program.read_series(lines)
+        small = yield from program.timed_probe(lines[:4])
+        large = yield from program.timed_probe(lines)
+        return small, large
+
+    small, large = drive(soc, body())
+    assert large > small
+
+
+def test_read_batch_faster_than_serial(soc, program):
+    serial_lines = program.alloc_lines(32)
+    batch_lines = program.alloc_lines(32)
+
+    def body():
+        start = soc.now_fs
+        yield from program.read_series(serial_lines)
+        serial_time = soc.now_fs - start
+        start = soc.now_fs
+        yield from program.read_batch(batch_lines)
+        batch_time = soc.now_fs - start
+        return serial_time, batch_time
+
+    serial_time, batch_time = drive(soc, body())
+    assert batch_time < serial_time / 2  # MLP pays off on cold misses
+
+
+def test_read_batch_returns_all_latencies(soc, program):
+    lines = program.alloc_lines(20)
+
+    def body():
+        latencies = yield from program.read_batch(lines, parallelism=8)
+        return latencies
+
+    latencies = drive(soc, body())
+    assert len(latencies) == 20
+    assert all(latency > 0 for latency in latencies)
+
+
+def test_clflush_generator(soc, program):
+    lines = program.alloc_lines(1)
+
+    def body():
+        yield from program.read(lines[0])
+        yield from program.clflush(lines[0])
+        return None
+
+    drive(soc, body())
+    assert not soc.llc.contains(lines[0])
+
+
+def test_wait_cycles_advances_clock(soc, program):
+    def body():
+        start = soc.now_fs
+        yield from program.wait_cycles(100)
+        return soc.now_fs - start
+
+    assert drive(soc, body()) == soc.cpu_cycles_fs(100)
+
+
+def test_default_mem_parallelism_constant():
+    assert CPU_MEM_PARALLELISM == 8
+
+
+# ----------------------------------------------------------------------
+# Pointer chase
+
+
+def test_chase_visits_every_line_once_per_pass(soc):
+    space = soc.new_process("chase")
+    buffer = space.mmap(64 * 64)
+    chase = PointerChaseBuffer(buffer, 64, soc.rng.stream("c"))
+    pass_addrs = chase.next_paddrs(chase.n_lines)
+    assert sorted(pass_addrs) == sorted(buffer.line_paddrs(64))
+    assert len(set(pass_addrs)) == chase.n_lines
+
+
+def test_chase_is_single_cycle(soc):
+    space = soc.new_process("chase2")
+    buffer = space.mmap(64 * 32)
+    chase = PointerChaseBuffer(buffer, 64, soc.rng.stream("c2"))
+    first_pass = chase.next_paddrs(chase.n_lines)
+    second_pass = chase.next_paddrs(chase.n_lines)
+    assert first_pass == second_pass  # wraps around the same cycle
+
+
+def test_chase_from_lines():
+    import numpy as np
+
+    lines = [k * 64 for k in range(10)]
+    chase = PointerChaseBuffer.from_lines(lines, np.random.default_rng(0))
+    assert sorted(chase.all_paddrs()) == lines
+
+
+def test_chase_reset(soc):
+    space = soc.new_process("chase3")
+    buffer = space.mmap(64 * 8)
+    chase = PointerChaseBuffer(buffer, 64, soc.rng.stream("c3"))
+    first = chase.next_paddrs(3)
+    chase.reset()
+    assert chase.next_paddrs(3) == first
+
+
+def test_chase_requires_two_lines(soc):
+    space = soc.new_process("chase4")
+    buffer = space.mmap(64)
+    with pytest.raises(MemoryModelError):
+        PointerChaseBuffer(buffer, 64, soc.rng.stream("c4"))
+
+
+def test_chase_generator_accounts_time(soc, program):
+    space = program.space
+    buffer = space.mmap(64 * 32)
+    chase = PointerChaseBuffer(buffer, 64, soc.rng.stream("c5"))
+
+    def body():
+        elapsed = yield from chase.chase(program, 10)
+        return elapsed
+
+    assert drive(soc, body()) > 0
+
+
+# ----------------------------------------------------------------------
+# Bursty noise agent
+
+
+def test_bursty_noise_start_stop(soc):
+    agent = BurstyNoiseAgent(soc, core=3, mean_quiet_s=1e-6, mean_burst_s=20e-6)
+    agent.start()
+    misses_before = soc.llc.misses
+    soc.engine.run(until_fs=soc.engine.now + 200 * FS_PER_US)
+    assert soc.llc.misses > misses_before
+    agent.stop()
+    soc.engine.run(until_fs=soc.engine.now + 10 * FS_PER_US)
+
+
+def test_bursty_noise_double_start_is_noop(soc):
+    agent = BurstyNoiseAgent(soc, core=3)
+    agent.start()
+    agent.start()  # no exception
+    agent.stop()

@@ -1,0 +1,120 @@
+"""Bit-stream utilities and error metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    bit_error_rate,
+    bits_to_bytes,
+    bytes_to_bits,
+    edit_distance,
+    hamming_errors,
+    random_bits,
+)
+from repro.errors import AttackError
+from repro.sim.rng import RngStreams
+
+bits = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=120)
+
+
+def test_random_bits_length_and_values():
+    rng = RngStreams(0).stream("payload")
+    payload = random_bits(100, rng)
+    assert len(payload) == 100
+    assert set(payload) <= {0, 1}
+
+
+def test_random_bits_rejects_empty():
+    with pytest.raises(AttackError):
+        random_bits(0, RngStreams(0).stream("x"))
+
+
+def test_bytes_to_bits_msb_first():
+    assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+    assert bytes_to_bits(b"\x01") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_bytes_bits_roundtrip(data):
+    assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+def test_bits_to_bytes_pads_tail():
+    assert bits_to_bytes([1, 0, 1]) == bytes([0b10100000])
+
+
+def test_hamming_counts_mismatches():
+    assert hamming_errors([1, 0, 1], [1, 1, 1]) == 1
+    assert hamming_errors([1, 0], [1, 0, 1, 1]) == 2  # length gap charged
+
+
+def test_edit_distance_identity():
+    assert edit_distance([1, 0, 1, 1], [1, 0, 1, 1]) == 0
+
+
+def test_edit_distance_substitution():
+    assert edit_distance([1, 0, 1], [1, 1, 1]) == 1
+
+
+def test_edit_distance_insertion_costs_one():
+    sent = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+    received = [0] + sent  # one slipped bit
+    assert edit_distance(sent, received) == 1
+    # positional comparison would blame many positions
+    assert hamming_errors(sent, received) > 5
+
+
+def test_edit_distance_deletion():
+    sent = [1, 0, 1, 1, 0, 1]
+    assert edit_distance(sent, sent[1:]) == 1
+
+
+@given(bits, bits)
+def test_edit_distance_symmetric(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+@given(bits)
+def test_edit_distance_self_zero(a):
+    assert edit_distance(a, a) == 0
+
+
+@given(bits, bits)
+def test_edit_distance_bounded(a, b):
+    distance = edit_distance(a, b)
+    assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+
+@given(bits, bits)
+def test_edit_distance_le_hamming(a, b):
+    assert edit_distance(a, b) <= hamming_errors(a, b)
+
+
+def test_edit_distance_band_fallback():
+    assert edit_distance([0] * 10, [0] * 200, band=16) == 200
+
+
+def test_ber_perfect_channel():
+    assert bit_error_rate([1, 0, 1], [1, 0, 1]) == 0.0
+
+
+def test_ber_empty_received_is_total_loss():
+    assert bit_error_rate([1, 0, 1, 1], []) == 1.0
+
+
+def test_ber_rejects_empty_sent():
+    with pytest.raises(AttackError):
+        bit_error_rate([], [1])
+
+
+def test_ber_capped_at_one():
+    assert bit_error_rate([1], [0, 0, 0, 0, 0]) == 1.0
+
+
+def test_ber_alignment_toggle():
+    sent = [1, 0] * 16
+    received = [0] + sent
+    aligned = bit_error_rate(sent, received, align=True)
+    positional = bit_error_rate(sent, received, align=False)
+    assert aligned < positional

@@ -1,0 +1,185 @@
+"""Eviction-set construction and the group-testing reduction."""
+
+import pytest
+
+from repro.config import kaby_lake
+from repro.core.evictionset import AddressPool, reduce_eviction_set
+from repro.errors import EvictionSetError
+from repro.soc.llc import LlcLocation
+from repro.soc.slice_hash import SliceHash
+
+
+@pytest.fixture
+def pool(soc):
+    config = soc.config
+    space = soc.new_process("pool")
+    buffer = space.mmap_huge(512 * (1 << 17))
+    hash_model = SliceHash(
+        [config.llc.hash_s0_mask, config.llc.hash_s1_mask], config.llc.slices
+    )
+    return AddressPool(buffer, config.llc, config.gpu_l3, hash_model)
+
+
+def test_pool_requires_contiguous_backing(soc):
+    config = soc.config
+    space = soc.new_process("frag")
+    buffer = space.mmap(1 << 20)  # scattered 4 KB pages
+    hash_model = SliceHash(
+        [config.llc.hash_s0_mask, config.llc.hash_s1_mask], config.llc.slices
+    )
+    with pytest.raises(EvictionSetError):
+        AddressPool(buffer, config.llc, config.gpu_l3, hash_model)
+
+
+def test_attacker_view_matches_hardware(soc, pool):
+    for offset in range(0, 64 * 1024, 4096 + 64):
+        paddr = pool.buffer.paddr_of(offset)
+        assert pool.llc_location_of(paddr) == soc.llc.location_of(paddr)
+        assert pool.l3_set_of(paddr) == soc.gpu_l3.flat_index_of(paddr)
+
+
+def test_llc_eviction_set_lands_in_target_set(soc, pool):
+    location = LlcLocation(2, 100)
+    addrs = pool.llc_eviction_set(location, 16)
+    assert len(addrs) == 16
+    assert len(set(addrs)) == 16
+    for paddr in addrs:
+        assert soc.llc.location_of(paddr) == location
+
+
+def test_llc_eviction_set_actually_evicts(soc, pool):
+    location = LlcLocation(1, 40)
+    addrs = pool.llc_eviction_set(location, 17)
+    victim, fillers = addrs[0], addrs[1:]
+    soc.llc.access(victim)
+    for paddr in fillers:
+        soc.llc.access(paddr)
+    assert not soc.llc.contains(victim)
+
+
+def test_llc_eviction_set_respects_exclusions(pool):
+    location = LlcLocation(0, 7)
+    first = pool.llc_eviction_set(location, 4)
+    second = pool.llc_eviction_set(location, 4, exclude=set(first))
+    assert not set(first) & set(second)
+
+
+def test_llc_eviction_set_exhaustion_raises(pool):
+    with pytest.raises(EvictionSetError):
+        pool.llc_eviction_set(LlcLocation(0, 1), 10_000)
+
+
+def test_available_llc_sets_have_candidates(pool):
+    locations = pool.available_llc_sets(min_candidates=16, limit=8)
+    assert len(locations) == 8
+
+
+def test_l3_pollute_set_shares_l3_not_llc(soc, pool):
+    location = LlcLocation(0, 33)
+    target = pool.llc_eviction_set(location, 1)[0]
+    pollute = pool.l3_pollute_set(target, 8, forbidden=[location])
+    assert len(pollute) == 8
+    for paddr in pollute:
+        assert soc.gpu_l3.same_set(paddr, target)
+        assert soc.llc.location_of(paddr) != location
+
+
+def test_l3_pollute_evicts_target_from_l3(soc, pool):
+    location = LlcLocation(0, 34)
+    target = pool.llc_eviction_set(location, 1)[0]
+    pollute = pool.l3_pollute_set(target, 8, forbidden=[location])
+    soc.gpu_l3.access(target)
+    for _round in range(5):
+        for paddr in pollute:
+            soc.gpu_l3.access(paddr)
+    assert not soc.gpu_l3.contains(target)
+
+
+def test_llc_setindex_pollute_strategy(soc, pool):
+    location = LlcLocation(0, 35)
+    target = pool.llc_eviction_set(location, 1)[0]
+    pollute = pool.llc_setindex_pollute_set(target, 16, forbidden=[location])
+    target_index = soc.llc.location_of(target).set_index
+    for paddr in pollute:
+        assert soc.llc.location_of(paddr).set_index == target_index
+        assert soc.llc.location_of(paddr) != location
+
+
+def test_whole_l3_clear_covers_every_set(soc, pool):
+    forbidden = [LlcLocation(0, 36)]
+    clear = pool.whole_l3_clear_set(forbidden)
+    config = soc.config.gpu_l3
+    assert len(clear) == config.total_sets * (config.ways + 1)
+    covered = {soc.gpu_l3.flat_index_of(p) for p in clear}
+    assert len(covered) == config.total_sets
+    for paddr in clear:
+        assert soc.llc.location_of(paddr) not in forbidden
+
+
+def test_whole_l3_clear_flushes_l3(soc, pool):
+    # As in the channel: the targets' own LLC sets are excluded, so the
+    # clear set never re-touches (and thereby re-warms) the targets.
+    targets = [pool.buffer.paddr_of(k * 64) for k in range(120, 128)]
+    forbidden = [soc.llc.location_of(t) for t in targets]
+    clear = pool.whole_l3_clear_set(forbidden)
+    assert not set(targets) & set(clear)
+    for target in targets:
+        soc.gpu_l3.access(target)
+    for _round in range(2):
+        for paddr in clear:
+            soc.gpu_l3.access(paddr)
+    survivors = sum(1 for t in targets if soc.gpu_l3.contains(t))
+    assert survivors <= 1  # pLRU orbits may spare at most a straggler
+
+
+# ----------------------------------------------------------------------
+# Group-testing reduction (oracle = ground-truth set collision)
+
+
+def _make_oracle(soc, victim):
+    """Exact oracle: does accessing the subset evict the victim?"""
+
+    def oracle(victim_addr, subset):
+        soc.llc.flush_all()
+        soc.llc.access(victim_addr)
+        for paddr in subset:
+            soc.llc.access(paddr)
+        return not soc.llc.contains(victim_addr)
+
+    return oracle
+
+
+def test_reduce_to_minimal_set(soc, pool):
+    location = LlcLocation(3, 50)
+    conflicts = pool.llc_eviction_set(location, 40)
+    victim, candidates = conflicts[0], conflicts[1:]
+    oracle = _make_oracle(soc, victim)
+    minimal = reduce_eviction_set(victim, candidates, oracle, ways=16)
+    assert len(minimal) == 16
+    assert oracle(victim, minimal)
+
+
+def test_reduce_mixed_pool(soc, pool):
+    """Reduction must cope with non-conflicting filler addresses."""
+    location = LlcLocation(3, 51)
+    conflicts = pool.llc_eviction_set(location, 20)
+    other = pool.llc_eviction_set(LlcLocation(2, 52), 30)
+    victim = conflicts[0]
+    candidates = []
+    for pair in zip(other, conflicts[1:]):
+        candidates.extend(pair)
+    candidates.extend(other[len(conflicts) - 1:])
+    oracle = _make_oracle(soc, victim)
+    minimal = reduce_eviction_set(victim, candidates, oracle, ways=16)
+    assert oracle(victim, minimal)
+    assert len(minimal) <= 20
+    for paddr in minimal[:16]:
+        assert soc.llc.location_of(paddr) == location
+
+
+def test_reduce_insufficient_pool_raises(soc, pool):
+    location = LlcLocation(3, 53)
+    conflicts = pool.llc_eviction_set(location, 10)  # fewer than ways
+    oracle = _make_oracle(soc, conflicts[0])
+    with pytest.raises(EvictionSetError):
+        reduce_eviction_set(conflicts[0], conflicts[1:], oracle, ways=16)

@@ -1,0 +1,62 @@
+"""Light-weight checks of the figure harness plumbing.
+
+The full sweeps live in benchmarks/; these tests run tiny instances to
+verify shapes, row formats and paper annotations.
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    Fig7Data,
+    Fig8Data,
+    Fig10Data,
+    fig7_llc_strategies,
+    fig8_llc_sets,
+    fig10_contention_sweep,
+)
+from repro.core.channel import ChannelDirection
+from repro.core.llc_channel import EvictionStrategy
+
+
+@pytest.mark.slow
+def test_fig7_small_instance():
+    data = fig7_llc_strategies(
+        n_bits=16,
+        seeds=(1,),
+        directions=(ChannelDirection.GPU_TO_CPU,),
+    )
+    assert isinstance(data, Fig7Data)
+    strategies = {point.strategy for point in data.points}
+    assert strategies == set(EvictionStrategy)
+    for row in data.rows():
+        assert len(row) == 4
+    assert "precise-l3" in data.paper
+
+
+@pytest.mark.slow
+def test_fig8_small_instance():
+    data = fig8_llc_sets(
+        set_counts=(1, 2),
+        n_bits=24,
+        seeds=(1,),
+        directions=(ChannelDirection.GPU_TO_CPU,),
+    )
+    assert isinstance(data, Fig8Data)
+    assert {point.n_sets for point in data.points} == {1, 2}
+    for point in data.points:
+        assert point.aggregate.n_runs == 1
+
+
+@pytest.mark.slow
+def test_fig10_small_instance():
+    data = fig10_contention_sweep(
+        workgroup_counts=(2,),
+        gpu_buffer_sizes=(2 * 1024 * 1024,),
+        n_bits=32,
+        seeds=(1,),
+    )
+    assert isinstance(data, Fig10Data)
+    assert len(data.points) == 1
+    best = data.best()
+    assert best.n_workgroups == 2
+    assert best.iteration_factor > 0

@@ -1,0 +1,288 @@
+"""GPU execution model: dispatch, launches, work-group context, timer."""
+
+import pytest
+
+from repro.errors import GpuModelError, KernelLaunchError
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.opencl import OpenClContext
+from repro.gpu.timer import SlmTimer, counter_rate_per_cycle
+from repro.gpu.workgroup import WorkGroupCtx
+from repro.sim import FS_PER_US
+
+
+@pytest.fixture
+def device(soc):
+    return GpuDevice(soc)
+
+
+@pytest.fixture
+def cl(soc, device):
+    return OpenClContext(soc, device, soc.new_process("gpu-tests"))
+
+
+def _noop_kernel(wg):
+    yield from wg.wait_cycles(10)
+    return wg.workgroup_id
+
+
+def test_round_robin_dispatch(soc, device, cl):
+    instance = cl.enqueue_nd_range(_noop_kernel, 7, 256)
+    assert instance.assignments == [0, 1, 2, 0, 1, 2, 0]
+    soc.engine.run_until_complete(instance.completion)
+
+
+def test_dispatch_counter_continues_across_launches(soc, device, cl):
+    first = cl.enqueue_nd_range(_noop_kernel, 2, 256)
+    soc.engine.run_until_complete(first.completion)
+    second = cl.enqueue_nd_range(_noop_kernel, 2, 256)
+    soc.engine.run_until_complete(second.completion)
+    assert first.assignments == [0, 1]
+    assert second.assignments == [2, 0]
+
+
+def test_kernel_results_per_workgroup(soc, cl):
+    results = cl.run_kernel_to_completion(_noop_kernel, 5, 256)
+    assert results == [0, 1, 2, 3, 4]
+
+
+def test_single_resident_kernel_enforced(soc, cl):
+    cl.enqueue_nd_range(_noop_kernel, 1, 256)
+    with pytest.raises(KernelLaunchError):
+        cl.enqueue_nd_range(_noop_kernel, 1, 256)
+
+
+def test_kernel_finishes_then_device_idle(soc, device, cl):
+    instance = cl.enqueue_nd_range(_noop_kernel, 1, 256)
+    assert device.busy
+    soc.engine.run_until_complete(instance.completion)
+    assert not device.busy
+    cl.require_idle()
+
+
+def test_launch_geometry_validation(soc, device):
+    with pytest.raises(KernelLaunchError):
+        device.launch(KernelSpec(_noop_kernel, 0, 256))
+    with pytest.raises(KernelLaunchError):
+        device.launch(KernelSpec(_noop_kernel, 1, 512))
+    with pytest.raises(KernelLaunchError):
+        device.launch(KernelSpec(_noop_kernel, 1, 100))  # not wavefront multiple
+
+
+def test_kernel_spec_wavefront_count():
+    spec = KernelSpec(_noop_kernel, 1, 256)
+    assert spec.wavefronts_per_workgroup(32) == 8
+
+
+def test_subslice_capacity_limits_residency(soc, device, cl):
+    """More work-groups than hardware threads allow must queue."""
+    capacity = soc.config.gpu.workgroups_per_subslice(256)
+    running = []
+
+    def kernel(wg):
+        running.append(wg.workgroup_id)
+        yield from wg.wait_cycles(5000)
+        return 0
+
+    total = 3 * capacity + 2
+    instance = cl.enqueue_nd_range(kernel, total, 256)
+    soc.engine.run(until_fs=soc.engine.now + 1 * FS_PER_US)
+    assert len(running) == 3 * capacity  # two had to wait for a slot
+    soc.engine.run_until_complete(instance.completion)
+    assert len(running) == total
+
+
+def test_parallel_read_returns_latencies(soc, cl):
+    space = cl.space
+    lines = space.mmap(64 * 40).line_paddrs(64)
+
+    def kernel(wg):
+        latencies = yield from wg.parallel_read(lines)
+        return latencies
+
+    results = cl.run_kernel_to_completion(kernel, 1, 256)
+    assert len(results[0]) == 40
+
+
+def test_parallel_read_overlaps_misses(soc, cl):
+    space = cl.space
+    serial_lines = space.mmap(64 * 16).line_paddrs(64)
+    batch_lines = space.mmap(64 * 16).line_paddrs(64)
+
+    def kernel(wg):
+        start = wg.soc.now_fs
+        for paddr in serial_lines:
+            yield from wg.read(paddr)
+        serial_time = wg.soc.now_fs - start
+        start = wg.soc.now_fs
+        yield from wg.parallel_read(batch_lines)
+        batch_time = wg.soc.now_fs - start
+        return serial_time, batch_time
+
+    serial_time, batch_time = cl.run_kernel_to_completion(kernel, 1, 256)[0]
+    assert batch_time < serial_time / 2
+
+
+def test_workgroup_barrier_and_wait(soc, cl):
+    def kernel(wg):
+        start = wg.soc.now_fs
+        yield from wg.barrier()
+        yield from wg.wait_cycles(100)
+        return wg.soc.now_fs - start
+
+    elapsed = cl.run_kernel_to_completion(kernel, 1, 256)[0]
+    assert elapsed >= soc.gpu_cycles_fs(100)
+
+
+def test_workgroup_slm_is_per_subslice(soc, cl):
+    def kernel(wg):
+        yield from wg.wait_cycles(1)
+        return wg.slm.subslice
+
+    results = cl.run_kernel_to_completion(kernel, 3, 256)
+    assert results == [0, 1, 2]
+
+
+def test_start_timer_default_threads(soc, cl):
+    def kernel(wg):
+        timer = wg.start_timer()
+        yield from wg.wait_cycles(1)
+        return timer.n_counter_threads
+
+    assert cl.run_kernel_to_completion(kernel, 1, 256)[0] == 224
+
+
+def test_start_timer_needs_second_wavefront(soc, cl):
+    def kernel(wg):
+        wg.start_timer()
+        yield from wg.wait_cycles(1)
+        return 0
+
+    with pytest.raises(GpuModelError):
+        cl.run_kernel_to_completion(kernel, 1, 32)
+
+
+def test_read_timer_without_start_raises(soc, cl):
+    def kernel(wg):
+        value = yield from wg.read_timer()
+        return value
+
+    with pytest.raises(GpuModelError):
+        cl.run_kernel_to_completion(kernel, 1, 256)
+
+
+def test_launch_overhead_generator(soc, device):
+    def host():
+        instance = yield from device.launch_after_overhead(
+            KernelSpec(_noop_kernel, 1, 256)
+        )
+        results = yield from instance.wait()
+        return results
+
+    results = soc.engine.run_until_complete(soc.engine.process(host()))
+    assert results == [0]
+
+
+# ----------------------------------------------------------------------
+# SLM + timer model
+
+
+def test_slm_alloc_and_atomics(soc):
+    slm = soc.slm[0]
+    offset = slm.alloc_word()
+    assert slm.atomic_add(offset, 5) == 0
+    assert slm.load(offset) == 5
+
+
+def test_slm_unallocated_access_raises(soc):
+    with pytest.raises(GpuModelError):
+        soc.slm[0].load(4080)
+
+
+def test_slm_capacity_enforced(soc):
+    slm = soc.slm[1]
+    with pytest.raises(GpuModelError):
+        for _ in range(20000):
+            slm.alloc_word()
+
+
+def test_counter_rate_saturates():
+    config = soc_config = None
+    from repro.config import SlmConfig
+
+    config = SlmConfig()
+    few = counter_rate_per_cycle(config, 32)
+    many = counter_rate_per_cycle(config, 224)
+    assert few < many < config.saturated_rate_per_cycle
+
+
+def test_counter_rate_needs_threads():
+    from repro.config import SlmConfig
+
+    with pytest.raises(GpuModelError):
+        counter_rate_per_cycle(SlmConfig(), 0)
+
+
+def test_timer_tracks_elapsed_time(soc):
+    timer = SlmTimer(soc, 224)
+    soc.engine.schedule(soc.gpu_cycles_fs(1000), lambda: None)
+    soc.engine.run()
+    value = timer._value_now()
+    assert value == pytest.approx(timer.rate_per_cycle * 1000, rel=0.1)
+
+
+def test_timer_monotonic_under_noise(soc):
+    timer = SlmTimer(soc, 224)
+    last = 0
+    for step in range(200):
+        soc.engine.schedule(soc.gpu_cycles_fs(3), lambda: None)
+        soc.engine.run()
+        value = timer._value_now()
+        assert value >= last
+        last = value
+
+
+def test_timer_restart_zeroes(soc):
+    timer = SlmTimer(soc, 224)
+    soc.engine.schedule(soc.gpu_cycles_fs(500), lambda: None)
+    soc.engine.run()
+    timer._value_now()
+    timer.restart()
+    assert timer._value_now() <= timer.rate_per_cycle * 5
+
+
+def test_timer_ticks_for_ns(soc):
+    timer = SlmTimer(soc, 224)
+    per_cycle_ns = soc.config.gpu_clock.cycle_fs / 1e6
+    assert timer.ticks_for_ns(per_cycle_ns * 10) == pytest.approx(
+        timer.rate_per_cycle * 10, rel=1e-6
+    )
+
+
+def test_timer_glitches_only_shrink_deltas(soc):
+    """A stale read can hide time but never invent it."""
+    import dataclasses
+
+    from repro.soc.machine import SoC as SoCClass
+
+    config = soc.config.replace(
+        slm=dataclasses.replace(
+            soc.config.slm, read_glitch_probability=0.5, read_noise_ticks=0.0
+        )
+    )
+    fresh = SoCClass(config)
+    timer = SlmTimer(fresh, 224)
+    expected_rate = timer.rate_per_cycle
+    for _ in range(100):
+        fresh.engine.schedule(fresh.gpu_cycles_fs(100), lambda: None)
+        fresh.engine.run()
+        value = timer._value_now()
+        clean = expected_rate * (fresh.now_fs / config.gpu_clock.cycle_fs)
+        assert value <= clean + 1
+
+
+def test_timer_extra_jitter_hook(soc):
+    noisy = SlmTimer(soc, 224, extra_jitter_sigma=50.0)
+    assert noisy.read_noise_ticks == pytest.approx(
+        soc.config.slm.read_noise_ticks + 50.0
+    )

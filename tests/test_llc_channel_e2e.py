@@ -1,0 +1,188 @@
+"""End-to-end LLC covert-channel transmissions (§III / §V)."""
+
+import pytest
+
+from repro.core.channel import ChannelDirection
+from repro.core.llc_channel import (
+    EvictionStrategy,
+    LLCChannel,
+    LLCChannelConfig,
+)
+from repro.core.llc_channel.protocol import (
+    CpuEndpoint,
+    GpuEndpoint,
+    ProtocolTuning,
+    derive_t_data_fs,
+)
+from repro.core.llc_channel.plan import Role
+
+
+def test_gpu_to_cpu_transmission_accurate():
+    result = LLCChannel(LLCChannelConfig()).transmit(n_bits=64, seed=21)
+    assert result.error_rate <= 0.05
+    assert result.bandwidth_kbps > 50
+
+
+def test_cpu_to_gpu_transmission_accurate():
+    config = LLCChannelConfig(direction=ChannelDirection.CPU_TO_GPU)
+    result = LLCChannel(config).transmit(n_bits=48, seed=21)
+    assert result.error_rate <= 0.15
+    assert result.bandwidth_kbps > 30
+
+
+def test_explicit_payload_is_recovered():
+    payload = [1, 1, 0, 1, 0, 0, 0, 1] * 4
+    result = LLCChannel(LLCChannelConfig(system_effects=False)).transmit(
+        bits=payload, seed=4
+    )
+    assert result.sent == payload
+    assert result.received == payload
+
+
+def test_quiet_system_is_error_free():
+    result = LLCChannel(LLCChannelConfig(system_effects=False)).transmit(
+        n_bits=64, seed=8
+    )
+    assert result.error_rate == 0.0
+
+
+def test_strategies_order_bandwidth():
+    """Fig. 7 shape: precise > llc-only > full-clear."""
+    bandwidths = {}
+    for strategy, bits in [
+        (EvictionStrategy.PRECISE_L3, 48),
+        (EvictionStrategy.LLC_ONLY, 48),
+        (EvictionStrategy.FULL_L3_CLEAR, 12),
+    ]:
+        result = LLCChannel(
+            LLCChannelConfig(strategy=strategy, system_effects=False)
+        ).transmit(n_bits=bits, seed=5)
+        bandwidths[strategy] = result.bandwidth_kbps
+    assert (
+        bandwidths[EvictionStrategy.PRECISE_L3]
+        > bandwidths[EvictionStrategy.LLC_ONLY]
+        > bandwidths[EvictionStrategy.FULL_L3_CLEAR]
+    )
+    # The naive strategy is at least an order of magnitude slower.
+    assert bandwidths[EvictionStrategy.PRECISE_L3] > (
+        8 * bandwidths[EvictionStrategy.FULL_L3_CLEAR]
+    )
+
+
+def test_redundant_sets_cost_some_bandwidth():
+    one = LLCChannel(
+        LLCChannelConfig(n_sets_per_role=1, system_effects=False)
+    ).transmit(n_bits=48, seed=6)
+    two = LLCChannel(
+        LLCChannelConfig(n_sets_per_role=2, system_effects=False)
+    ).transmit(n_bits=48, seed=6)
+    assert one.error_rate <= 0.1 and two.error_rate <= 0.1
+    assert two.bandwidth_kbps < one.bandwidth_kbps * 1.6  # same ballpark
+
+
+def test_result_metadata(model_config):
+    result = LLCChannel(LLCChannelConfig()).transmit(n_bits=16, seed=7)
+    assert result.meta["strategy"] == "precise-l3"
+    assert result.meta["n_sets_per_role"] == 2
+    assert result.meta["seed"] == 7
+    assert result.n_bits == 16
+    assert result.elapsed_s > 0
+    assert "kb/s" in result.summary()
+
+
+def test_runs_are_reproducible_per_seed():
+    a = LLCChannel(LLCChannelConfig()).transmit(n_bits=24, seed=9)
+    b = LLCChannel(LLCChannelConfig()).transmit(n_bits=24, seed=9)
+    assert a.sent == b.sent
+    assert a.received == b.received
+    assert a.elapsed_fs == b.elapsed_fs
+
+
+def test_different_seeds_differ():
+    a = LLCChannel(LLCChannelConfig()).transmit(n_bits=24, seed=1)
+    b = LLCChannel(LLCChannelConfig()).transmit(n_bits=24, seed=2)
+    assert a.sent != b.sent or a.elapsed_fs != b.elapsed_fs
+
+
+def test_full_scale_machine_also_works():
+    from repro.config import kaby_lake
+
+    channel = LLCChannel(
+        LLCChannelConfig(system_effects=False), soc_config=kaby_lake()
+    )
+    result = channel.transmit(n_bits=16, seed=3)
+    assert result.error_rate <= 0.15
+
+
+# ----------------------------------------------------------------------
+# Endpoint-level behaviour (driven inside a session)
+
+
+@pytest.fixture(scope="module")
+def quiet_session():
+    return LLCChannel(LLCChannelConfig(system_effects=False)).build_session(seed=31)
+
+
+def test_cpu_endpoint_calibration_tightens_threshold(quiet_session):
+    session = quiet_session
+    endpoint = CpuEndpoint(session.spy, session.plan.cpu, session.tuning)
+    analytic = endpoint._threshold_cycles
+    calibrated = session.soc.engine.run_until_complete(
+        session.soc.engine.process(endpoint.calibrate())
+    )
+    assert calibrated > 0
+    assert endpoint._threshold_cycles == calibrated
+    assert 0.2 * analytic < calibrated < 5 * analytic
+
+
+def test_cpu_endpoint_probe_detects_gpu_prime(quiet_session):
+    session = quiet_session
+    soc = session.soc
+    endpoint = CpuEndpoint(session.spy, session.plan.cpu, session.tuning)
+
+    def scenario():
+        yield from endpoint.calibrate()
+        yield from endpoint.prime(Role.DATA)
+        quiet = yield from endpoint.probe(Role.DATA)
+        # Evict the CPU's lines exactly as a GPU prime would.
+        for location in session.plan.gpu.roles[Role.DATA].locations:
+            for paddr in session.plan.gpu.roles[Role.DATA].prime[location]:
+                soc.llc.access(paddr)
+                for caches in soc.cpu_caches:
+                    caches.invalidate(paddr)
+        # Back-invalidate the CPU copies of its own evicted lines.
+        for location in session.plan.cpu.roles[Role.DATA].locations:
+            for paddr in session.plan.cpu.roles[Role.DATA].prime[location]:
+                if not soc.llc.contains(paddr):
+                    for caches in soc.cpu_caches:
+                        caches.invalidate(paddr)
+        primed = yield from endpoint.probe(Role.DATA)
+        return quiet, primed
+
+    quiet, primed = soc.engine.run_until_complete(soc.engine.process(scenario()))
+    assert quiet == [False, False]
+    assert primed == [True, True]
+
+
+def test_t_data_derivation_uses_sender_costs(quiet_session):
+    session = quiet_session
+    endpoint = CpuEndpoint(session.spy, session.plan.cpu, session.tuning)
+    tuning = ProtocolTuning()
+    derived = derive_t_data_fs(endpoint, tuning)
+    assert derived > endpoint.estimate_prime_fs(Role.DATA)
+
+
+def test_gpu_endpoint_estimates_scale_with_strategy():
+    fast = LLCChannel(
+        LLCChannelConfig(system_effects=False)
+    ).build_session(seed=33)
+    slow = LLCChannel(
+        LLCChannelConfig(
+            strategy=EvictionStrategy.FULL_L3_CLEAR, system_effects=False
+        )
+    ).build_session(seed=33)
+    fast_ep = GpuEndpoint(fast._estimation_ctx(), fast.plan.gpu, fast.tuning)
+    slow_ep = GpuEndpoint(slow._estimation_ctx(), slow.plan.gpu, slow.tuning)
+    assert slow_ep.estimate_prime_fs(Role.DATA) > 10 * fast_ep.estimate_prime_fs(
+        Role.DATA
+    )

@@ -1,0 +1,171 @@
+"""Planner invariants for the LLC channel (§III-D/E constraints)."""
+
+import pytest
+
+from repro.core.channel import ChannelDirection
+from repro.core.llc_channel import (
+    EvictionStrategy,
+    LLCChannel,
+    LLCChannelConfig,
+    Role,
+)
+from repro.errors import AttackError
+
+
+@pytest.fixture(scope="module")
+def session():
+    channel = LLCChannel(LLCChannelConfig(system_effects=False))
+    return channel.build_session(seed=11)
+
+
+def test_roles_have_requested_redundancy(session):
+    for role in Role:
+        assert len(session.plan.locations[role]) == 2
+
+
+def test_role_locations_are_disjoint(session):
+    seen = set()
+    for role in Role:
+        for location in session.plan.locations[role]:
+            assert location not in seen
+            seen.add(location)
+
+
+def test_roles_use_low_slices_only(session):
+    for role in Role:
+        for location in session.plan.locations[role]:
+            assert location.slice_index in (0, 1)
+
+
+def test_both_sides_agree_on_locations(session):
+    for role in Role:
+        assert session.plan.cpu.roles[role].locations == (
+            session.plan.gpu.roles[role].locations
+        )
+
+
+def test_prime_addresses_land_in_their_set(session):
+    soc = session.soc
+    for endpoint in (session.plan.cpu, session.plan.gpu):
+        for role in Role:
+            role_plan = endpoint.roles[role]
+            for location in role_plan.locations:
+                addrs = role_plan.prime[location]
+                assert len(addrs) == soc.config.llc.ways
+                for paddr in addrs:
+                    assert soc.llc.location_of(paddr) == location
+
+
+def test_cpu_and_gpu_primes_are_distinct_lines(session):
+    for role in Role:
+        cpu_plan = session.plan.cpu.roles[role]
+        gpu_plan = session.plan.gpu.roles[role]
+        for location in cpu_plan.locations:
+            assert not set(cpu_plan.prime[location]) & set(gpu_plan.prime[location])
+
+
+def test_pollute_conflicts_in_l3_but_not_in_comm_sets(session):
+    soc = session.soc
+    all_locations = {
+        location for locs in session.plan.locations.values() for location in locs
+    }
+    for role in Role:
+        role_plan = session.plan.gpu.roles[role]
+        for location in role_plan.locations:
+            target = role_plan.prime[location][0]
+            for paddr in role_plan.pollute[location]:
+                assert soc.gpu_l3.same_set(paddr, target)
+                assert soc.llc.location_of(paddr) not in all_locations
+
+
+def test_cpu_side_has_no_pollute_sets(session):
+    for role in Role:
+        assert session.plan.cpu.roles[role].pollute == {}
+
+
+def test_calibration_addresses_disjoint_from_comm_sets(session):
+    soc = session.soc
+    all_locations = {
+        location for locs in session.plan.locations.values() for location in locs
+    }
+    for endpoint in (session.plan.cpu, session.plan.gpu):
+        calib = endpoint.calibration
+        for paddr in calib.scratch + calib.cold:
+            assert soc.llc.location_of(paddr) not in all_locations
+
+
+def test_calibration_sets_of_both_sides_disjoint(session):
+    soc = session.soc
+    cpu_locs = {
+        soc.llc.location_of(p)
+        for p in session.plan.cpu.calibration.scratch
+        + session.plan.cpu.calibration.cold
+    }
+    gpu_locs = {
+        soc.llc.location_of(p)
+        for p in session.plan.gpu.calibration.scratch
+        + session.plan.gpu.calibration.cold
+    }
+    assert not cpu_locs & gpu_locs
+
+
+def test_pollute_rounds_by_strategy():
+    for strategy, minimum in [
+        (EvictionStrategy.PRECISE_L3, 5),
+        (EvictionStrategy.LLC_ONLY, 7),
+        (EvictionStrategy.FULL_L3_CLEAR, 2),
+    ]:
+        channel = LLCChannel(
+            LLCChannelConfig(strategy=strategy, system_effects=False)
+        )
+        session = channel.build_session(seed=3)
+        assert session.plan.gpu.pollute_rounds == minimum
+
+
+def test_full_clear_strategy_covers_whole_l3():
+    channel = LLCChannel(
+        LLCChannelConfig(
+            strategy=EvictionStrategy.FULL_L3_CLEAR, system_effects=False
+        )
+    )
+    session = channel.build_session(seed=3)
+    config = session.soc.config.gpu_l3
+    role_plan = session.plan.gpu.roles[Role.DATA]
+    pollute = role_plan.pollute[role_plan.locations[0]]
+    assert len(pollute) == config.total_sets * (config.ways + 1)
+
+
+def test_llc_only_strategy_uses_double_width_sets():
+    channel = LLCChannel(
+        LLCChannelConfig(strategy=EvictionStrategy.LLC_ONLY, system_effects=False)
+    )
+    session = channel.build_session(seed=3)
+    config = session.soc.config.gpu_l3
+    role_plan = session.plan.gpu.roles[Role.DATA]
+    pollute = role_plan.pollute[role_plan.locations[0]]
+    assert len(pollute) == 2 * config.ways
+
+
+def test_t_data_positive_and_bounded(session):
+    assert 0 < session.t_data_fs < 50_000_000_000  # under 50 us
+
+
+def test_planner_needs_four_slices(model_config):
+    import dataclasses
+
+    from repro.core.llc_channel.plan import LlcChannelPlanner
+
+    narrow = dataclasses.replace(
+        model_config.llc, sets_per_slice=model_config.llc.sets_per_slice * 2,
+        slices=2,
+    )
+    config = model_config.replace(llc=narrow)
+    with pytest.raises(AttackError):
+        LlcChannelPlanner(config, cpu_pool=None, gpu_pool=None)  # type: ignore[arg-type]
+
+
+def test_one_set_per_role_plan():
+    channel = LLCChannel(LLCChannelConfig(n_sets_per_role=1, system_effects=False))
+    session = channel.build_session(seed=5)
+    for role in Role:
+        assert len(session.plan.locations[role]) == 1

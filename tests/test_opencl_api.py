@@ -1,0 +1,77 @@
+"""OpenCL-like veneer: buffers, SVM semantics, queue behaviour."""
+
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+
+
+@pytest.fixture
+def cl(soc):
+    return OpenClContext(soc, GpuDevice(soc), soc.new_process("cl"))
+
+
+def test_svm_alloc_default_pages(cl):
+    buffer = cl.svm_alloc(8192)
+    assert buffer.size == 8192
+    assert not buffer.is_physically_contiguous or buffer.size <= 4096
+
+
+def test_svm_alloc_huge(cl):
+    buffer = cl.svm_alloc(1 << 20, huge=True)
+    assert buffer.is_physically_contiguous
+
+
+def test_svm_shares_process_space(soc, cl):
+    """Zero-copy SVM: the kernel sees the CPU process's translations."""
+    buffer = cl.svm_alloc(4096)
+    vaddr = buffer.vaddr_of(128)
+    assert cl.space.translate(vaddr) == buffer.paddr_of(128)
+
+
+def test_finish_waits_for_all_kernels(soc, cl):
+    finished = []
+
+    def kernel(wg):
+        yield from wg.wait_cycles(500)
+        finished.append(wg.workgroup_id)
+        return None
+
+    cl.enqueue_nd_range(kernel, 2, 64)
+
+    def host():
+        yield from cl.finish()
+        return list(finished)
+
+    result = soc.engine.run_until_complete(soc.engine.process(host()))
+    assert sorted(result) == [0, 1]
+
+
+def test_require_idle_raises_while_busy(soc, cl):
+    def kernel(wg):
+        yield from wg.wait_cycles(10_000)
+        return None
+
+    cl.enqueue_nd_range(kernel, 1, 64)
+    with pytest.raises(KernelLaunchError):
+        cl.require_idle()
+
+
+def test_kernel_args_passed_through(soc, cl):
+    def kernel(wg, a, b):
+        yield from wg.wait_cycles(1)
+        return a + b + wg.workgroup_id
+
+    results = cl.run_kernel_to_completion(kernel, 3, 64, 10, 20)
+    assert results == [30, 31, 32]
+
+
+def test_kernel_name_is_cosmetic(soc, cl):
+    def kernel(wg):
+        yield from wg.wait_cycles(1)
+        return "done"
+
+    instance = cl.enqueue_nd_range(kernel, 1, 64, name="custom-name")
+    soc.engine.run_until_complete(instance.completion)
+    assert instance.spec.name == "custom-name"

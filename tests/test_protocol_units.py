@@ -1,0 +1,160 @@
+"""Unit-level tests of LLC-protocol helpers and endpoint mechanics."""
+
+import pytest
+
+from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+from repro.core.llc_channel.plan import Role
+from repro.core.llc_channel.protocol import (
+    CpuEndpoint,
+    GpuEndpoint,
+    ProtocolTuning,
+    robust_center,
+    wait_for_signal,
+)
+from repro.errors import ChannelProtocolError
+
+
+def test_robust_center_plain_median_for_small_samples():
+    assert robust_center([5]) == 5
+    assert robust_center([1, 9]) == 9  # median of two = upper middle
+    assert robust_center([1, 5, 9]) == 5
+
+
+def test_robust_center_trims_extremes():
+    # One wild outlier on each side must not move the center.
+    assert robust_center([100, 101, 102, 103, 104, 9999]) in (102, 103)
+    assert robust_center([-5000, 100, 101, 102, 103, 104]) in (101, 102)
+
+
+def test_robust_center_double_corruption():
+    samples = [27, 29, 87, 26, 88, 28]  # two glitched reads among six
+    assert robust_center(samples) <= 29
+
+
+@pytest.fixture(scope="module")
+def quiet_session():
+    return LLCChannel(LLCChannelConfig(system_effects=False)).build_session(seed=77)
+
+
+def _drive(session, generator):
+    return session.soc.engine.run_until_complete(
+        session.soc.engine.process(generator)
+    )
+
+
+def test_light_probe_nondestructive(quiet_session):
+    """A light probe must not destroy a peer prime it observed."""
+    session = quiet_session
+    soc = session.soc
+    endpoint = CpuEndpoint(session.spy, session.plan.cpu, session.tuning)
+
+    def scenario():
+        yield from endpoint.calibrate()
+        yield from endpoint.prime(Role.DATA)
+        # Peer prime: fill with GPU lines.
+        for location in session.plan.gpu.roles[Role.DATA].locations:
+            for paddr in session.plan.gpu.roles[Role.DATA].prime[location]:
+                soc.llc.access(paddr)
+                for caches in soc.cpu_caches:
+                    caches.invalidate(paddr)
+        for location in session.plan.cpu.roles[Role.DATA].locations:
+            for paddr in session.plan.cpu.roles[Role.DATA].prime[location]:
+                for caches in soc.cpu_caches:
+                    caches.invalidate(paddr)
+        first = yield from endpoint.probe_light(Role.DATA, salt=0)
+        second = yield from endpoint.probe_light(Role.DATA, salt=2)
+        return first, second
+
+    first, second = _drive(session, scenario())
+    assert first == [True, True]
+    # The signal survives the first poll: a second (different-line) poll
+    # still sees the eviction.
+    assert second == [True, True]
+
+
+def test_wait_for_signal_detects_prime(quiet_session):
+    session = quiet_session
+    soc = session.soc
+    endpoint = CpuEndpoint(session.spy, session.plan.cpu, session.tuning)
+    tuning = session.tuning
+
+    def scenario():
+        yield from endpoint.calibrate()
+        yield from endpoint.prime(Role.READY_SEND)
+        # Simulated peer prime lands after a few polls.
+        def peer():
+            from repro.sim import Timeout
+
+            yield Timeout(soc.engine, 2_000_000_000)  # 2 us
+            for location in session.plan.gpu.roles[Role.READY_SEND].locations:
+                for paddr in session.plan.gpu.roles[Role.READY_SEND].prime[location]:
+                    soc.llc.access(paddr)
+                    for caches in soc.cpu_caches:
+                        caches.invalidate(paddr)
+            for location in session.plan.cpu.roles[Role.READY_SEND].locations:
+                for paddr in session.plan.cpu.roles[Role.READY_SEND].prime[location]:
+                    if not soc.llc.contains(paddr):
+                        for caches in soc.cpu_caches:
+                            caches.invalidate(paddr)
+            return None
+
+        soc.engine.process(peer())
+        polls = yield from wait_for_signal(
+            endpoint, Role.READY_SEND, tuning, tuning.receiver_poll_gap_fs
+        )
+        return polls
+
+    polls = _drive(session, scenario())
+    assert polls >= 1  # had to wait for the peer
+    assert polls < 200
+
+
+def test_wait_for_signal_times_out_without_peer():
+    session = LLCChannel(LLCChannelConfig(system_effects=False)).build_session(seed=78)
+    endpoint = CpuEndpoint(session.spy, session.plan.cpu, session.tuning)
+    tuning = ProtocolTuning(max_poll_iterations=30, peer_prime_settle_fs=0)
+
+    def scenario():
+        yield from endpoint.calibrate()
+        yield from endpoint.prime(Role.READY_SEND)
+        yield from wait_for_signal(
+            endpoint, Role.READY_SEND, tuning, tuning.receiver_poll_gap_fs
+        )
+
+    with pytest.raises(ChannelProtocolError):
+        _drive(session, scenario())
+
+
+def test_gpu_endpoint_probe_roundtrip(quiet_session):
+    """GPU probe detects a CPU prime and recovers after consuming it."""
+    session = quiet_session
+    tuning = session.tuning
+
+    def kernel(wg):
+        endpoint = GpuEndpoint(wg, session.plan.gpu, tuning)
+        yield from endpoint.calibrate()
+        yield from endpoint.prime(Role.READY_RECV)
+        before = yield from endpoint.probe_light(Role.READY_RECV, salt=0)
+        # CPU peer primes B.
+        cpu_plan = session.plan.cpu.roles[Role.READY_RECV]
+        for location in cpu_plan.locations:
+            for paddr in cpu_plan.prime[location]:
+                session.soc.llc.access(paddr)
+        after = yield from endpoint.probe_light(Role.READY_RECV, salt=2)
+        yield from endpoint.prime(Role.READY_RECV)  # consume
+        restored = yield from endpoint.probe_light(Role.READY_RECV, salt=4)
+        return before, after, restored
+
+    results = session.cl.run_kernel_to_completion(kernel, 1, 256)
+    before, after, restored = results[0]
+    assert before == [False, False]
+    assert after == [True, True]
+    assert restored == [False, False]
+
+
+def test_tuning_defaults_sane():
+    tuning = ProtocolTuning()
+    assert tuning.handshake_probe_lines >= 1
+    assert tuning.data_window_polls >= 1
+    assert 0 < tuning.threshold_fraction < 1
+    assert tuning.threshold_fraction < tuning.light_threshold_fraction < 1

@@ -1,0 +1,152 @@
+"""Reverse-engineering procedures recover the configured structures.
+
+Every procedure here sees only timing (plus huge-page offsets); the tests
+compare what it recovers against the simulator's hidden configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    SLICE_HASH_S0_MASK,
+    SLICE_HASH_S1_MASK,
+    kaby_lake,
+    kaby_lake_model,
+)
+from repro.core.reverse_engineering import (
+    characterize_timer,
+    discover_l3_geometry,
+    recover_slice_hash,
+    check_l3_inclusiveness,
+)
+from repro.core.reverse_engineering.timer_char import resolution_sweep
+from repro.soc.slice_hash import SliceHash
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — timer characterization
+
+
+@pytest.fixture(scope="module")
+def timer_char():
+    return characterize_timer(samples=20, seed=2)
+
+
+def test_timer_levels_ordered(timer_char):
+    assert timer_char.l3.mean < timer_char.llc.mean < timer_char.memory.mean
+
+
+def test_timer_levels_separated(timer_char):
+    assert timer_char.levels_separated
+
+
+def test_timer_uses_224_counter_threads_by_default(timer_char):
+    assert timer_char.counter_threads == 224
+
+
+def test_timer_rows_format(timer_char):
+    rows = timer_char.rows()
+    assert [row[0] for row in rows] == ["L3", "LLC", "memory"]
+
+
+def test_timer_resolution_improves_with_threads():
+    """§III-B: one extra wavefront is too coarse; a full WG separates."""
+    sweep = resolution_sweep(thread_counts=(32, 224), samples=14, seed=5)
+    coarse, fine = sweep
+    assert fine.levels_separated
+    # The coarse timer's absolute tick counts are much smaller (fewer
+    # increments per access), squeezing the levels together.
+    assert coarse.memory.mean < fine.memory.mean / 2
+
+
+# ----------------------------------------------------------------------
+# §III-D — inclusiveness
+
+
+def test_l3_is_not_inclusive():
+    report = check_l3_inclusiveness(n_lines=10, seed=1)
+    assert report.inclusive is False
+    assert report.mean_reaccess < (
+        (report.l3_hit_level_ticks + report.miss_level_ticks) / 2
+    )
+
+
+def test_inclusiveness_references_ordered():
+    report = check_l3_inclusiveness(n_lines=8, seed=2)
+    assert report.l3_hit_level_ticks < report.miss_level_ticks
+
+
+# ----------------------------------------------------------------------
+# §III-D — L3 geometry
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_l3_geometry_recovered_full_scale(seed):
+    report = discover_l3_geometry(seed=seed)
+    config = kaby_lake().gpu_l3
+    assert report.placement_bits == config.placement_bits  # 16
+    assert report.ways == config.ways  # 8
+    assert 1 <= report.eviction_rounds <= config.plru_rounds_for_eviction + 2
+
+
+def test_l3_geometry_recovered_model_scale():
+    config = kaby_lake_model(scale=16)
+    report = discover_l3_geometry(config=config, seed=0)
+    assert report.placement_bits == config.gpu_l3.placement_bits
+    assert report.ways == config.gpu_l3.ways
+    assert report.total_sets == config.gpu_l3.total_sets
+
+
+def test_l3_geometry_conflict_map_monotone():
+    report = discover_l3_geometry(seed=3)
+    below = [
+        hit for bits, hit in report.conflicts_by_stride_bits.items()
+        if bits < report.placement_bits
+    ]
+    assert not any(below)
+    assert report.conflicts_by_stride_bits[report.placement_bits]
+
+
+# ----------------------------------------------------------------------
+# §III-C — slice hash recovery
+
+
+@pytest.fixture(scope="module")
+def hash_report():
+    return recover_slice_hash(seed=1, pool_size=120, verify_offsets=16)
+
+
+def test_slice_hash_finds_four_slices(hash_report):
+    assert hash_report.n_slices == 4
+
+
+def test_slice_hash_self_verification(hash_report):
+    assert hash_report.verification_accuracy >= 0.9
+
+
+def test_slice_hash_partition_matches_ground_truth(hash_report):
+    true_hash = SliceHash([SLICE_HASH_S0_MASK, SLICE_HASH_S1_MASK], 4)
+    config = kaby_lake()
+    period = config.llc.line_bytes << config.llc.set_index_bits
+    rng = np.random.default_rng(7)
+    offsets = [int(u) * period for u in rng.integers(0, 8192, size=64)]
+    assert hash_report.partition_matches(
+        lambda offset: true_hash.slice_of(offset), offsets
+    )
+
+
+def test_slice_hash_probed_bits_above_set_index(hash_report):
+    config = kaby_lake()
+    first_probeable = config.llc.offset_bits + config.llc.set_index_bits
+    assert min(hash_report.probed_bits) == first_probeable
+    assert max(hash_report.probed_bits) <= 29
+
+
+def test_slice_hash_mask_bits_match_equations(hash_report):
+    """Within the probed window, the recovered masks must span the same
+    partition as Eq. (1)/(2): check via linearity on single bits."""
+    true_hash = SliceHash([SLICE_HASH_S0_MASK, SLICE_HASH_S1_MASK], 4)
+    offsets = [1 << bit for bit in hash_report.probed_bits]
+    assert hash_report.partition_matches(
+        lambda offset: true_hash.slice_of(offset), offsets
+    )

@@ -1,0 +1,137 @@
+"""Ring interconnect (incl. TDM) and DRAM model tests."""
+
+import pytest
+
+from repro.config import ClockConfig, DramConfig, RingConfig
+from repro.errors import ConfigError
+from repro.sim import FS_PER_NS, FS_PER_US
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.soc.dram import Dram
+from repro.soc.ring import Ring, TdmSchedule
+
+
+@pytest.fixture
+def ring():
+    return Ring(Engine(), RingConfig(), ClockConfig(4.2e9))
+
+
+def test_ring_hold_time(ring):
+    # 3 slots x 2 cycles at 4.2 GHz.
+    assert ring.hold_fs(3) == ClockConfig(4.2e9).cycles_fs(6)
+
+
+def test_ring_slots_for_line(ring):
+    assert ring.slots_for_line(64) == 3  # 1 request + 2 data
+
+
+def test_ring_transfer_accounts_per_domain(ring):
+    engine = ring.engine
+
+    def sender(domain):
+        waited = yield from ring.transfer(3, domain)
+        return waited
+
+    cpu = engine.process(sender("cpu"))
+    gpu = engine.process(sender("gpu"))
+    engine.run()
+    assert ring.transfers == {"cpu": 1, "gpu": 1}
+    assert cpu.value == 0
+    assert gpu.value == ring.hold_fs(3)  # queued behind the CPU transfer
+    assert ring.mean_wait_fs("gpu") > 0
+
+
+def test_ring_utilization_grows_with_traffic(ring):
+    engine = ring.engine
+
+    def spam():
+        for _ in range(100):
+            yield from ring.transfer(3, "gpu")
+
+    engine.process(spam())
+    engine.run()
+    assert ring.utilization() == pytest.approx(1.0)
+
+
+def test_ring_reset_stats(ring):
+    engine = ring.engine
+
+    def one():
+        yield from ring.transfer(1, "cpu")
+
+    engine.process(one())
+    engine.run()
+    ring.reset_stats()
+    assert ring.transfers == {"cpu": 0, "gpu": 0}
+
+
+def test_tdm_schedule_windows():
+    tdm = TdmSchedule(period_fs=1000, cpu_share=0.5)
+    assert tdm.wait_fs("cpu", 100) == 0
+    assert tdm.wait_fs("cpu", 600) == 400  # wait for next period
+    assert tdm.wait_fs("gpu", 600) == 0
+    assert tdm.wait_fs("gpu", 100) == 400  # wait for the GPU window
+
+
+def test_tdm_rejects_bad_parameters():
+    with pytest.raises(ConfigError):
+        TdmSchedule(period_fs=0)
+    with pytest.raises(ConfigError):
+        TdmSchedule(period_fs=100, cpu_share=1.0)
+
+
+def test_tdm_blocks_cross_window_transfer(ring):
+    engine = ring.engine
+    ring.tdm = TdmSchedule(period_fs=1000 * FS_PER_NS, cpu_share=0.5)
+
+    def gpu_sender():
+        start = engine.now
+        yield from ring.transfer(1, "gpu")
+        return engine.now - start
+
+    process = engine.process(gpu_sender())
+    engine.run()
+    # Launched at t=0 (CPU window): had to wait ~500 ns for its window.
+    assert process.value >= 500 * FS_PER_NS
+
+
+def test_tdm_own_window_passes_through(ring):
+    engine = ring.engine
+    ring.tdm = TdmSchedule(period_fs=1000 * FS_PER_NS, cpu_share=0.5)
+
+    def cpu_sender():
+        waited = yield from ring.transfer(1, "cpu")
+        return waited
+
+    process = engine.process(cpu_sender())
+    engine.run()
+    assert process.value == 0
+
+
+def test_dram_latency_in_configured_band():
+    dram = Dram(DramConfig(), RngStreams(1).stream("dram"))
+    config = DramConfig()
+    for _ in range(200):
+        latency_ns = dram.latency_fs() / FS_PER_NS
+        assert config.base_ns - 1 <= latency_ns <= (
+            config.base_ns + config.row_miss_extra_ns + 8 * config.jitter_sigma_ns
+        )
+    assert dram.accesses == 200
+
+
+def test_dram_mean_latency_estimate():
+    config = DramConfig()
+    dram = Dram(config, RngStreams(2).stream("dram"))
+    samples = [dram.latency_fs() / FS_PER_NS for _ in range(3000)]
+    empirical = sum(samples) / len(samples)
+    # Analytic mean ignores jitter (one-sided), so allow a few ns slack.
+    assert empirical == pytest.approx(dram.mean_latency_ns(), abs=5.0)
+
+
+def test_dram_row_hits_are_faster():
+    config = DramConfig(jitter_sigma_ns=0.0)
+    dram = Dram(config, RngStreams(3).stream("dram"))
+    values = {dram.latency_fs() for _ in range(300)}
+    assert len(values) == 2  # hit and miss populations only
+    fast, slow = sorted(values)
+    assert (slow - fast) / FS_PER_NS == pytest.approx(config.row_miss_extra_ns, rel=0.01)

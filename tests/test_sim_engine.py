@@ -1,0 +1,311 @@
+"""Unit tests for the discrete-event engine, events and processes."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import AllOf, AnyOf, Timeout
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.process import Interrupt, Process
+
+
+def test_engine_starts_at_time_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_executes_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, lambda: order.append("c"))
+    engine.schedule(10, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in "abc":
+        engine.schedule(5, lambda t=tag: order.append(t))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(42, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42]
+    assert engine.now == 42
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1, lambda: None)
+
+
+def test_run_until_stops_at_target_time():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(10))
+    engine.schedule(100, lambda: fired.append(100))
+    engine.run(until_fs=50)
+    assert fired == [10]
+    assert engine.now == 50
+
+
+def test_run_until_past_target_raises():
+    engine = Engine()
+    engine.run(until_fs=10)
+    with pytest.raises(SimulationError):
+        engine.run(until_fs=5)
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_events_executed_counter():
+    engine = Engine()
+    for _ in range(5):
+        engine.schedule(1, lambda: None)
+    engine.run()
+    assert engine.events_executed == 5
+
+
+def test_event_triggers_callbacks():
+    engine = Engine()
+    event = engine.event()
+    got = []
+    event.subscribe(lambda e: got.append(e.value))
+    event.succeed(99)
+    assert got == [99]
+
+
+def test_event_value_before_trigger_raises():
+    event = Engine().event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_event_double_trigger_raises():
+    event = Engine().event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_late_subscriber_fires_immediately():
+    event = Engine().event()
+    event.succeed("x")
+    got = []
+    event.subscribe(lambda e: got.append(e.value))
+    assert got == ["x"]
+
+
+def test_timeout_delivers_value_after_delay():
+    engine = Engine()
+    timeout = Timeout(engine, 25, value="done")
+    engine.run()
+    assert timeout.triggered
+    assert timeout.value == "done"
+    assert engine.now == 25
+
+
+def test_timeout_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Timeout(Engine(), -5)
+
+
+def test_allof_collects_values_in_given_order():
+    engine = Engine()
+    late = Timeout(engine, 20, "late")
+    early = Timeout(engine, 5, "early")
+    barrier = AllOf(engine, [late, early])
+    engine.run()
+    assert barrier.value == ["late", "early"]
+
+
+def test_allof_empty_completes():
+    engine = Engine()
+    barrier = AllOf(engine, [])
+    engine.run()
+    assert barrier.triggered
+    assert barrier.value == []
+
+
+def test_anyof_reports_first_winner():
+    engine = Engine()
+    slow = Timeout(engine, 50, "slow")
+    fast = Timeout(engine, 5, "fast")
+    race = AnyOf(engine, [slow, fast])
+    engine.run()
+    assert race.value == (1, "fast")
+
+
+def test_anyof_requires_events():
+    with pytest.raises(SimulationError):
+        AnyOf(Engine(), [])
+
+
+def test_process_runs_generator_to_completion():
+    engine = Engine()
+
+    def body():
+        yield Timeout(engine, 10)
+        yield Timeout(engine, 15)
+        return "finished"
+
+    process = engine.process(body())
+    result = engine.run_until_complete(process)
+    assert result == "finished"
+    assert engine.now == 25
+
+
+def test_process_receives_event_values():
+    engine = Engine()
+
+    def body():
+        value = yield Timeout(engine, 1, value=7)
+        return value * 2
+
+    assert engine.run_until_complete(engine.process(body())) == 14
+
+
+def test_process_yield_from_composition():
+    engine = Engine()
+
+    def inner():
+        yield Timeout(engine, 5)
+        return 3
+
+    def outer():
+        a = yield from inner()
+        b = yield from inner()
+        return a + b
+
+    assert engine.run_until_complete(engine.process(outer())) == 6
+    assert engine.now == 10
+
+
+def test_process_non_event_yield_raises():
+    engine = Engine()
+
+    def body():
+        yield 42
+
+    engine.process(body())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_process_requires_generator():
+    with pytest.raises(SimulationError):
+        Process(Engine(), 42)  # type: ignore[arg-type]
+
+
+def test_process_waits_on_other_process():
+    engine = Engine()
+
+    def worker():
+        yield Timeout(engine, 30)
+        return "payload"
+
+    worker_process = engine.process(worker())
+
+    def waiter():
+        value = yield worker_process
+        return value
+
+    assert engine.run_until_complete(engine.process(waiter())) == "payload"
+
+
+def test_interrupt_terminates_waiting_process():
+    engine = Engine()
+    progress = []
+
+    def body():
+        progress.append("start")
+        yield Timeout(engine, 1_000_000)
+        progress.append("never")
+
+    process = engine.process(body())
+    engine.run(until_fs=10)
+    process.interrupt("stop")
+    engine.run()
+    assert progress == ["start"]
+    assert not process.alive
+
+
+def test_interrupt_can_be_handled():
+    engine = Engine()
+
+    def body():
+        try:
+            yield Timeout(engine, 1_000_000)
+        except Interrupt as interrupt:
+            return f"handled:{interrupt.cause}"
+        return "unreachable"
+
+    process = engine.process(body())
+    engine.run(until_fs=1)
+    process.interrupt("why")
+    result = engine.run_until_complete(process)
+    assert result == "handled:why"
+
+
+def test_interrupt_dead_process_is_noop():
+    engine = Engine()
+
+    def body():
+        return 1
+        yield  # pragma: no cover
+
+    process = engine.process(body())
+    engine.run_until_complete(process)
+    process.interrupt()  # must not raise
+    engine.run()
+
+
+def test_run_until_complete_deadlock_detection():
+    engine = Engine()
+
+    def body():
+        yield engine.event()  # never triggered
+
+    process = engine.process(body())
+    with pytest.raises(DeadlockError):
+        engine.run_until_complete(process)
+
+
+def test_run_until_complete_limit():
+    engine = Engine()
+
+    def heartbeat():
+        while True:
+            yield Timeout(engine, 10)
+
+    engine.process(heartbeat())
+    target = engine.event()
+    with pytest.raises(SimulationError):
+        engine.run_until_complete(target, limit_fs=100)
+
+
+def test_determinism_same_seedless_schedule():
+    def build():
+        engine = Engine()
+        log = []
+
+        def body(tag, delay):
+            for _ in range(3):
+                yield Timeout(engine, delay)
+                log.append((tag, engine.now))
+
+        engine.process(body("a", 7))
+        engine.process(body("b", 11))
+        engine.run()
+        return log
+
+    assert build() == build()

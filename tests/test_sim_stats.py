@@ -1,0 +1,159 @@
+"""Unit and property tests for the statistics helpers."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStreams
+from repro.sim.stats import OnlineStats, confidence_interval_95, percentile
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def test_online_stats_empty():
+    stats = OnlineStats()
+    assert stats.count == 0
+    assert stats.mean == 0.0
+    assert stats.variance == 0.0
+
+
+def test_online_stats_single_value():
+    stats = OnlineStats()
+    stats.add(5.0)
+    assert stats.mean == 5.0
+    assert stats.variance == 0.0
+    assert stats.minimum == stats.maximum == 5.0
+
+
+def test_online_stats_known_values():
+    stats = OnlineStats()
+    stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert stats.mean == pytest.approx(5.0)
+    assert stats.stdev == pytest.approx(statistics.stdev([2, 4, 4, 4, 5, 5, 7, 9]))
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=60))
+def test_online_stats_matches_statistics_module(values):
+    stats = OnlineStats()
+    stats.extend(values)
+    assert stats.mean == pytest.approx(statistics.fmean(values), rel=1e-9, abs=1e-6)
+    assert stats.variance == pytest.approx(
+        statistics.variance(values), rel=1e-6, abs=1e-6
+    )
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=30),
+    st.lists(finite_floats, min_size=1, max_size=30),
+)
+def test_online_stats_merge_equals_concatenation(left, right):
+    a = OnlineStats()
+    a.extend(left)
+    b = OnlineStats()
+    b.extend(right)
+    merged = a.merge(b)
+    reference = OnlineStats()
+    reference.extend(left + right)
+    assert merged.count == reference.count
+    assert merged.mean == pytest.approx(reference.mean, rel=1e-9, abs=1e-6)
+    assert merged.variance == pytest.approx(reference.variance, rel=1e-6, abs=1e-5)
+
+
+def test_merge_with_empty_is_identity():
+    stats = OnlineStats()
+    stats.extend([1.0, 2.0, 3.0])
+    merged = stats.merge(OnlineStats())
+    assert merged.mean == stats.mean
+    assert merged.count == stats.count
+
+
+def test_confidence_interval_empty():
+    assert confidence_interval_95([]) == (0.0, 0.0)
+
+
+def test_confidence_interval_single():
+    mean, half = confidence_interval_95([4.2])
+    assert mean == 4.2
+    assert half == 0.0
+
+
+def test_confidence_interval_known():
+    values = [10.0, 12.0, 14.0, 16.0, 18.0]
+    mean, half = confidence_interval_95(values)
+    assert mean == 14.0
+    expected = 1.96 * math.sqrt(statistics.variance(values) / len(values))
+    assert half == pytest.approx(expected)
+
+
+def test_confidence_interval_shrinks_with_samples():
+    rng = RngStreams(3).stream("ci")
+    small = list(rng.normal(10, 2, size=10))
+    large = list(rng.normal(10, 2, size=1000))
+    _, half_small = confidence_interval_95(small)
+    _, half_large = confidence_interval_95(large)
+    assert half_large < half_small
+
+
+def test_percentile_bounds():
+    values = [3.0, 1.0, 2.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 3.0
+    assert percentile(values, 50) == 2.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_within_data_range(values, q):
+    result = percentile(values, q)
+    assert min(values) <= result <= max(values)
+
+
+def test_rng_streams_deterministic_per_name():
+    a = RngStreams(42).stream("x").integers(0, 1000, 10)
+    b = RngStreams(42).stream("x").integers(0, 1000, 10)
+    assert list(a) == list(b)
+
+
+def test_rng_streams_independent_names():
+    streams = RngStreams(42)
+    a = streams.stream("x").integers(0, 1000, 10)
+    b = streams.stream("y").integers(0, 1000, 10)
+    assert list(a) != list(b)
+
+
+def test_rng_streams_order_independent():
+    first = RngStreams(1)
+    first.stream("a")
+    value_b_after_a = first.stream("b").integers(0, 10**6)
+    second = RngStreams(1)
+    value_b_alone = second.stream("b").integers(0, 10**6)
+    assert value_b_after_a == value_b_alone
+
+
+def test_rng_fork_changes_streams():
+    base = RngStreams(5)
+    forked = base.fork(1)
+    assert list(base.stream("n").integers(0, 10**6, 5)) != list(
+        forked.stream("n").integers(0, 10**6, 5)
+    )

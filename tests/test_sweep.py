@@ -1,0 +1,98 @@
+"""Parameter-sweep driver tests."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult, grid, run_sweep
+from repro.core.channel import ChannelDirection, ChannelResult
+from repro.errors import ChannelProtocolError
+
+
+def _result(error_bits, elapsed_fs=10**12):
+    sent = [1, 0] * 32
+    received = list(sent)
+    for index in range(error_bits):
+        received[index * 7] ^= 1
+    return ChannelResult(
+        direction=ChannelDirection.GPU_TO_CPU,
+        sent=sent,
+        received=received,
+        elapsed_fs=elapsed_fs,
+    )
+
+
+def test_grid_cartesian_product():
+    points = grid(a=(1, 2), b=("x", "y", "z"))
+    assert len(points) == 6
+    assert {"a": 1, "b": "z"} in points
+    assert all(sorted(p) == ["a", "b"] for p in points)
+
+
+def test_run_sweep_aggregates_per_point():
+    def run(params, seed):
+        return _result(error_bits=params["errors"])
+
+    result = run_sweep(run, grid(errors=(0, 2)), seeds=(1, 2))
+    assert len(result.points) == 2
+    clean, noisy = result.points
+    assert clean.aggregate.error_percent == 0.0
+    assert noisy.aggregate.error_percent > 0
+    assert clean.aggregate.n_runs == 2
+
+
+def test_run_sweep_tolerates_dead_points():
+    def run(params, seed):
+        if params["mode"] == "dead":
+            raise ChannelProtocolError("starved")
+        return _result(0)
+
+    result = run_sweep(run, grid(mode=("ok", "dead")), seeds=(1, 2, 3))
+    alive = {p.params["mode"]: p for p in result.points}
+    assert alive["ok"].alive
+    assert not alive["dead"].alive
+    assert alive["dead"].failures == 3
+
+
+def test_best_by_error():
+    def run(params, seed):
+        return _result(error_bits=params["errors"])
+
+    result = run_sweep(run, grid(errors=(3, 1, 2)), seeds=(1,))
+    assert result.best_by_error().params["errors"] == 1
+
+
+def test_best_by_error_all_dead_raises():
+    def run(params, seed):
+        raise ChannelProtocolError("nope")
+
+    result = run_sweep(run, grid(x=(1,)), seeds=(1,))
+    with pytest.raises(ChannelProtocolError):
+        result.best_by_error()
+
+
+def test_rows_and_header_align():
+    def run(params, seed):
+        if params["n"] == 2:
+            raise ChannelProtocolError("dead point")
+        return _result(0)
+
+    result = run_sweep(run, grid(n=(1, 2)), seeds=(1,))
+    header = result.header()
+    rows = result.rows()
+    assert header == ["n", "kb/s", "err %"]
+    assert all(len(row) == len(header) for row in rows)
+    assert rows[1][1] == "dead"
+
+
+def test_sweep_with_real_channel_smoke():
+    """One tiny real point through the driver end to end."""
+    from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+
+    def run(params, seed):
+        config = LLCChannelConfig(
+            n_sets_per_role=params["sets"], system_effects=False
+        )
+        return LLCChannel(config).transmit(n_bits=12, seed=seed)
+
+    result = run_sweep(run, grid(sets=(2,)), seeds=(1,))
+    assert result.points[0].alive
+    assert result.points[0].aggregate.bandwidth_kbps > 0
