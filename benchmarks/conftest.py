@@ -4,23 +4,37 @@ Every ``bench_fig*`` module regenerates one evaluation artifact of the
 paper: it runs the experiment, prints the measured rows next to the
 paper-reported values, and records the text report under
 ``benchmarks/results/`` (EXPERIMENTS.md is written from those reports).
+
+Each report carries a simulation-cost footer (engines created, total
+engine events executed, final simulated clock) collected by an
+:class:`repro.obs.EngineCensus` armed for the duration of the test.
 """
 
 import pathlib
 
 import pytest
 
+from repro.obs import EngineCensus
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def report(name: str, title: str, body: str) -> None:
+def report(name: str, title: str, body: str, footer: str = "") -> None:
     """Print a figure report and persist it for EXPERIMENTS.md."""
     RESULTS_DIR.mkdir(exist_ok=True)
     text = f"== {title} ==\n{body}\n"
+    if footer:
+        text += f"{footer}\n"
     print("\n" + text)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
 
 
 @pytest.fixture
 def figure_report():
-    return report
+    """``report`` with the census footer appended automatically."""
+    with EngineCensus() as census:
+
+        def _report(name: str, title: str, body: str) -> None:
+            report(name, title, body, footer=census.footer())
+
+        yield _report

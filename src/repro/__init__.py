@@ -13,6 +13,7 @@ Quick start::
 """
 
 from repro.config import (
+    ObservabilityConfig,
     SoCConfig,
     kaby_lake,
     kaby_lake_model,
@@ -58,6 +59,7 @@ __all__ = [
     "GpuDevice",
     "LLCChannel",
     "LLCChannelConfig",
+    "ObservabilityConfig",
     "OpenClContext",
     "ReproError",
     "SoC",

@@ -28,6 +28,7 @@ import dataclasses
 import typing
 
 from repro.errors import ConfigError
+from repro.obs.recorder import TRACE_EVENT_NAMES
 
 FS_PER_S = 1_000_000_000_000_000
 
@@ -356,6 +357,39 @@ class MmuConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing/metrics knobs for one simulated machine.
+
+    ``enabled`` arms the SoC's latency histograms even when no trace sink
+    is installed; installing a sink on :data:`repro.obs.recorder` arms
+    them regardless.  ``event_allowlist`` restricts which event names a
+    component resolves a sink for (``None`` = the recorder's default);
+    ``trace_path`` is where the CLI writes the Chrome trace.
+    """
+
+    enabled: bool = False
+    trace_path: typing.Optional[str] = None
+    event_allowlist: typing.Optional[typing.Tuple[str, ...]] = None
+    histogram_reservoir: int = 256
+
+    def validate(self) -> None:
+        _require(
+            self.histogram_reservoir >= 2,
+            "histogram reservoir must hold at least 2 samples",
+        )
+        _require(
+            self.trace_path is None or bool(self.trace_path),
+            "trace_path must be None or a non-empty path",
+        )
+        if self.event_allowlist is not None:
+            unknown = set(self.event_allowlist) - set(TRACE_EVENT_NAMES)
+            _require(
+                not unknown,
+                f"unknown trace events in allowlist: {sorted(unknown)}",
+            )
+
+
+@dataclasses.dataclass(frozen=True)
 class SoCConfig:
     """Complete description of the simulated machine."""
 
@@ -372,6 +406,7 @@ class SoCConfig:
     dram: DramConfig = dataclasses.field(default_factory=DramConfig)
     mmu: MmuConfig = dataclasses.field(default_factory=MmuConfig)
     noise: NoiseConfig = dataclasses.field(default_factory=NoiseConfig)
+    obs: ObservabilityConfig = dataclasses.field(default_factory=ObservabilityConfig)
     seed: int = 0
 
     def validate(self) -> "SoCConfig":
@@ -380,6 +415,7 @@ class SoCConfig:
         for section in (
             self.cpu_clock, self.gpu_clock, self.cpu_cache, self.llc, self.gpu,
             self.gpu_l3, self.slm, self.ring, self.dram, self.mmu, self.noise,
+            self.obs,
         ):
             section.validate()
         _require(

@@ -30,6 +30,7 @@ from repro.cpu.pointer_chase import PointerChaseBuffer
 from repro.errors import ChannelProtocolError
 from repro.gpu.device import GpuDevice
 from repro.gpu.opencl import OpenClContext
+from repro.obs.recorder import recorder as _recorder
 from repro.sim import FS_PER_S, FS_PER_US
 from repro.soc.machine import SoC
 
@@ -186,8 +187,17 @@ class ContentionChannel:
             target = float(t1) + self.config.lead_in_slots * ticks_per_slot
             yield from pace_until(wg, target)
             cursor = 0
-            for bit in frame:
+            sink = _recorder.sink_for("channel.bit")
+            for index, bit in enumerate(frame):
                 target += ticks_per_slot
+                if sink is not None:
+                    sink.emit(
+                        "channel.bit",
+                        soc.engine.now,
+                        "gpu",
+                        {"role": "sender", "index": index, "value": bit,
+                         "workgroup": wg.workgroup_id},
+                    )
                 if bit:
                     while True:
                         now_ticks = yield from wg.read_timer()
@@ -232,20 +242,23 @@ class ContentionChannel:
         span_fs = decoded.payload_span_fs
         if not span_fs or len(decoded.bits) < len(payload) // 2:
             span_fs = soc.engine.now - start_fs
+        meta: typing.Dict[str, object] = {
+            "iteration_factor": calibration.iteration_factor,
+            "slot_us": slot_fs / FS_PER_US,
+            "gpu_pass_us": calibration.gpu_pass_fs / FS_PER_US,
+            "n_workgroups": params.n_workgroups,
+            "cpu_buffer_bytes": params.cpu_buffer_bytes,
+            "gpu_buffer_bytes": params.gpu_buffer_bytes,
+            "threshold_cycles": decoded.threshold_cycles,
+            "n_samples": decoded.n_samples,
+            "seed": seed,
+        }
+        if soc.obs_enabled:
+            meta["metrics"] = soc.metrics_snapshot()
         return ChannelResult(
             direction=ChannelDirection.GPU_TO_CPU,
             sent=payload,
             received=decoded.bits,
             elapsed_fs=max(1, span_fs),
-            meta={
-                "iteration_factor": calibration.iteration_factor,
-                "slot_us": slot_fs / FS_PER_US,
-                "gpu_pass_us": calibration.gpu_pass_fs / FS_PER_US,
-                "n_workgroups": params.n_workgroups,
-                "cpu_buffer_bytes": params.cpu_buffer_bytes,
-                "gpu_buffer_bytes": params.gpu_buffer_bytes,
-                "threshold_cycles": decoded.threshold_cycles,
-                "n_samples": decoded.n_samples,
-                "seed": seed,
-            },
+            meta=meta,
         )

@@ -210,18 +210,21 @@ class LLCChannel:
             received = instance.results()[0]
 
         elapsed_fs = soc.engine.now - start_fs
+        meta: typing.Dict[str, object] = {
+            "strategy": self.config.strategy.value,
+            "n_sets_per_role": self.config.n_sets_per_role,
+            "t_data_ns": session.t_data_fs / 1e6,
+            "soc": self.soc_config.name,
+            "seed": seed,
+        }
+        if soc.obs_enabled:
+            meta["metrics"] = soc.metrics_snapshot()
         return ChannelResult(
             direction=direction,
             sent=payload,
             received=typing.cast(typing.List[int], received),
             elapsed_fs=elapsed_fs,
-            meta={
-                "strategy": self.config.strategy.value,
-                "n_sets_per_role": self.config.n_sets_per_role,
-                "t_data_ns": session.t_data_fs / 1e6,
-                "soc": self.soc_config.name,
-                "seed": seed,
-            },
+            meta=meta,
         )
 
     def _run(self, soc: SoC, event) -> object:

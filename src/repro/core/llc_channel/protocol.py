@@ -33,6 +33,7 @@ import typing
 
 from repro.core.llc_channel.plan import EndpointPlan, EvictionStrategy, Role
 from repro.errors import ChannelProtocolError
+from repro.obs.recorder import recorder as _recorder
 from repro.sim import FS_PER_NS, FS_PER_US, Timeout
 
 if typing.TYPE_CHECKING:
@@ -111,6 +112,8 @@ class Endpoint:
     """Shared interface of the two protocol endpoints."""
 
     plan: EndpointPlan
+    #: Trace track this endpoint's protocol events land on.
+    track: str = "channel"
 
     def now_fs(self) -> int:
         raise NotImplementedError
@@ -150,6 +153,7 @@ class CpuEndpoint(Endpoint):
         self.program = program
         self.plan = plan
         self.tuning = tuning
+        self.track = f"cpu.core{program.core}"
         soc = program.soc
         self._soc = soc
         self._cycle_fs = soc.config.cpu_clock.cycle_fs
@@ -259,6 +263,7 @@ class GpuEndpoint(Endpoint):
         self.wg = wg
         self.plan = plan
         self.tuning = tuning
+        self.track = "gpu"
         soc = wg.soc
         self._soc = soc
         profile = soc.gpu_latency_profile()
@@ -453,6 +458,7 @@ def wait_for_signal(
     """
     n_sets = len(endpoint.plan.roles[role].locations)
     latched = [False] * n_sets
+    sink = _recorder.sink_for("channel.sync")
     for attempt in range(tuning.max_poll_iterations):
         if attempt and attempt % tuning.latch_window == 0:
             latched = [False] * n_sets
@@ -464,6 +470,13 @@ def wait_for_signal(
         latched = [seen or new for seen, new in zip(latched, verdicts)]
         if all(latched):
             _trace(endpoint, f"detected {role.name} after {attempt + 1} polls")
+            if sink is not None:
+                sink.emit(
+                    "channel.sync",
+                    endpoint.now_fs(),
+                    endpoint.track,
+                    {"role": role.name, "polls": attempt + 1},
+                )
             if consume:
                 # Let the tail of the peer's prime drain, then reset the
                 # role for the next round with own lines.
@@ -485,6 +498,7 @@ def sender_loop(
     # Warm READY_RECV with own lines so the receiver's prime is visible.
     yield from endpoint.prime(Role.READY_RECV)
     idle_fs = endpoint.estimate_prime_fs(Role.DATA)
+    sink = _recorder.sink_for("channel.bit")
     for index, bit in enumerate(bits):
         yield from endpoint.prime(Role.READY_SEND)
         _trace(endpoint, f"sender primed READY_SEND bit={index} value={bit}")
@@ -502,6 +516,13 @@ def sender_loop(
             yield from endpoint.prime(Role.DATA)
         else:
             yield from endpoint.wait_fs(idle_fs)
+        if sink is not None:
+            sink.emit(
+                "channel.bit",
+                endpoint.now_fs(),
+                endpoint.track,
+                {"role": "sender", "index": index, "value": bit},
+            )
         yield from endpoint.wait_fs(tuning.peer_prime_settle_fs or 0)
         yield from endpoint.prime(Role.READY_RECV)
     return len(bits)
@@ -516,6 +537,7 @@ def receiver_loop(
     # Warm READY_SEND and DATA with own lines.
     yield from endpoint.prime(Role.READY_SEND)
     yield from endpoint.prime(Role.DATA)
+    sink = _recorder.sink_for("channel.bit")
     for _ in range(n_bits):
         yield from wait_for_signal(
             endpoint, Role.READY_SEND, tuning, tuning.receiver_poll_gap_fs
@@ -533,5 +555,13 @@ def receiver_loop(
             if poll + 1 < tuning.data_window_polls:
                 yield from endpoint.wait_fs(tuning.receiver_poll_gap_fs)
         received.append(1 if all(latched) else 0)
+        if sink is not None:
+            sink.emit(
+                "channel.bit",
+                endpoint.now_fs(),
+                endpoint.track,
+                {"role": "receiver", "index": len(received) - 1,
+                 "value": received[-1]},
+            )
         _trace(endpoint, f"receiver decoded bit={len(received) - 1} value={received[-1]}")
     return received

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.obs.recorder import recorder as _recorder
 from repro.sim import AllOf, Timeout
 from repro.sim.process import Process
 from repro.soc.mmu import AddressSpace
@@ -36,6 +37,9 @@ class CpuProgram:
         self.name = name
         self.space = space if space is not None else soc.new_process(name)
         self._rng = soc.rng.stream(f"cpu-timer-{name}-{core}")
+        # Resolved once; `None` keeps the measurement verbs' off path to
+        # a single check per timed operation.
+        self._trace = _recorder.sink_for("cpu.probe")
 
     # ------------------------------------------------------------------
     # Plain accesses
@@ -110,8 +114,21 @@ class CpuProgram:
     def timed_read(self, paddr: int) -> typing.Generator[object, object, int]:
         """Measure one load; returns measured CPU cycles (incl. overhead)."""
         start = yield from self.rdtsc()
+        start_fs = self.soc.engine.now
         yield from self.read(paddr)
         end = yield from self.rdtsc()
+        if self._trace is not None:
+            self._trace.emit(
+                "cpu.probe",
+                start_fs,
+                f"cpu.core{self.core}",
+                {
+                    "program": self.name,
+                    "n_lines": 1,
+                    "cycles": end - start,
+                    "dur_fs": self.soc.engine.now - start_fs,
+                },
+            )
         return end - start
 
     def timed_probe(
@@ -123,8 +140,21 @@ class CpuProgram:
         thresholds to distinguish a primed set from an untouched one.
         """
         start = yield from self.rdtsc()
+        start_fs = self.soc.engine.now
         yield from self.read_series(paddrs)
         end = yield from self.rdtsc()
+        if self._trace is not None:
+            self._trace.emit(
+                "cpu.probe",
+                start_fs,
+                f"cpu.core{self.core}",
+                {
+                    "program": self.name,
+                    "n_lines": len(paddrs),
+                    "cycles": end - start,
+                    "dur_fs": self.soc.engine.now - start_fs,
+                },
+            )
         return end - start
 
     def wait_cycles(self, cycles: float) -> typing.Generator:

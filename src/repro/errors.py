@@ -21,6 +21,10 @@ class DeadlockError(SimulationError):
     """The event queue drained while processes were still waiting."""
 
 
+class ObservabilityError(ReproError):
+    """Invalid use of the tracing/metrics layer (double install, ...)."""
+
+
 class MemoryModelError(ReproError):
     """An address, page, or buffer operation is invalid."""
 

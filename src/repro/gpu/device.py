@@ -18,6 +18,7 @@ import typing
 
 from repro.errors import KernelLaunchError
 from repro.gpu.kernel import KernelSpec
+from repro.obs.recorder import recorder as _recorder
 from repro.gpu.workgroup import WorkGroupCtx
 from repro.sim import AllOf, Timeout
 from repro.sim.events import Event
@@ -35,6 +36,7 @@ class KernelInstance:
         self.device = device
         self.spec = spec
         soc = device.soc
+        self.launched_fs = soc.engine.now
         self.assignments: typing.List[int] = []
         processes: typing.List[Process] = []
         for wg_id in range(spec.n_workgroups):
@@ -102,6 +104,8 @@ class GpuDevice:
         self.extra_timer_jitter = 0.0
         #: Modeled user-level launch overhead (driver + dispatch).
         self.launch_overhead_fs = soc.cpu_cycles_fs(30_000)
+        # Resolved once; `None` keeps _kernel_finished's off path to one check.
+        self._trace = _recorder.sink_for("gpu.kernel")
 
     def next_subslice(self) -> int:
         """Round-robin work-group placement (§II-A observation)."""
@@ -136,3 +140,14 @@ class GpuDevice:
     def _kernel_finished(self, instance: KernelInstance) -> None:
         if self._running is instance:
             self._running = None
+        if self._trace is not None:
+            self._trace.emit(
+                "gpu.kernel",
+                instance.launched_fs,
+                "gpu",
+                {
+                    "name": instance.spec.name,
+                    "workgroups": instance.spec.n_workgroups,
+                    "dur_fs": self.soc.engine.now - instance.launched_fs,
+                },
+            )

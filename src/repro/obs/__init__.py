@@ -1,0 +1,90 @@
+"""repro.obs — zero-overhead-when-off observability for the simulated SoC.
+
+Three pieces:
+
+* a process-global :data:`recorder` that instrumented layers (engine,
+  SoC access paths, ring, channels, GPU device) emit structured events
+  to — when no sink is installed, every emit site is one ``is None``
+  check (see DESIGN.md, "zero-overhead-when-off");
+* a :class:`MetricsRegistry` of named counters and histograms attached
+  to every :class:`~repro.soc.machine.SoC` as ``soc.metrics``, exported
+  as a nested dict by ``soc.metrics_snapshot()``;
+* exporters: Chrome ``trace_event`` JSON (``chrome://tracing`` /
+  Perfetto), JSON-Lines event dumps, and a plain-text run report — plus
+  a ``python -m repro.obs`` CLI that runs a scenario with tracing on.
+
+This module is imported by the hot simulation layers, so it stays lazy:
+submodules load on first attribute access (PEP 562).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.census import EngineCensus, note_engine
+from repro.obs.recorder import (
+    DEFAULT_EVENT_ALLOWLIST,
+    TRACE_EVENT_NAMES,
+    Recorder,
+    TraceSink,
+    recorder,
+)
+
+_LAZY = {
+    "MemorySink": ("repro.obs.sinks", "MemorySink"),
+    "JsonlSink": ("repro.obs.sinks", "JsonlSink"),
+    "TeeSink": ("repro.obs.sinks", "TeeSink"),
+    "TraceEvent": ("repro.obs.sinks", "TraceEvent"),
+    "Counter": ("repro.obs.metrics", "Counter"),
+    "Histogram": ("repro.obs.metrics", "Histogram"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "chrome_trace_events": ("repro.obs.chrome_trace", "chrome_trace_events"),
+    "export_chrome_trace": ("repro.obs.chrome_trace", "export_chrome_trace"),
+    "track_names": ("repro.obs.chrome_trace", "track_names"),
+    "render_report": ("repro.obs.report", "render_report"),
+    "event_totals": ("repro.obs.report", "event_totals"),
+    "per_track_totals": ("repro.obs.report", "per_track_totals"),
+}
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.obs.chrome_trace import (  # noqa: F401
+        chrome_trace_events,
+        export_chrome_trace,
+        track_names,
+    )
+    from repro.obs.metrics import Counter, Histogram, MetricsRegistry  # noqa: F401
+    from repro.obs.report import (  # noqa: F401
+        event_totals,
+        per_track_totals,
+        render_report,
+    )
+    from repro.obs.sinks import (  # noqa: F401
+        JsonlSink,
+        MemorySink,
+        TeeSink,
+        TraceEvent,
+    )
+
+
+def __getattr__(name: str) -> object:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "DEFAULT_EVENT_ALLOWLIST",
+    "EngineCensus",
+    "Recorder",
+    "TRACE_EVENT_NAMES",
+    "TraceSink",
+    "note_engine",
+    "recorder",
+    *sorted(_LAZY),
+]

@@ -1,0 +1,208 @@
+"""``python -m repro.obs`` — trace, profile and report simulated scenarios.
+
+Runs one of the packaged covert-channel scenarios with the process-global
+recorder armed and exports what was seen::
+
+    python -m repro.obs --scenario quickstart --trace out.json
+    python -m repro.obs --scenario contention --bits 16 --report report.txt
+    python -m repro.obs --scenario quickstart --profile
+
+``--trace`` writes Chrome ``trace_event`` JSON (open in chrome://tracing
+or https://ui.perfetto.dev), ``--jsonl`` streams the raw events, and the
+plain-text report (stdout, or ``--report FILE``) summarizes event totals
+and the SoC metrics registry.  ``--profile`` skips tracing entirely and
+reports the simulator's raw throughput (engine events per wall second).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing
+
+from repro.obs.census import EngineCensus
+from repro.obs.chrome_trace import export_chrome_trace, track_names
+from repro.obs.recorder import (
+    DEFAULT_EVENT_ALLOWLIST,
+    TRACE_EVENT_NAMES,
+    recorder,
+)
+from repro.obs.report import render_report
+from repro.obs.sinks import JsonlSink, MemorySink, TeeSink
+
+
+def _run_scenario(name: str, bits: int, seed: int, scale: int):
+    """Build and run one scenario; returns its ChannelResult."""
+    from repro.config import kaby_lake_model
+
+    soc_config = kaby_lake_model(scale=scale)
+    if name in ("quickstart", "llc-cpu-to-gpu"):
+        from repro.core.channel import ChannelDirection
+        from repro.core.llc_channel.channel import LLCChannel, LLCChannelConfig
+
+        direction = (
+            ChannelDirection.CPU_TO_GPU
+            if name == "llc-cpu-to-gpu"
+            else ChannelDirection.GPU_TO_CPU
+        )
+        channel = LLCChannel(LLCChannelConfig(direction=direction), soc_config)
+        return channel.transmit(n_bits=bits, seed=seed)
+    if name == "contention":
+        from repro.core.contention_channel.channel import (
+            ContentionChannel,
+            ContentionChannelConfig,
+        )
+
+        channel = ContentionChannel(ContentionChannelConfig(), soc_config)
+        return channel.transmit(n_bits=bits, seed=seed)
+    raise ValueError(f"unknown scenario: {name}")
+
+
+def _result_lines(result) -> typing.List[str]:
+    """Headline result numbers for the report preamble."""
+    return [
+        f"direction: {result.direction.value}",
+        f"bits sent: {len(result.sent)}",
+        f"bit error rate: {100.0 * result.error_rate:.2f}%",
+        f"bandwidth: {result.bandwidth_kbps:.2f} kbps",
+        f"simulated time: {result.elapsed_fs / 1e12:.3f} ms",
+    ]
+
+
+def _parse_events(spec: str) -> typing.Tuple[str, ...]:
+    names = tuple(name.strip() for name in spec.split(",") if name.strip())
+    unknown = [name for name in names if name not in TRACE_EVENT_NAMES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown event name(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(TRACE_EVENT_NAMES)}"
+        )
+    return names
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace, profile and report the simulated SoC.",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="quickstart",
+        choices=("quickstart", "llc-cpu-to-gpu", "contention"),
+        help="which packaged run to observe (default: quickstart)",
+    )
+    parser.add_argument("--bits", type=_positive_int, default=16,
+                        help="payload length in bits (default: 16)")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="simulation seed (default: 2026)")
+    parser.add_argument("--scale", type=int, default=16,
+                        help="machine scale divisor (default: 16)")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write Chrome trace_event JSON here")
+    parser.add_argument("--jsonl", metavar="FILE",
+                        help="stream raw events as JSON Lines here")
+    parser.add_argument("--report", metavar="FILE",
+                        help="write the plain-text report here (default: stdout)")
+    parser.add_argument(
+        "--events",
+        type=_parse_events,
+        metavar="NAME[,NAME...]",
+        help="comma-separated event allowlist (default: all except "
+             "engine.step)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="skip tracing; report engine events per wall-clock second",
+    )
+    return parser
+
+
+def _profile(args: argparse.Namespace) -> int:
+    census = EngineCensus()
+    wall_start = time.perf_counter()
+    with census:
+        result = _run_scenario(args.scenario, args.bits, args.seed, args.scale)
+    wall = time.perf_counter() - wall_start
+    rate = census.events_executed / wall if wall > 0 else 0.0
+    lines = _result_lines(result)
+    lines.append(census.footer())
+    lines.append(f"wall time: {wall:.3f} s")
+    lines.append(f"throughput: {rate:,.0f} engine events/s")
+    print("\n".join(lines))
+    return 0
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.profile:
+        return _profile(args)
+
+    allowlist = args.events if args.events else DEFAULT_EVENT_ALLOWLIST
+    memory = MemorySink()
+    jsonl_file = None
+    jsonl_sink = None
+    sink: object = memory
+    if args.jsonl:
+        jsonl_file = open(args.jsonl, "w", encoding="utf-8")
+        jsonl_sink = JsonlSink(jsonl_file)
+        sink = TeeSink(memory, jsonl_sink)
+
+    census = EngineCensus()
+    try:
+        with census, recorder.recording(sink, allowlist):
+            result = _run_scenario(
+                args.scenario, args.bits, args.seed, args.scale
+            )
+    finally:
+        if jsonl_sink is not None:
+            jsonl_sink.close()
+        if jsonl_file is not None:
+            jsonl_file.close()
+
+    extra = _result_lines(result)
+    extra.append(census.footer())
+    if args.trace:
+        count = export_chrome_trace(
+            memory.events,
+            args.trace,
+            metadata={
+                "scenario": args.scenario,
+                "bits": args.bits,
+                "seed": args.seed,
+                "scale": args.scale,
+            },
+        )
+        extra.append(
+            f"chrome trace: {args.trace} ({count} events, "
+            f"{len(track_names(memory.events))} tracks)"
+        )
+    if args.jsonl:
+        extra.append(f"jsonl: {args.jsonl} ({len(memory)} events)")
+
+    metrics = result.meta.get("metrics")
+    text = render_report(
+        f"repro.obs — {args.scenario}",
+        memory.events,
+        metrics=typing.cast(typing.Optional[dict], metrics),
+        extra_lines=extra,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fileobj:
+            fileobj.write(text + "\n")
+        print(f"report written to {args.report}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

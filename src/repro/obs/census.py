@@ -1,0 +1,73 @@
+"""Engine census: account for simulation work done inside a code block.
+
+Benchmark harnesses (and the CLI's report) want to state *how much
+simulation* a figure cost — total events executed and the final
+simulated clock — but the channel facades build their engines internally
+and drop them when a transmission returns.  The census solves this
+without any per-event hook: :class:`~repro.sim.engine.Engine` announces
+itself **once, at construction**, to whatever censuses are armed; an
+armed census keeps a strong reference so the engine's final counters are
+still readable when the block ends.  When no census is armed the
+announcement is a single ``if not _ACTIVE`` check.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:
+    from repro.sim.engine import Engine
+
+_ACTIVE: typing.List["EngineCensus"] = []
+
+
+def note_engine(engine: "Engine") -> None:
+    """Called by ``Engine.__init__``; no-op unless a census is armed."""
+    if not _ACTIVE:
+        return
+    for census in _ACTIVE:
+        census.engines.append(engine)
+
+
+class EngineCensus:
+    """Collects every engine created while armed; nestable."""
+
+    def __init__(self) -> None:
+        self.engines: typing.List["Engine"] = []
+
+    def start(self) -> "EngineCensus":
+        _ACTIVE.append(self)
+        return self
+
+    def stop(self) -> None:
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
+
+    def __enter__(self) -> "EngineCensus":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+    @property
+    def engines_created(self) -> int:
+        return len(self.engines)
+
+    @property
+    def events_executed(self) -> int:
+        """Total actions executed across every censused engine."""
+        return sum(engine.events_executed for engine in self.engines)
+
+    @property
+    def final_now_fs(self) -> int:
+        """The furthest simulated clock any censused engine reached."""
+        return max((engine.now for engine in self.engines), default=0)
+
+    def footer(self) -> str:
+        """One-line summary for benchmark reports."""
+        return (
+            f"sim: engines={self.engines_created} "
+            f"events_executed={self.events_executed} "
+            f"final_now={self.final_now_fs} fs "
+            f"({self.final_now_fs / 1e12:.3f} ms simulated)"
+        )

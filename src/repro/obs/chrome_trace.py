@@ -1,0 +1,117 @@
+"""Export recorded events as Chrome ``trace_event`` JSON.
+
+The output loads directly in ``chrome://tracing`` and in Perfetto
+(https://ui.perfetto.dev).  Each distinct event *track* (spy core,
+trojan core, GPU, ring, DRAM, ...) becomes one named thread under a
+single "simulated SoC" process; events carrying a ``dur_fs`` argument
+become complete spans (``ph: "X"``), everything else becomes an instant
+event (``ph: "i"``).
+
+Timestamps: the trace_event format counts microseconds; simulation time
+is integer femtoseconds, so ``ts = ts_fs / 1e9`` (float microseconds
+keep nanosecond-scale structure visible in the viewer).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.obs.sinks import TraceEvent
+
+#: Trace-event pid for the one simulated process.
+_PID = 1
+FS_PER_US = 1_000_000_000
+
+
+def _track_order(track: str) -> typing.Tuple[int, str]:
+    """Stable viewer ordering: agents first, shared resources after."""
+    if track.startswith("cpu."):
+        return (0, track)
+    if track.startswith("gpu"):
+        return (1, track)
+    return (2, track)
+
+
+def chrome_trace_events(
+    events: typing.Sequence[TraceEvent],
+) -> typing.List[typing.Dict[str, object]]:
+    """Convert recorder events to a ``traceEvents`` array."""
+    tracks: typing.Dict[str, int] = {}
+    for _name, _ts, track, _args in events:
+        tracks.setdefault(track, 0)
+    ordered = sorted(tracks, key=_track_order)
+    tids = {track: tid for tid, track in enumerate(ordered, start=1)}
+
+    out: typing.List[typing.Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "simulated SoC"},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        out.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    for name, ts_fs, track, args in events:
+        record: typing.Dict[str, object] = {
+            "name": name,
+            "pid": _PID,
+            "tid": tids[track],
+            "ts": ts_fs / FS_PER_US,
+            "cat": name.split(".", 1)[0],
+        }
+        if args and "dur_fs" in args:
+            record["ph"] = "X"
+            record["dur"] = typing.cast(float, args["dur_fs"]) / FS_PER_US
+            payload = {k: v for k, v in args.items() if k != "dur_fs"}
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+            payload = dict(args) if args else {}
+        if payload:
+            record["args"] = payload
+        out.append(record)
+    return out
+
+
+def export_chrome_trace(
+    events: typing.Sequence[TraceEvent],
+    path: str,
+    metadata: typing.Optional[typing.Dict[str, object]] = None,
+) -> int:
+    """Write the Chrome-trace JSON file; returns the event count."""
+    document = {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ns",
+        "otherData": dict(metadata or {}),
+    }
+    with open(path, "w", encoding="utf-8") as fileobj:
+        json.dump(document, fileobj)
+    return len(events)
+
+
+def track_names(events: typing.Sequence[TraceEvent]) -> typing.List[str]:
+    """Distinct tracks present in a recorded event stream."""
+    seen: typing.Dict[str, None] = {}
+    for _name, _ts, track, _args in events:
+        seen.setdefault(track)
+    return sorted(seen, key=_track_order)

@@ -1,0 +1,150 @@
+"""Named counters and histograms for the simulated SoC.
+
+The registry is a flat store keyed by dotted names (``llc.slice0.hits``,
+``cpu.core1.access_latency_ns``) that exports as a *nested* dict — the
+shape the run report and the tests consume.  Histograms combine the
+Welford accumulator from :mod:`repro.sim.stats` with a bounded,
+deterministic sample reservoir (stride-doubling decimation, no RNG) so
+percentile estimates never grow without bound and never perturb the
+simulation's random streams.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ObservabilityError
+from repro.sim.stats import OnlineStats, percentile
+
+
+Number = typing.Union[int, float]
+
+
+class Counter:
+    """A named numeric gauge/count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        """Overwrite the value (used when syncing pull-based sources)."""
+        self.value = value
+
+
+class Histogram:
+    """Online summary stats plus a bounded percentile reservoir.
+
+    Keeps every ``stride``-th sample; when the reservoir fills, it is
+    decimated to every other kept sample and the stride doubles.  The
+    scheme is deterministic — a hard requirement, since histograms record
+    from inside the simulation and must not consume RNG state.
+    """
+
+    __slots__ = ("name", "stats", "_reservoir", "_samples", "_stride", "_seen")
+
+    def __init__(self, name: str, reservoir: int = 256) -> None:
+        if reservoir < 2:
+            raise ObservabilityError(f"histogram reservoir too small: {reservoir}")
+        self.name = name
+        self.stats = OnlineStats()
+        self._reservoir = reservoir
+        self._samples: typing.List[float] = []
+        self._stride = 1
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        self.stats.add(value)
+        if self._seen % self._stride == 0:
+            if len(self._samples) >= self._reservoir:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._samples.append(value)
+        self._seen += 1
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the retained reservoir."""
+        if not self._samples:
+            return 0.0
+        return percentile(self._samples, q)
+
+    def snapshot(self) -> typing.Dict[str, float]:
+        summary = self.stats.snapshot()
+        summary["p50"] = self.percentile(50)
+        summary["p90"] = self.percentile(90)
+        summary["p99"] = self.percentile(99)
+        return summary
+
+
+class MetricsRegistry:
+    """Get-or-create store of named counters and histograms."""
+
+    def __init__(self, reservoir: int = 256) -> None:
+        self._reservoir = reservoir
+        self._counters: typing.Dict[str, Counter] = {}
+        self._histograms: typing.Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        existing = self._counters.get(name)
+        if existing is None:
+            self._check_name(name, self._histograms)
+            existing = self._counters[name] = Counter(name)
+        return existing
+
+    def histogram(
+        self, name: str, reservoir: typing.Optional[int] = None
+    ) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_name(name, self._counters)
+            existing = self._histograms[name] = Histogram(
+                name, reservoir or self._reservoir
+            )
+        return existing
+
+    @staticmethod
+    def _check_name(name: str, other_kind: typing.Mapping[str, object]) -> None:
+        if not name:
+            raise ObservabilityError("metric name must be non-empty")
+        if name in other_kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered with a different kind"
+            )
+
+    def counters(self) -> typing.Dict[str, Number]:
+        """Flat ``name -> value`` view of every counter."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def as_dict(self) -> typing.Dict[str, object]:
+        """Nested dict keyed by the dotted-name components.
+
+        Counters become leaf ints; histograms become leaf summary dicts.
+        """
+        root: typing.Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            _nest(root, name, counter.value)
+        for name, histogram in self._histograms.items():
+            _nest(root, name, histogram.snapshot())
+        return root
+
+
+def _nest(root: typing.Dict[str, object], dotted: str, leaf: object) -> None:
+    parts = dotted.split(".")
+    node = root
+    for part in parts[:-1]:
+        child = node.setdefault(part, {})
+        if not isinstance(child, dict):
+            # A leaf already sits where a branch must go: hang the branch
+            # off a sibling key instead of silently clobbering the leaf.
+            child = node.setdefault(part + ".value", {})  # pragma: no cover
+        node = typing.cast(typing.Dict[str, object], child)
+    node[parts[-1]] = leaf

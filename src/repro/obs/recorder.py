@@ -1,0 +1,141 @@
+"""The process-global trace recorder and the ``TraceSink`` contract.
+
+Observability in this codebase follows one rule: **the disabled path is a
+single ``is None`` check**.  Components resolve their sink *once*, at
+construction time, via :meth:`Recorder.sink_for`; when tracing is off (or
+the event name is not allowlisted) that resolution returns ``None`` and
+every emit site reduces to ``if self._trace is not None`` — no dict
+construction, no string formatting, no function call.  This is what keeps
+tier-1 test runtime unchanged while the same build can produce full
+Chrome traces when asked.
+
+Because sinks are resolved at construction, a sink must be installed
+*before* the observed objects (``SoC``, channels, engines) are built —
+which is how the CLI and the tests use it::
+
+    from repro.obs import MemorySink, recorder
+
+    with recorder.recording(MemorySink()) as sink:
+        result = LLCChannel(LLCChannelConfig()).transmit(n_bits=16)
+    print(len(sink.events), "events")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+
+from repro.errors import ObservabilityError
+
+#: Every structured event name emitted by the instrumented layers.  The
+#: allowlist in :class:`~repro.config.ObservabilityConfig` is validated
+#: against this set.
+TRACE_EVENT_NAMES: typing.Tuple[str, ...] = (
+    "cache.access",   # an access reached a cache array (level + hit/miss)
+    "cache.evict",    # an LLC fill pushed a victim line out
+    "ring.hop",       # a transfer occupied the ring (domain + queueing)
+    "dram.access",    # an LLC miss went to memory (sampled latency)
+    "engine.step",    # one scheduled action executed (very high volume)
+    "channel.bit",    # a covert-channel endpoint sent/decoded one bit
+    "channel.sync",   # a handshake signal was detected
+    "cpu.probe",      # a timed CPU probe completed (measured cycles)
+    "gpu.kernel",     # a GPU kernel ran (span: launch -> completion)
+)
+
+#: The default allowlist: everything except the per-step firehose, which
+#: multiplies the trace volume by the raw event count of the run.
+DEFAULT_EVENT_ALLOWLIST: typing.Tuple[str, ...] = tuple(
+    name for name in TRACE_EVENT_NAMES if name != "engine.step"
+)
+
+
+class TraceSink(typing.Protocol):
+    """Anything that can receive structured trace events."""
+
+    def emit(
+        self,
+        name: str,
+        ts_fs: int,
+        track: str,
+        args: typing.Optional[typing.Dict[str, object]],
+    ) -> None:
+        """Record one event.
+
+        ``ts_fs`` is simulation time in femtoseconds; ``track`` names the
+        agent/resource the event belongs to (one Chrome-trace thread per
+        distinct track); ``args`` is an optional payload dict.
+        """
+
+
+class Recorder:
+    """Process-global switchboard between components and the active sink."""
+
+    __slots__ = ("_sink", "_allowlist")
+
+    def __init__(self) -> None:
+        self._sink: typing.Optional[TraceSink] = None
+        self._allowlist: typing.Optional[typing.FrozenSet[str]] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a sink is currently installed."""
+        return self._sink is not None
+
+    @property
+    def sink(self) -> typing.Optional[TraceSink]:
+        return self._sink
+
+    def sink_for(self, *names: str) -> typing.Optional[TraceSink]:
+        """The sink a component should cache for the given event names.
+
+        Returns ``None`` when tracing is off or none of ``names`` is
+        allowlisted — making the component's disabled path a plain
+        ``is None`` check with zero per-event cost.
+        """
+        if self._sink is None:
+            return None
+        if self._allowlist is None:
+            return self._sink
+        if any(name in self._allowlist for name in names):
+            return self._sink
+        return None
+
+    def install(
+        self,
+        sink: TraceSink,
+        allowlist: typing.Optional[typing.Iterable[str]] = None,
+    ) -> TraceSink:
+        """Install ``sink`` as the process-global trace destination.
+
+        Components built while the sink is installed will emit to it;
+        components built before keep their ``None`` and stay silent.
+        """
+        if self._sink is not None:
+            raise ObservabilityError(
+                "a trace sink is already installed; uninstall it first"
+            )
+        self._sink = sink
+        self._allowlist = frozenset(allowlist) if allowlist is not None else None
+        return sink
+
+    def uninstall(self) -> typing.Optional[TraceSink]:
+        """Remove and return the installed sink (no-op when off)."""
+        sink, self._sink, self._allowlist = self._sink, None, None
+        return sink
+
+    @contextlib.contextmanager
+    def recording(
+        self,
+        sink: TraceSink,
+        allowlist: typing.Optional[typing.Iterable[str]] = None,
+    ) -> typing.Iterator[TraceSink]:
+        """Scoped install/uninstall around a block of observed work."""
+        self.install(sink, allowlist)
+        try:
+            yield sink
+        finally:
+            self.uninstall()
+
+
+#: The process-global recorder every instrumented layer resolves against.
+recorder = Recorder()

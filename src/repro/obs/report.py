@@ -1,0 +1,97 @@
+"""Plain-text run report: event totals, per-agent breakdown, metrics."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.chrome_trace import track_names
+from repro.obs.sinks import TraceEvent
+
+
+def _render_nested(
+    node: typing.Mapping[str, object], indent: int, lines: typing.List[str]
+) -> None:
+    pad = "  " * indent
+    for key in sorted(node):
+        value = node[key]
+        if isinstance(value, dict):
+            if value and all(not isinstance(v, dict) for v in value.values()):
+                # Leaf summary (histogram snapshot): render on one line.
+                summary = " ".join(
+                    f"{k}={_fmt(v)}" for k, v in value.items()
+                )
+                lines.append(f"{pad}{key}: {summary}")
+            else:
+                lines.append(f"{pad}{key}:")
+                _render_nested(value, indent + 1, lines)
+        else:
+            lines.append(f"{pad}{key}: {_fmt(value)}")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def event_totals(
+    events: typing.Sequence[TraceEvent],
+) -> typing.Dict[str, int]:
+    """Event count per name."""
+    totals: typing.Dict[str, int] = {}
+    for name, _ts, _track, _args in events:
+        totals[name] = totals.get(name, 0) + 1
+    return totals
+
+
+def per_track_totals(
+    events: typing.Sequence[TraceEvent],
+) -> typing.Dict[str, typing.Dict[str, int]]:
+    """Per-agent (track) event count per name."""
+    tracks: typing.Dict[str, typing.Dict[str, int]] = {}
+    for name, _ts, track, _args in events:
+        bucket = tracks.setdefault(track, {})
+        bucket[name] = bucket.get(name, 0) + 1
+    return tracks
+
+
+def render_report(
+    title: str,
+    events: typing.Sequence[TraceEvent],
+    metrics: typing.Optional[typing.Mapping[str, object]] = None,
+    extra_lines: typing.Optional[typing.Sequence[str]] = None,
+) -> str:
+    """Human-readable run report over a recorded event stream."""
+    lines: typing.List[str] = [f"== {title} ==", ""]
+    if extra_lines:
+        lines.extend(extra_lines)
+        lines.append("")
+
+    lines.append(f"trace: {len(events)} events across "
+                 f"{len(track_names(events))} tracks")
+    span_fs = 0
+    if events:
+        stamps = [ts for _n, ts, _t, _a in events]
+        span_fs = max(stamps) - min(stamps)
+    lines.append(f"trace span: {span_fs / 1e12:.3f} ms simulated")
+    lines.append("")
+
+    lines.append("events by name:")
+    for name, count in sorted(event_totals(events).items()):
+        lines.append(f"  {name}: {count}")
+    lines.append("")
+
+    lines.append("events by agent:")
+    by_track = per_track_totals(events)
+    for track in track_names(events):
+        parts = " ".join(
+            f"{name}={count}" for name, count in sorted(by_track[track].items())
+        )
+        lines.append(f"  {track}: {parts}")
+    lines.append("")
+
+    if metrics:
+        lines.append("metrics:")
+        _render_nested(metrics, 1, lines)
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Concrete :class:`~repro.obs.recorder.TraceSink` implementations."""
+
+from __future__ import annotations
+
+import json
+import typing
+
+#: One recorded event: ``(name, ts_fs, track, args)``.
+TraceEvent = typing.Tuple[
+    str, int, str, typing.Optional[typing.Dict[str, object]]
+]
+
+
+class MemorySink:
+    """Append events to an in-process list (the exporters' input)."""
+
+    def __init__(self) -> None:
+        self.events: typing.List[TraceEvent] = []
+        self._append = self.events.append  # bound once: hot-path emit
+
+    def emit(
+        self,
+        name: str,
+        ts_fs: int,
+        track: str,
+        args: typing.Optional[typing.Dict[str, object]],
+    ) -> None:
+        self._append((name, ts_fs, track, args))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_name(self, name: str) -> typing.List[TraceEvent]:
+        """Events matching one name (test/report convenience)."""
+        return [event for event in self.events if event[0] == name]
+
+    def tracks(self) -> typing.List[str]:
+        """Distinct tracks in first-appearance order."""
+        seen: typing.Dict[str, None] = {}
+        for _name, _ts, track, _args in self.events:
+            seen.setdefault(track)
+        return list(seen)
+
+
+class JsonlSink:
+    """Stream events as JSON Lines to a file object.
+
+    The caller owns the file handle's lifetime; use :meth:`close` (or the
+    ``closing`` idiom) to flush.  Lines are buffered in chunks so the
+    emit path stays cheap.
+    """
+
+    def __init__(self, fileobj: typing.TextIO, flush_every: int = 1024) -> None:
+        self._fileobj = fileobj
+        self._flush_every = max(1, flush_every)
+        self._buffer: typing.List[str] = []
+
+    def emit(
+        self,
+        name: str,
+        ts_fs: int,
+        track: str,
+        args: typing.Optional[typing.Dict[str, object]],
+    ) -> None:
+        record: typing.Dict[str, object] = {
+            "name": name, "ts_fs": ts_fs, "track": track,
+        }
+        if args:
+            record["args"] = args
+        self._buffer.append(json.dumps(record))
+        if len(self._buffer) >= self._flush_every:
+            self._drain()
+
+    def _drain(self) -> None:
+        if self._buffer:
+            self._fileobj.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush buffered lines (does not close the underlying file)."""
+        self._drain()
+        self._fileobj.flush()
+
+
+class TeeSink:
+    """Fan one emit stream out to several sinks (e.g. memory + JSONL)."""
+
+    def __init__(self, *sinks: object) -> None:
+        self._sinks = sinks
+
+    def emit(
+        self,
+        name: str,
+        ts_fs: int,
+        track: str,
+        args: typing.Optional[typing.Dict[str, object]],
+    ) -> None:
+        for sink in self._sinks:
+            sink.emit(name, ts_fs, track, args)  # type: ignore[attr-defined]

@@ -11,6 +11,8 @@ import heapq
 import typing
 
 from repro.errors import SimulationError
+from repro.obs.census import note_engine
+from repro.obs.recorder import recorder as _recorder
 from repro.sim.events import Event, Timeout
 
 Action = typing.Callable[[], None]
@@ -24,6 +26,10 @@ class Engine:
         self._sequence = 0
         self._queue: typing.List[typing.Tuple[int, int, Action]] = []
         self._events_executed = 0
+        # Observability hooks resolve once, here; the disabled path adds
+        # a single `is None` check to step() and nothing else.
+        self._trace = _recorder.sink_for("engine.step")
+        note_engine(self)
 
     @property
     def now(self) -> int:
@@ -65,6 +71,8 @@ class Engine:
             raise SimulationError("event queue time went backwards")
         self._now = time_fs
         self._events_executed += 1
+        if self._trace is not None:
+            self._trace.emit("engine.step", time_fs, "engine", None)
         action()
         return True
 

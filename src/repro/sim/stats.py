@@ -13,8 +13,8 @@ class OnlineStats:
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
+        self._minimum = math.inf
+        self._maximum = -math.inf
 
     def add(self, value: float) -> None:
         """Fold one observation into the accumulator."""
@@ -22,8 +22,8 @@ class OnlineStats:
         delta = value - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (value - self._mean)
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
 
     def extend(self, values: typing.Iterable[float]) -> None:
         """Fold an iterable of observations into the accumulator."""
@@ -34,6 +34,16 @@ class OnlineStats:
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""
         return self._mean if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (0.0 when empty, like :attr:`mean`)."""
+        return self._minimum if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (0.0 when empty, like :attr:`mean`)."""
+        return self._maximum if self.count else 0.0
 
     @property
     def variance(self) -> float:
@@ -62,9 +72,24 @@ class OnlineStats:
             merged._m2 = (
                 self._m2 + other._m2 + delta * delta * self.count * other.count / total
             )
-        merged.minimum = min(self.minimum, other.minimum)
-        merged.maximum = max(self.maximum, other.maximum)
+        # Merging two empty accumulators must stay in the empty state
+        # (min/max sentinels untouched) rather than leak inf/-inf.
+        merged._minimum = min(self._minimum, other._minimum)
+        merged._maximum = max(self._maximum, other._maximum)
         return merged
+
+    def snapshot(self) -> typing.Dict[str, float]:
+        """The accumulator as a plain dict (metrics-registry export)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    #: Alias used by dict-shaped consumers (the metrics registry).
+    as_dict = snapshot
 
 
 def confidence_interval_95(values: typing.Sequence[float]) -> typing.Tuple[float, float]:
@@ -99,4 +124,6 @@ def percentile(values: typing.Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     frac = position - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # a + frac*(b - a) stays inside [a, b] even when a == b; the weighted
+    # form a*(1-frac) + b*frac can round just below a for equal values.
+    return ordered[low] + frac * (ordered[high] - ordered[low])

@@ -171,6 +171,17 @@ class SetAssocCache:
         """Iterate over every resident line address."""
         return iter(self._where)
 
+    def stats_dict(self) -> typing.Dict[str, object]:
+        """Hit/miss/eviction/occupancy counters for the metrics registry."""
+        capacity_lines = self.n_sets * self.ways
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resident_lines": len(self._where),
+            "occupancy": len(self._where) / capacity_lines,
+        }
+
     def __len__(self) -> int:
         return len(self._where)
 

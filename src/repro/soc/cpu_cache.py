@@ -52,6 +52,10 @@ class CpuCoreCaches:
         self.l1.flush_all()
         self.l2.flush_all()
 
+    def stats_dict(self) -> typing.Dict[str, object]:
+        """Both private levels' counters for the metrics registry."""
+        return {"l1": self.l1.stats_dict(), "l2": self.l2.stats_dict()}
+
     def fill_after_llc(self, paddr: int) -> typing.Optional[int]:
         """Install a line returning from the LLC into L2 then L1.
 

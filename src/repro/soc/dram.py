@@ -8,6 +8,8 @@ the covert channels a non-zero error floor (see DESIGN.md §6).
 
 from __future__ import annotations
 
+import typing
+
 import numpy as np
 
 from repro.config import DramConfig
@@ -22,16 +24,32 @@ class Dram:
         self.config = config
         self._rng = rng
         self.accesses = 0
+        self.row_misses = 0
+        self.total_latency_fs = 0
 
     def latency_fs(self) -> int:
         """Latency of one memory access, in femtoseconds."""
         self.accesses += 1
         latency_ns = self.config.base_ns
         if self._rng.random() >= self.config.row_hit_probability:
+            self.row_misses += 1
             latency_ns += self.config.row_miss_extra_ns
         if self.config.jitter_sigma_ns > 0:
             latency_ns += abs(self._rng.normal(0.0, self.config.jitter_sigma_ns))
-        return max(1, round(latency_ns * FS_PER_NS))
+        latency = max(1, round(latency_ns * FS_PER_NS))
+        self.total_latency_fs += latency
+        return latency
+
+    def stats_dict(self) -> typing.Dict[str, object]:
+        """Access/row-miss counters for the metrics registry."""
+        mean_ns = (
+            self.total_latency_fs / self.accesses / FS_PER_NS if self.accesses else 0.0
+        )
+        return {
+            "accesses": self.accesses,
+            "row_misses": self.row_misses,
+            "mean_latency_ns": mean_ns,
+        }
 
     def mean_latency_ns(self) -> float:
         """Expected latency, ignoring jitter (used by calibration code)."""

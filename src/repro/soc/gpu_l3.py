@@ -111,5 +111,9 @@ class GpuL3:
     def capacity_bytes(self) -> int:
         return self._cache.capacity_bytes
 
+    def stats_dict(self) -> typing.Dict[str, object]:
+        """The backing array's counters for the metrics registry."""
+        return self._cache.stats_dict()
+
     def __len__(self) -> int:
         return len(self._cache)

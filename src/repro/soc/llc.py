@@ -108,3 +108,14 @@ class SlicedLlc:
     def line_of(self, paddr: int) -> int:
         """Line-align a physical address using the LLC line size."""
         return line_address(paddr, self.config.line_bytes)
+
+    def stats_dict(self) -> typing.Dict[str, object]:
+        """Aggregate plus per-slice counters for the metrics registry."""
+        stats: typing.Dict[str, object] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": sum(s.evictions for s in self._slices),
+        }
+        for index, slice_cache in enumerate(self._slices):
+            stats[f"slice{index}"] = slice_cache.stats_dict()
+        return stats

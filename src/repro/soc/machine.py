@@ -20,6 +20,8 @@ import typing
 
 from repro.config import SoCConfig, kaby_lake
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import recorder as _recorder
 from repro.sim import FS_PER_S, RngStreams, Timeout
 from repro.sim.engine import Engine
 from repro.sim.process import Process
@@ -32,6 +34,18 @@ from repro.soc.ring import Ring
 from repro.soc.slm import SharedLocalMemory
 
 AccessGen = typing.Generator[object, object, int]
+
+
+def _flatten(
+    node: typing.Mapping[str, object], prefix: str
+) -> typing.Iterator[typing.Tuple[str, object]]:
+    """Yield ``(dotted_name, leaf)`` pairs of a component stats dict."""
+    for key, value in node.items():
+        dotted = f"{prefix}.{key}"
+        if isinstance(value, dict):
+            yield from _flatten(value, dotted)
+        else:
+            yield dotted, value
 
 
 class SoC:
@@ -63,6 +77,29 @@ class SoC:
         # Per-core OS preemption windows (timer interrupts, §V error floor).
         self._core_stall_until = [0] * self.config.cpu_cores
         self._tick_process: typing.Optional[Process] = None
+        # ------------------------------------------------------------------
+        # Observability.  Sinks resolve once, here; when tracing is off
+        # every emit site below is a single `is None` check.  The latency
+        # histograms are likewise armed only when observability is on, so
+        # the quiet path records nothing.
+        self.metrics = MetricsRegistry(
+            reservoir=self.config.obs.histogram_reservoir
+        )
+        self._trace_cache = _recorder.sink_for("cache.access")
+        self._trace_evict = _recorder.sink_for("cache.evict")
+        self._trace_dram = _recorder.sink_for("dram.access")
+        self.obs_enabled = self.config.obs.enabled or _recorder.enabled
+        if self.obs_enabled:
+            self._lat_cpu: typing.Optional[list] = [
+                self.metrics.histogram(f"cpu.core{core}.access_latency_ns")
+                for core in range(self.config.cpu_cores)
+            ]
+            self._lat_gpu = self.metrics.histogram("gpu.access_latency_ns")
+            self._lat_dram = self.metrics.histogram("dram.latency_ns")
+        else:
+            self._lat_cpu = None
+            self._lat_gpu = None
+            self._lat_dram = None
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -125,22 +162,37 @@ class SoC:
             yield Timeout(self.engine, stall_until - self.engine.now)
         return self.engine.now - start
 
+    def _record_cpu_latency(self, core: int, latency_fs: int) -> None:
+        if self._lat_cpu is not None:
+            self._lat_cpu[core].add(latency_fs / 1e6)
+
     def cpu_access(self, core: int, paddr: int) -> AccessGen:
         """One CPU load (or write-allocate store); returns latency in fs."""
         start = self.engine.now
         yield from self.stall_if_preempted(core)
         caches = self.cpu_caches[core]
         cache_cfg = self.config.cpu_cache
+        trace = self._trace_cache
         l1 = caches.l1.access(paddr)
         if l1.hit:
             yield Timeout(self.engine, self.cpu_cycles_fs(cache_cfg.l1_hit_cycles))
-            return self.engine.now - start
+            if trace is not None:
+                trace.emit("cache.access", self.engine.now, f"cpu.core{core}",
+                           {"level": "l1", "hit": True, "paddr": paddr})
+            latency = self.engine.now - start
+            self._record_cpu_latency(core, latency)
+            return latency
         l2 = caches.l2.access(paddr)
         if l2.evicted is not None:
             caches.l1.invalidate(l2.evicted)
         if l2.hit:
             yield Timeout(self.engine, self.cpu_cycles_fs(cache_cfg.l2_hit_cycles))
-            return self.engine.now - start
+            if trace is not None:
+                trace.emit("cache.access", self.engine.now, f"cpu.core{core}",
+                           {"level": "l2", "hit": True, "paddr": paddr})
+            latency = self.engine.now - start
+            self._record_cpu_latency(core, latency)
+            return latency
         # Private caches missed: cross the ring to the LLC slice.
         yield Timeout(
             self.engine,
@@ -149,13 +201,36 @@ class SoC:
         yield from self.ring.transfer(self._line_slots, "cpu")
         llc = self.llc.access(paddr, allowed_ways=self._fill_ways("cpu"))
         self._llc_evict_cpu_side(llc.evicted)
+        if trace is not None:
+            location = self.llc.location_of(paddr)
+            trace.emit(
+                "cache.access", self.engine.now, f"cpu.core{core}",
+                {"level": "llc", "hit": llc.hit, "paddr": paddr,
+                 "slice": location.slice_index, "set": location.set_index},
+            )
+        if llc.evicted is not None and self._trace_evict is not None:
+            self._trace_evict.emit(
+                "cache.evict", self.engine.now, "llc",
+                {"line": llc.evicted, "by": f"cpu.core{core}",
+                 "set": llc.set_index},
+            )
         tail_fs = (
             self.cpu_cycles_fs(self.config.llc.lookup_cycles) + self.ring.traverse_fs
         )
         if not llc.hit:
-            tail_fs += self.dram.latency_fs()
+            dram_fs = self.dram.latency_fs()
+            if self._trace_dram is not None:
+                self._trace_dram.emit(
+                    "dram.access", self.engine.now, "dram",
+                    {"requester": f"cpu.core{core}", "latency_ns": dram_fs / 1e6},
+                )
+            if self._lat_dram is not None:
+                self._lat_dram.add(dram_fs / 1e6)
+            tail_fs += dram_fs
         yield Timeout(self.engine, tail_fs)
-        return self.engine.now - start
+        latency = self.engine.now - start
+        self._record_cpu_latency(core, latency)
+        return latency
 
     def clflush(self, core: int, paddr: int) -> AccessGen:
         """Flush one line from the CPU-coherent domain (L1, L2, LLC).
@@ -179,10 +254,17 @@ class SoC:
     def gpu_access(self, paddr: int) -> AccessGen:
         """One GPU (OpenCL) load through L3 → ring → LLC → DRAM."""
         start = self.engine.now
+        trace = self._trace_cache
         l3 = self.gpu_l3.access(paddr)
         if l3.hit:
             yield Timeout(self.engine, self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles))
-            return self.engine.now - start
+            if trace is not None:
+                trace.emit("cache.access", self.engine.now, "gpu",
+                           {"level": "l3", "hit": True, "paddr": paddr})
+            latency = self.engine.now - start
+            if self._lat_gpu is not None:
+                self._lat_gpu.add(latency / 1e6)
+            return latency
         # L3 miss detection, then cross the ring.  The L3 fill already
         # happened in state (non-inclusive victim silently dropped).
         gpu_traverse_fs = self.ring.traverse_fs * self.config.ring.gpu_traverse_multiplier
@@ -193,13 +275,36 @@ class SoC:
         yield from self.ring.transfer(self._line_slots, "gpu")
         llc = self.llc.access(paddr, allowed_ways=self._fill_ways("gpu"))
         self._llc_evict_cpu_side(llc.evicted)
+        if trace is not None:
+            location = self.llc.location_of(paddr)
+            trace.emit(
+                "cache.access", self.engine.now, "gpu",
+                {"level": "llc", "hit": llc.hit, "paddr": paddr,
+                 "slice": location.slice_index, "set": location.set_index},
+            )
+        if llc.evicted is not None and self._trace_evict is not None:
+            self._trace_evict.emit(
+                "cache.evict", self.engine.now, "llc",
+                {"line": llc.evicted, "by": "gpu", "set": llc.set_index},
+            )
         tail_fs = (
             self.cpu_cycles_fs(self.config.llc.lookup_cycles) + gpu_traverse_fs
         )
         if not llc.hit:
-            tail_fs += self.dram.latency_fs()
+            dram_fs = self.dram.latency_fs()
+            if self._trace_dram is not None:
+                self._trace_dram.emit(
+                    "dram.access", self.engine.now, "dram",
+                    {"requester": "gpu", "latency_ns": dram_fs / 1e6},
+                )
+            if self._lat_dram is not None:
+                self._lat_dram.add(dram_fs / 1e6)
+            tail_fs += dram_fs
         yield Timeout(self.engine, tail_fs)
-        return self.engine.now - start
+        latency = self.engine.now - start
+        if self._lat_gpu is not None:
+            self._lat_gpu.add(latency / 1e6)
+        return latency
 
     # ------------------------------------------------------------------
     # Background noise (§II-B: unconstrained CPU side)
@@ -284,6 +389,31 @@ class SoC:
 
     # ------------------------------------------------------------------
     # Introspection used by tests and the analysis layer
+
+    def metrics_snapshot(self) -> typing.Dict[str, object]:
+        """Every component's counters + live histograms as a nested dict.
+
+        Structural counters (cache hits/misses, ring transfers, DRAM
+        accesses, engine totals) are maintained by the components
+        themselves at all times, so this *pull* never costs anything on
+        the simulation path; the latency histograms are populated only
+        while observability is armed.
+        """
+        m = self.metrics
+        m.counter("engine.events_executed").set(self.engine.events_executed)
+        m.counter("engine.now_fs").set(self.engine.now)
+        for dotted, value in _flatten(self.llc.stats_dict(), "llc"):
+            m.counter(dotted).set(value)
+        for core, caches in enumerate(self.cpu_caches):
+            for dotted, value in _flatten(caches.stats_dict(), f"cpu.core{core}"):
+                m.counter(dotted).set(value)
+        for dotted, value in _flatten(self.gpu_l3.stats_dict(), "gpu_l3"):
+            m.counter(dotted).set(value)
+        for dotted, value in _flatten(self.ring.stats_dict(), "ring"):
+            m.counter(dotted).set(value)
+        for dotted, value in _flatten(self.dram.stats_dict(), "dram"):
+            m.counter(dotted).set(value)
+        return m.as_dict()
 
     def cpu_latency_profile(self) -> typing.Dict[str, float]:
         """Nominal (uncontended) CPU latencies in nanoseconds, per level."""

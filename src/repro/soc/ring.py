@@ -18,6 +18,7 @@ import typing
 
 from repro.config import ClockConfig, RingConfig
 from repro.errors import ConfigError
+from repro.obs.recorder import recorder as _recorder
 from repro.sim import Timeout
 from repro.sim.engine import Engine
 from repro.sim.resources import FifoResource
@@ -64,6 +65,8 @@ class Ring:
         self.tdm: typing.Optional[TdmSchedule] = None
         self.transfers: typing.Dict[Domain, int] = {"cpu": 0, "gpu": 0}
         self.waited_fs: typing.Dict[Domain, int] = {"cpu": 0, "gpu": 0}
+        # Resolved once; `None` keeps transfer()'s disabled path to one check.
+        self._trace = _recorder.sink_for("ring.hop")
 
     @property
     def traverse_fs(self) -> int:
@@ -93,6 +96,18 @@ class Ring:
         waited = yield from self._resource.occupy(self.hold_fs(payload_slots))
         self.transfers[domain] += 1
         self.waited_fs[domain] += waited
+        if self._trace is not None:
+            self._trace.emit(
+                "ring.hop",
+                self.engine.now,
+                "ring",
+                {
+                    "domain": domain,
+                    "slots": payload_slots,
+                    "waited_ns": waited / 1e6,
+                    "hold_ns": self.hold_fs(payload_slots) / 1e6,
+                },
+            )
         return waited
 
     def utilization(self) -> float:
@@ -103,6 +118,17 @@ class Ring:
         """Average queueing delay experienced by one domain."""
         count = self.transfers[domain]
         return self.waited_fs[domain] / count if count else 0.0
+
+    def stats_dict(self) -> typing.Dict[str, object]:
+        """Per-domain transfer/queueing counters for the metrics registry."""
+        stats: typing.Dict[str, object] = {"utilization": self.utilization()}
+        for domain in ("cpu", "gpu"):
+            stats[domain] = {
+                "transfers": self.transfers[domain],
+                "waited_fs": self.waited_fs[domain],
+                "mean_wait_ns": self.mean_wait_fs(domain) / 1e6,
+            }
+        return stats
 
     def reset_stats(self) -> None:
         """Zero the per-domain accounting (between measurement windows)."""

@@ -13,6 +13,7 @@ from repro.config import (
     LlcConfig,
     MmuConfig,
     NoiseConfig,
+    ObservabilityConfig,
     RingConfig,
     SLICE_HASH_S0_BITS,
     SLICE_HASH_S1_BITS,
@@ -180,3 +181,46 @@ def test_scale_bytes_line_aligned():
 
 def test_seed_flows_into_config():
     assert kaby_lake(seed=9).seed == 9
+
+
+def test_observability_defaults_validate():
+    config = ObservabilityConfig()
+    config.validate()
+    assert not config.enabled
+    assert config.trace_path is None
+    assert config.event_allowlist is None
+    assert config.histogram_reservoir == 256
+
+
+def test_observability_rejects_tiny_reservoir():
+    with pytest.raises(ConfigError):
+        ObservabilityConfig(histogram_reservoir=1).validate()
+
+
+def test_observability_rejects_empty_trace_path():
+    with pytest.raises(ConfigError):
+        ObservabilityConfig(trace_path="").validate()
+
+
+def test_observability_rejects_unknown_event():
+    with pytest.raises(ConfigError):
+        ObservabilityConfig(event_allowlist=("no.such.event",)).validate()
+
+
+def test_observability_accepts_known_events():
+    ObservabilityConfig(event_allowlist=("ring.hop", "cache.access")).validate()
+
+
+def test_soc_config_carries_observability():
+    config = kaby_lake()
+    assert isinstance(config.obs, ObservabilityConfig)
+    assert not config.obs.enabled
+    enabled = config.replace(obs=ObservabilityConfig(enabled=True))
+    enabled.validate()
+    assert enabled.obs.enabled
+
+
+def test_soc_config_validates_observability():
+    config = kaby_lake()
+    with pytest.raises(ConfigError):
+        config.replace(obs=ObservabilityConfig(histogram_reservoir=0))

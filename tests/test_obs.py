@@ -1,0 +1,330 @@
+"""Tests for the repro.obs observability layer.
+
+Covers the recorder lifecycle, the zero-overhead-when-off contract
+(bit-for-bit identical channel runs with and without a sink), the metrics
+registry, the Chrome-trace exporter and the engine census.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ObservabilityConfig, kaby_lake_model
+from repro.core.llc_channel.channel import LLCChannel, LLCChannelConfig
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_EVENT_ALLOWLIST,
+    EngineCensus,
+    TRACE_EVENT_NAMES,
+    recorder,
+)
+from repro.obs.chrome_trace import (
+    chrome_trace_events,
+    export_chrome_trace,
+    track_names,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.report import event_totals, render_report
+from repro.obs.sinks import JsonlSink, MemorySink, TeeSink
+from repro.soc.machine import SoC
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """Never leak an installed sink across tests."""
+    yield
+    recorder.uninstall()
+
+
+# ----------------------------------------------------------------------
+# Recorder lifecycle
+
+
+def test_recorder_disabled_by_default():
+    assert not recorder.enabled
+    assert recorder.sink_for("cache.access") is None
+
+
+def test_recorder_install_and_uninstall():
+    sink = MemorySink()
+    recorder.install(sink)
+    assert recorder.enabled
+    assert recorder.sink_for("cache.access") is sink
+    assert recorder.uninstall() is sink
+    assert not recorder.enabled
+
+
+def test_recorder_double_install_raises():
+    recorder.install(MemorySink())
+    with pytest.raises(ObservabilityError):
+        recorder.install(MemorySink())
+
+
+def test_recorder_allowlist_filters_sink_resolution():
+    sink = MemorySink()
+    with recorder.recording(sink, allowlist=("ring.hop",)):
+        assert recorder.sink_for("ring.hop") is sink
+        assert recorder.sink_for("cache.access") is None
+        # A component interested in any allowlisted name gets the sink.
+        assert recorder.sink_for("cache.access", "ring.hop") is sink
+
+
+def test_default_allowlist_drops_only_the_firehose():
+    assert "engine.step" not in DEFAULT_EVENT_ALLOWLIST
+    assert set(DEFAULT_EVENT_ALLOWLIST) == set(TRACE_EVENT_NAMES) - {"engine.step"}
+
+
+def test_recording_context_uninstalls_on_error():
+    with pytest.raises(RuntimeError):
+        with recorder.recording(MemorySink()):
+            raise RuntimeError("boom")
+    assert not recorder.enabled
+
+
+# ----------------------------------------------------------------------
+# Zero overhead when off
+
+
+def test_soc_resolves_no_sinks_when_off():
+    soc = SoC(kaby_lake_model(scale=16))
+    assert soc._trace_cache is None
+    assert soc._trace_evict is None
+    assert soc._trace_dram is None
+    assert soc.ring._trace is None
+    assert not soc.obs_enabled
+    assert soc._lat_cpu is None
+
+
+def test_llc_channel_bit_for_bit_parity_on_vs_off():
+    """Tracing must not disturb timing, RNG draws or decoded bits."""
+    config = LLCChannelConfig()
+    baseline = LLCChannel(config).transmit(n_bits=8, seed=3)
+    sink = MemorySink()
+    with recorder.recording(sink):
+        traced = LLCChannel(config).transmit(n_bits=8, seed=3)
+    assert traced.received == baseline.received
+    assert traced.elapsed_fs == baseline.elapsed_fs
+    assert traced.sent == baseline.sent
+    assert len(sink) > 0
+    # The traced run carries a metrics snapshot; the off run does not.
+    assert "metrics" in traced.meta
+    assert "metrics" not in baseline.meta
+
+
+def test_channel_trace_covers_protocol_events():
+    sink = MemorySink()
+    with recorder.recording(sink, DEFAULT_EVENT_ALLOWLIST):
+        LLCChannel(LLCChannelConfig()).transmit(n_bits=4, seed=1)
+    totals = event_totals(sink.events)
+    for name in ("cache.access", "ring.hop", "dram.access",
+                 "channel.bit", "channel.sync", "cpu.probe", "gpu.kernel"):
+        assert totals.get(name, 0) > 0, name
+    # engine.step is excluded by the default allowlist.
+    assert "engine.step" not in totals
+    bits = [e for e in sink.by_name("channel.bit")
+            if e[3]["role"] == "receiver"]
+    assert len(bits) == 4
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+
+
+def test_counter_and_registry_get_or_create():
+    registry = MetricsRegistry()
+    counter = registry.counter("llc.hits")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("llc.hits") is counter
+    assert registry.counters() == {"llc.hits": 5}
+
+
+def test_registry_kind_collision_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ObservabilityError):
+        registry.histogram("x")
+
+
+def test_histogram_reservoir_stays_bounded():
+    histogram = Histogram("lat", reservoir=16)
+    for value in range(10_000):
+        histogram.add(float(value))
+    assert histogram.count == 10_000
+    assert len(histogram._samples) <= 17
+    assert histogram.stats.mean == pytest.approx(4999.5)
+    assert 0 <= histogram.percentile(50) <= 9999
+
+
+def test_histogram_snapshot_shape():
+    histogram = Histogram("lat")
+    histogram.add(1.0)
+    histogram.add(3.0)
+    snap = histogram.snapshot()
+    assert set(snap) == {"count", "mean", "stdev", "min", "max",
+                         "p50", "p90", "p99"}
+    assert snap["count"] == 2
+    assert snap["min"] == 1.0
+    assert snap["max"] == 3.0
+
+
+def test_registry_as_dict_nests_dotted_names():
+    registry = MetricsRegistry()
+    registry.counter("llc.slice0.hits").set(7)
+    registry.counter("llc.misses").set(2)
+    registry.histogram("dram.latency_ns").add(70.0)
+    nested = registry.as_dict()
+    assert nested["llc"]["slice0"]["hits"] == 7
+    assert nested["llc"]["misses"] == 2
+    assert nested["dram"]["latency_ns"]["count"] == 1
+
+
+def _drive(soc, generator):
+    return soc.engine.run_until_complete(soc.engine.process(generator))
+
+
+def test_soc_metrics_snapshot_shape():
+    config = kaby_lake_model(scale=16)
+    soc = SoC(config.replace(obs=ObservabilityConfig(enabled=True)))
+    assert soc.obs_enabled
+    paddrs = [i * 64 for i in range(64)]
+    for paddr in paddrs:
+        _drive(soc, soc.cpu_access(0, paddr))
+        _drive(soc, soc.gpu_access(paddr))
+    snapshot = soc.metrics_snapshot()
+    assert snapshot["llc"]["hits"] + snapshot["llc"]["misses"] > 0
+    assert snapshot["dram"]["accesses"] > 0
+    assert snapshot["engine"]["events_executed"] > 0
+    assert snapshot["cpu"]["core0"]["l1"]["misses"] > 0
+    assert snapshot["cpu"]["core0"]["access_latency_ns"]["count"] == len(paddrs)
+    assert snapshot["gpu"]["access_latency_ns"]["count"] == len(paddrs)
+    assert snapshot["ring"]["cpu"]["transfers"] > 0
+
+
+def test_soc_histograms_dark_when_disabled():
+    soc = SoC(kaby_lake_model(scale=16))
+    _drive(soc, soc.cpu_access(0, 0))
+    snapshot = soc.metrics_snapshot()
+    # Structural counters still sync; latency histograms never arm.
+    assert snapshot["llc"]["misses"] >= 1
+    assert "access_latency_ns" not in snapshot.get("cpu", {}).get("core0", {})
+
+
+# ----------------------------------------------------------------------
+# Exporters
+
+
+def _record_small_run():
+    sink = MemorySink()
+    with recorder.recording(sink, DEFAULT_EVENT_ALLOWLIST):
+        LLCChannel(LLCChannelConfig()).transmit(n_bits=4, seed=1)
+    return sink
+
+
+def test_chrome_trace_json_is_valid(tmp_path):
+    sink = _record_small_run()
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(sink.events, str(path), metadata={"k": "v"})
+    assert count == len(sink)
+    document = json.loads(path.read_text())
+    assert document["otherData"] == {"k": "v"}
+    events = document["traceEvents"]
+    named_threads = [e for e in events if e.get("name") == "thread_name"]
+    assert len(named_threads) >= 4  # >= 4 tracks: cpu, gpu, ring, dram, ...
+    phases = {e["ph"] for e in events}
+    assert "X" in phases  # spans (gpu.kernel / cpu.probe carry dur_fs)
+    assert "i" in phases  # instants
+    for event in events:
+        if event["ph"] in ("X", "i"):
+            assert isinstance(event["ts"], float)
+            assert event["pid"] == 1
+            assert event["tid"] >= 1
+
+
+def test_chrome_trace_orders_agents_before_resources():
+    sink = _record_small_run()
+    ordered = track_names(sink.events)
+    cpu_tracks = [t for t in ordered if t.startswith("cpu.")]
+    assert ordered[: len(cpu_tracks)] == cpu_tracks
+    assert ordered.index("gpu") < ordered.index("ring")
+
+
+def test_jsonl_and_tee_sinks(tmp_path):
+    path = tmp_path / "events.jsonl"
+    memory = MemorySink()
+    with open(path, "w", encoding="utf-8") as fileobj:
+        jsonl = JsonlSink(fileobj, flush_every=2)
+        tee = TeeSink(memory, jsonl)
+        tee.emit("ring.hop", 10, "ring", {"domain": "cpu"})
+        tee.emit("cache.access", 20, "llc", None)
+        jsonl.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == len(memory) == 2
+    assert lines[0] == {"name": "ring.hop", "ts_fs": 10, "track": "ring",
+                        "args": {"domain": "cpu"}}
+    assert lines[1] == {"name": "cache.access", "ts_fs": 20, "track": "llc"}
+
+
+def test_render_report_mentions_totals_and_metrics():
+    sink = _record_small_run()
+    text = render_report("t", sink.events, metrics={"llc": {"hits": 3}})
+    assert "events by name:" in text
+    assert "channel.bit" in text
+    assert "llc: hits=3" in text
+
+
+# ----------------------------------------------------------------------
+# Engine census + CLI
+
+
+def test_engine_census_counts_channel_engines():
+    with EngineCensus() as census:
+        LLCChannel(LLCChannelConfig()).transmit(n_bits=2, seed=1)
+    assert census.engines_created == 1
+    assert census.events_executed > 0
+    assert census.final_now_fs > 0
+    assert "events_executed" in census.footer()
+
+
+def test_engine_census_unarmed_is_silent():
+    census = EngineCensus()
+    LLCChannel(LLCChannelConfig()).transmit(n_bits=1, seed=1)
+    assert census.engines_created == 0
+
+
+def test_cli_trace_smoke(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    trace = tmp_path / "out.json"
+    report = tmp_path / "report.txt"
+    code = main([
+        "--scenario", "quickstart", "--bits", "4", "--seed", "1",
+        "--trace", str(trace), "--report", str(report),
+    ])
+    assert code == 0
+    document = json.loads(trace.read_text())
+    tracks = {e["args"]["name"] for e in document["traceEvents"]
+              if e.get("name") == "thread_name"}
+    assert len(tracks) >= 4
+    text = report.read_text()
+    assert "bit error rate" in text
+    assert "metrics:" in text
+    assert not recorder.enabled  # CLI cleaned up after itself
+
+
+def test_cli_profile_smoke(capsys):
+    from repro.obs.__main__ import main
+
+    code = main(["--scenario", "quickstart", "--bits", "2", "--seed", "1",
+                 "--profile"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "engine events/s" in out
+    assert "sim: engines=1" in out
+
+
+def test_cli_rejects_unknown_event():
+    from repro.obs.__main__ import build_parser
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--events", "nope.event"])

@@ -157,3 +157,55 @@ def test_rng_fork_changes_streams():
     assert list(base.stream("n").integers(0, 10**6, 5)) != list(
         forked.stream("n").integers(0, 10**6, 5)
     )
+
+
+def test_online_stats_empty_min_max_zero():
+    stats = OnlineStats()
+    assert stats.minimum == 0.0
+    assert stats.maximum == 0.0
+
+
+def test_merge_of_empties_stays_empty():
+    merged = OnlineStats().merge(OnlineStats())
+    assert merged.count == 0
+    assert merged.minimum == 0.0
+    assert merged.maximum == 0.0
+    assert not math.isinf(merged.minimum)
+
+
+def test_merge_empty_with_populated_keeps_extremes():
+    stats = OnlineStats()
+    stats.extend([3.0, -2.0, 7.0])
+    for merged in (OnlineStats().merge(stats), stats.merge(OnlineStats())):
+        assert merged.count == 3
+        assert merged.minimum == -2.0
+        assert merged.maximum == 7.0
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=30),
+       st.lists(finite_floats, min_size=1, max_size=30))
+def test_merge_min_max_match_combined(a, b):
+    left, right = OnlineStats(), OnlineStats()
+    left.extend(a)
+    right.extend(b)
+    merged = left.merge(right)
+    assert merged.minimum == min(a + b)
+    assert merged.maximum == max(a + b)
+
+
+def test_snapshot_and_as_dict():
+    stats = OnlineStats()
+    stats.extend([1.0, 5.0])
+    snap = stats.snapshot()
+    assert snap == stats.as_dict()
+    assert snap["count"] == 2
+    assert snap["mean"] == pytest.approx(3.0)
+    assert snap["min"] == 1.0
+    assert snap["max"] == 5.0
+    assert snap["stdev"] == pytest.approx(statistics.stdev([1.0, 5.0]))
+
+
+def test_snapshot_empty_is_all_zero():
+    assert OnlineStats().snapshot() == {
+        "count": 0, "mean": 0.0, "stdev": 0.0, "min": 0.0, "max": 0.0,
+    }
