@@ -5,37 +5,62 @@ serially, the slower GPU can match the cache access rate by operating in
 parallel."  Restricting the GPU's memory parallelism to one outstanding
 request reverts it to a 4x-slower serial device and the channel's
 bandwidth collapses.
+
+Both arms run as independent executor trials (module-level trial fn, so
+``REPRO_BENCH_WORKERS>0`` fans them across worker processes).
 """
 
 import dataclasses
+import typing
 
 from repro.analysis.render import format_table
 from repro.config import kaby_lake_model
 from repro.core.llc_channel import LLCChannel, LLCChannelConfig
-from repro.errors import ChannelProtocolError
+from repro.exec import DEAD, TrialExecutor, TrialSpec
 
 
-def test_parallel_probe_ablation(benchmark, figure_report):
-    def run_both():
-        parallel = LLCChannel(LLCChannelConfig()).transmit(n_bits=48, seed=3)
-        serial_config = kaby_lake_model(scale=16)
-        serial_config = serial_config.replace(
-            gpu=dataclasses.replace(serial_config.gpu, mem_parallelism=1)
+def _probe_trial(params: typing.Dict[str, object], seed: int):
+    soc_config = kaby_lake_model(scale=16)
+    mem_parallelism = params.get("mem_parallelism")
+    if mem_parallelism is not None:
+        soc_config = soc_config.replace(
+            gpu=dataclasses.replace(
+                soc_config.gpu, mem_parallelism=typing.cast(int, mem_parallelism)
+            )
         )
-        try:
-            serial = LLCChannel(
-                LLCChannelConfig(), soc_config=serial_config
-            ).transmit(n_bits=48, seed=3)
+    return LLCChannel(LLCChannelConfig(), soc_config=soc_config).transmit(
+        n_bits=typing.cast(int, params["n_bits"]), seed=seed
+    )
+
+
+def test_parallel_probe_ablation(benchmark, figure_report, bench_workers):
+    def run_both():
+        executor = TrialExecutor(workers=bench_workers)
+        report = executor.run(
+            [
+                TrialSpec(fn=_probe_trial, params={"n_bits": 48}, seed=3),
+                TrialSpec(
+                    fn=_probe_trial,
+                    params={"n_bits": 48, "mem_parallelism": 1},
+                    seed=3,
+                ),
+            ]
+        )
+        parallel_outcome, serial_outcome = report.outcomes
+        assert parallel_outcome.ok, parallel_outcome.error
+        if serial_outcome.ok:
+            serial = serial_outcome.result
             serial_row = (
                 "serial GPU (1 outstanding)",
                 round(serial.bandwidth_kbps, 1),
                 round(serial.error_percent, 1),
             )
             serial_bw = serial.bandwidth_kbps
-        except ChannelProtocolError:
+        else:
+            assert serial_outcome.kind == DEAD, serial_outcome.error
             serial_row = ("serial GPU (1 outstanding)", 0.0, "dead")
             serial_bw = 0.0
-        return parallel, serial_row, serial_bw
+        return parallel_outcome.result, serial_row, serial_bw
 
     parallel, serial_row, serial_bw = benchmark.pedantic(
         run_both, rounds=1, iterations=1

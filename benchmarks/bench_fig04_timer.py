@@ -8,10 +8,11 @@ from repro.analysis.figures import fig4_timer_characterization
 from repro.analysis.render import format_table
 
 
-def test_fig04_timer_characterization(benchmark, figure_report):
+def test_fig04_timer_characterization(benchmark, figure_report, bench_workers):
     data = benchmark.pedantic(
         fig4_timer_characterization,
-        kwargs={"samples": 24, "thread_counts": (32, 96, 224)},
+        kwargs={"samples": 24, "thread_counts": (32, 96, 224),
+                "workers": bench_workers},
         rounds=1,
         iterations=1,
     )

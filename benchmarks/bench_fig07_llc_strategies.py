@@ -9,10 +9,10 @@ from repro.analysis.render import format_table
 from repro.core.llc_channel import EvictionStrategy
 
 
-def test_fig07_llc_strategies(benchmark, figure_report):
+def test_fig07_llc_strategies(benchmark, figure_report, bench_workers):
     data = benchmark.pedantic(
         fig7_llc_strategies,
-        kwargs={"n_bits": 64, "seeds": (1, 2)},
+        kwargs={"n_bits": 64, "seeds": (1, 2), "workers": bench_workers},
         rounds=1,
         iterations=1,
     )

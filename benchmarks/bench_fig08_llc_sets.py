@@ -10,10 +10,11 @@ from repro.analysis.render import format_table
 from repro.core.channel import ChannelDirection
 
 
-def test_fig08_llc_sets(benchmark, figure_report):
+def test_fig08_llc_sets(benchmark, figure_report, bench_workers):
     data = benchmark.pedantic(
         fig8_llc_sets,
-        kwargs={"set_counts": (1, 2, 4), "n_bits": 96, "seeds": (1, 2, 3)},
+        kwargs={"set_counts": (1, 2, 4), "n_bits": 96, "seeds": (1, 2, 3),
+                "workers": bench_workers},
         rounds=1,
         iterations=1,
     )

@@ -16,10 +16,11 @@ from repro.core.contention_channel import (
 KB, MB = 1024, 1024 * 1024
 
 
-def test_fig09_iteration_factor(benchmark, figure_report):
+def test_fig09_iteration_factor(benchmark, figure_report, bench_workers):
     data = benchmark.pedantic(
         fig9_iteration_factor,
-        kwargs={"gpu_buffer_sizes": (256 * KB, 512 * KB, 1 * MB, 2 * MB)},
+        kwargs={"gpu_buffer_sizes": (256 * KB, 512 * KB, 1 * MB, 2 * MB),
+                "workers": bench_workers},
         rounds=1,
         iterations=1,
     )

@@ -12,7 +12,7 @@ from repro.analysis.render import format_table
 MB = 1024 * 1024
 
 
-def test_fig10_contention_sweep(benchmark, figure_report):
+def test_fig10_contention_sweep(benchmark, figure_report, bench_workers):
     data = benchmark.pedantic(
         fig10_contention_sweep,
         kwargs={
@@ -20,6 +20,7 @@ def test_fig10_contention_sweep(benchmark, figure_report):
             "gpu_buffer_sizes": (1 * MB, 2 * MB),
             "n_bits": 96,
             "seeds": (1, 2, 3),
+            "workers": bench_workers,
         },
         rounds=1,
         iterations=1,

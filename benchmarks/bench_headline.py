@@ -8,9 +8,10 @@ from repro.analysis.figures import headline
 from repro.analysis.render import format_table
 
 
-def test_headline_numbers(benchmark, figure_report):
+def test_headline_numbers(benchmark, figure_report, bench_workers):
     data = benchmark.pedantic(
-        headline, kwargs={"n_bits": 96, "seeds": (1, 2, 3)},
+        headline,
+        kwargs={"n_bits": 96, "seeds": (1, 2, 3), "workers": bench_workers},
         rounds=1, iterations=1,
     )
     table = format_table(

@@ -4,7 +4,14 @@ Paper §VI proposes LLC partitioning, CPU/GPU traffic isolation on the
 interconnect, and timer-noise injection.  A successful mitigation either
 starves the handshake (no transmission at all) or pushes the error toward
 50% (zero mutual information).
+
+Each (channel, mitigation) arm is one executor trial.  The mitigation
+hooks are closures, so trials carry the *factory name* and construct the
+hook inside the worker — that keeps the params picklable for
+``REPRO_BENCH_WORKERS>0`` runs.
 """
+
+import typing
 
 from repro.analysis.render import format_table
 from repro.core.channel import ChannelDirection
@@ -13,56 +20,90 @@ from repro.core.contention_channel import (
     ContentionChannelConfig,
 )
 from repro.core.llc_channel import LLCChannel, LLCChannelConfig
-from repro.errors import ChannelProtocolError
+from repro.exec import DEAD, TrialExecutor, TrialSpec
 from repro.mitigations import llc_way_partition, ring_tdm, timer_fuzzing
 
+MITIGATION_FACTORIES: typing.Dict[str, typing.Callable] = {
+    "way_partition": llc_way_partition,
+    "ring_tdm": ring_tdm,
+    "timer_fuzzing": timer_fuzzing,
+}
 
-def _llc_row(label, config, n_bits=32, seed=1):
-    try:
-        result = LLCChannel(config).transmit(n_bits=n_bits, seed=seed)
+
+def _make_mitigation(params: typing.Dict[str, object]):
+    name = params.get("mitigation")
+    if name is None:
+        return None
+    return MITIGATION_FACTORIES[typing.cast(str, name)]()
+
+
+def _llc_trial(params: typing.Dict[str, object], seed: int):
+    config = LLCChannelConfig(
+        direction=typing.cast(
+            ChannelDirection, params.get("direction", ChannelDirection.GPU_TO_CPU)
+        ),
+        mitigation=_make_mitigation(params),
+    )
+    return LLCChannel(config).transmit(
+        n_bits=typing.cast(int, params["n_bits"]), seed=seed
+    )
+
+
+def _contention_trial(params: typing.Dict[str, object], seed: int):
+    channel = ContentionChannel(
+        ContentionChannelConfig(mitigation=_make_mitigation(params))
+    )
+    calibration = channel.calibrate(seed=seed)
+    return channel.transmit(
+        n_bits=typing.cast(int, params["n_bits"]),
+        seed=seed,
+        calibration=calibration,
+    )
+
+
+def _row(label: str, outcome) -> typing.Tuple[object, ...]:
+    if outcome.ok:
+        result = outcome.result
         return (label, round(result.bandwidth_kbps, 1),
                 round(result.error_percent, 1))
-    except ChannelProtocolError:
-        return (label, 0.0, "dead")
+    assert outcome.kind == DEAD, outcome.error
+    return (label, 0.0, "dead")
 
 
-def test_mitigation_ablations(benchmark, figure_report):
+def test_mitigation_ablations(benchmark, figure_report, bench_workers):
+    arms = [
+        ("llc channel, none",
+         TrialSpec(fn=_llc_trial, params={"n_bits": 32}, seed=1)),
+        ("llc channel, way partition",
+         TrialSpec(fn=_llc_trial,
+                   params={"n_bits": 32, "mitigation": "way_partition"},
+                   seed=1)),
+        ("llc c2g, none",
+         TrialSpec(fn=_llc_trial,
+                   params={"n_bits": 32,
+                           "direction": ChannelDirection.CPU_TO_GPU},
+                   seed=1)),
+        ("llc c2g, timer fuzzing",
+         TrialSpec(fn=_llc_trial,
+                   params={"n_bits": 32,
+                           "direction": ChannelDirection.CPU_TO_GPU,
+                           "mitigation": "timer_fuzzing"},
+                   seed=1)),
+        ("contention, none",
+         TrialSpec(fn=_contention_trial, params={"n_bits": 48}, seed=1)),
+        ("contention, ring TDM",
+         TrialSpec(fn=_contention_trial,
+                   params={"n_bits": 48, "mitigation": "ring_tdm"},
+                   seed=1)),
+    ]
+
     def run_all():
-        rows = [
-            _llc_row("llc channel, none", LLCChannelConfig()),
-            _llc_row(
-                "llc channel, way partition",
-                LLCChannelConfig(mitigation=llc_way_partition()),
-            ),
-            _llc_row(
-                "llc c2g, none",
-                LLCChannelConfig(direction=ChannelDirection.CPU_TO_GPU),
-            ),
-            _llc_row(
-                "llc c2g, timer fuzzing",
-                LLCChannelConfig(
-                    direction=ChannelDirection.CPU_TO_GPU,
-                    mitigation=timer_fuzzing(),
-                ),
-            ),
+        executor = TrialExecutor(workers=bench_workers)
+        report = executor.run([spec for _, spec in arms])
+        return [
+            _row(label, outcome)
+            for (label, _), outcome in zip(arms, report.outcomes)
         ]
-        for label, mitigation in [
-            ("contention, none", None),
-            ("contention, ring TDM", ring_tdm()),
-        ]:
-            channel = ContentionChannel(
-                ContentionChannelConfig(mitigation=mitigation)
-            )
-            calibration = channel.calibrate(seed=1)
-            try:
-                result = channel.transmit(n_bits=48, seed=1, calibration=calibration)
-                rows.append(
-                    (label, round(result.bandwidth_kbps, 1),
-                     round(result.error_percent, 1))
-                )
-            except ChannelProtocolError:
-                rows.append((label, 0.0, "dead"))
-        return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     table = format_table(["configuration", "kb/s", "err %"], rows)

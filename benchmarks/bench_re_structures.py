@@ -3,7 +3,13 @@
 Paper: Eq. (1)/(2) slice hash recovered with huge pages and timing; the
 GPU L3 is non-inclusive; its placement uses the low 16 address bits with
 pLRU replacement needing repeated sweeps for stable eviction.
+
+The recovery procedures run as executor trials so the harness exercises
+the same dispatch path as the figure sweeps (and fans across workers
+under ``REPRO_BENCH_WORKERS>0``).
 """
+
+import typing
 
 from repro.analysis.render import format_table
 from repro.config import SLICE_HASH_S0_MASK, SLICE_HASH_S1_MASK, kaby_lake
@@ -12,13 +18,46 @@ from repro.core.reverse_engineering import (
     discover_l3_geometry,
     recover_slice_hash,
 )
+from repro.exec import TrialExecutor, TrialSpec
 from repro.soc.slice_hash import SliceHash
 
 
-def test_re_slice_hash(benchmark, figure_report):
+def _slice_hash_trial(params: typing.Dict[str, object], seed: int):
+    return recover_slice_hash(
+        seed=seed,
+        pool_size=typing.cast(int, params["pool_size"]),
+        verify_offsets=typing.cast(int, params["verify_offsets"]),
+    )
+
+
+def _l3_geometry_trial(params: typing.Dict[str, object], seed: int):
+    return discover_l3_geometry(seed=seed)
+
+
+def _inclusiveness_trial(params: typing.Dict[str, object], seed: int):
+    return check_l3_inclusiveness(
+        n_lines=typing.cast(int, params["n_lines"]), seed=seed
+    )
+
+
+def _run_single(spec: TrialSpec, workers: int):
+    report = TrialExecutor(workers=workers).run([spec])
+    outcome = report.outcomes[0]
+    assert outcome.ok, outcome.error
+    return outcome.result
+
+
+def test_re_slice_hash(benchmark, figure_report, bench_workers):
     report = benchmark.pedantic(
-        recover_slice_hash,
-        kwargs={"seed": 1, "pool_size": 120, "verify_offsets": 16},
+        _run_single,
+        args=(
+            TrialSpec(
+                fn=_slice_hash_trial,
+                params={"pool_size": 120, "verify_offsets": 16},
+                seed=1,
+            ),
+            bench_workers,
+        ),
         rounds=1,
         iterations=1,
     )
@@ -44,11 +83,17 @@ def test_re_slice_hash(benchmark, figure_report):
     assert report.n_slices == 4
 
 
-def test_re_l3_structures(benchmark, figure_report):
+def test_re_l3_structures(benchmark, figure_report, bench_workers):
     geometry = benchmark.pedantic(
-        discover_l3_geometry, kwargs={"seed": 1}, rounds=1, iterations=1
+        _run_single,
+        args=(TrialSpec(fn=_l3_geometry_trial, params={}, seed=1), bench_workers),
+        rounds=1,
+        iterations=1,
     )
-    inclusiveness = check_l3_inclusiveness(n_lines=12, seed=1)
+    inclusiveness = _run_single(
+        TrialSpec(fn=_inclusiveness_trial, params={"n_lines": 12}, seed=1),
+        bench_workers,
+    )
     config = kaby_lake().gpu_l3
     table = format_table(
         ["quantity", "recovered", "configured/paper"],

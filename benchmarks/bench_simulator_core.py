@@ -5,6 +5,8 @@ engine and cache models) — useful when tuning the simulator, and a cheap
 regression canary for the heavy figure harnesses.
 """
 
+from conftest import record_core_metric
+
 from repro.config import kaby_lake
 from repro.sim import Timeout
 from repro.sim.engine import Engine
@@ -27,6 +29,12 @@ def test_engine_event_throughput(benchmark):
 
     events = benchmark(run)
     assert events >= 2000
+    # stats is None under --benchmark-disable (e.g. plain test runs).
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None and stats.stats.mean > 0:
+        record_core_metric(
+            "simulator_core", "engine_events_per_sec", events / stats.stats.mean
+        )
 
 
 def test_lru_cache_access_throughput(benchmark):

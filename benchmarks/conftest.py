@@ -7,16 +7,38 @@ paper-reported values, and records the text report under
 
 Each report carries a simulation-cost footer (engines created, total
 engine events executed, final simulated clock) collected by an
-:class:`repro.obs.EngineCensus` armed for the duration of the test.
+:class:`repro.obs.EngineCensus` armed for the duration of the test —
+including work done in executor worker processes, which publish their
+merged census back to the parent.
+
+Alongside the text report every figure writes a machine-readable
+``BENCH_<name>.json``: wall seconds, events executed and events/sec,
+keyed by worker count, so a parallel run records its speedup against the
+serial baseline in the same file.  Set ``REPRO_BENCH_WORKERS=N`` to fan
+the executor-backed harnesses across N worker processes (default 0 =
+serial; the figure data is bit-identical either way).
 """
 
+import json
+import os
 import pathlib
+import time
+import typing
 
 import pytest
 
 from repro.obs import EngineCensus
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker-process count for the executor-backed figure harnesses.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or "0")
+
+
+@pytest.fixture
+def bench_workers() -> int:
+    """How many executor workers this bench run was asked to use."""
+    return BENCH_WORKERS
 
 
 def report(name: str, title: str, body: str, footer: str = "") -> None:
@@ -29,12 +51,73 @@ def report(name: str, title: str, body: str, footer: str = "") -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
 
 
+def _load_json(path: pathlib.Path, default: dict) -> dict:
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except ValueError:
+            pass
+    return default
+
+
+def record_bench_json(name: str, run: typing.Dict[str, object]) -> pathlib.Path:
+    """Merge one run record into ``results/BENCH_<name>.json``.
+
+    Runs are keyed by worker count; when both a serial (``"0"``) and a
+    parallel run are present, each parallel run gains
+    ``speedup_vs_serial`` so the artifact answers "what did the pool
+    buy" directly.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    doc = _load_json(path, {"name": name, "runs": {}})
+    runs = doc.setdefault("runs", {})
+    runs[str(run.get("workers", 0))] = run
+    serial = runs.get("0")
+    for run_key, entry in runs.items():
+        if not isinstance(entry, dict):
+            continue
+        if run_key != "0" and serial and serial.get("wall_s") and entry.get("wall_s"):
+            entry["speedup_vs_serial"] = round(
+                typing.cast(float, serial["wall_s"])
+                / typing.cast(float, entry["wall_s"]),
+                3,
+            )
+        else:
+            entry.pop("speedup_vs_serial", None)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def record_core_metric(bench: str, metric: str, value: float) -> None:
+    """Record one scalar (e.g. events/sec) in ``BENCH_<bench>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{bench}.json"
+    doc = _load_json(path, {"name": bench, "metrics": {}})
+    doc.setdefault("metrics", {})[metric] = round(value, 1)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.fixture
 def figure_report():
-    """``report`` with the census footer appended automatically."""
+    """``report`` with the census footer and BENCH_<name>.json appended."""
     with EngineCensus() as census:
+        start = time.perf_counter()
 
         def _report(name: str, title: str, body: str) -> None:
+            wall_s = time.perf_counter() - start
             report(name, title, body, footer=census.footer())
+            record_bench_json(
+                name,
+                {
+                    "workers": BENCH_WORKERS,
+                    "wall_s": round(wall_s, 4),
+                    "engines": census.engines_created,
+                    "events_executed": census.events_executed,
+                    "events_per_sec": round(census.events_executed / wall_s, 1)
+                    if wall_s > 0
+                    else 0.0,
+                },
+            )
 
         yield _report

@@ -4,6 +4,14 @@ Each function runs the experiment at a configurable (defaulting to
 bench-friendly) scale and returns a structured result with ``rows()`` for
 text rendering and a ``paper`` dict recording the numbers the paper
 reports, so EXPERIMENTS.md comparisons come straight from here.
+
+Every harness decomposes into independent ``(params, seed)`` trials
+dispatched through :class:`repro.exec.TrialExecutor`.  The default
+(``workers=0``) runs them serially in-process; pass ``workers=N`` (or a
+pre-configured ``executor``) to fan trials across worker processes —
+the figure data is bit-identical either way, because seeds and trial
+order are fixed before dispatch.  The trial functions are module-level
+so they pickle into workers.
 """
 
 from __future__ import annotations
@@ -22,16 +30,106 @@ from repro.core.llc_channel import EvictionStrategy, LLCChannel, LLCChannelConfi
 from repro.core.reverse_engineering.timer_char import (
     TimerCharacterization,
     characterize_timer,
-    resolution_sweep,
 )
 from repro.errors import ChannelProtocolError
+
+if typing.TYPE_CHECKING:
+    from repro.exec import ExecutionReport, TrialExecutor, TrialSpec
 
 KB = 1024
 MB = 1024 * 1024
 
+Params = typing.Dict[str, object]
+
 
 def _default_config() -> SoCConfig:
     return kaby_lake_model(scale=16)
+
+
+def _execute(
+    specs: typing.Sequence["TrialSpec"],
+    workers: int,
+    executor: typing.Optional["TrialExecutor"],
+) -> "ExecutionReport":
+    from repro.exec import TrialExecutor
+
+    if executor is None:
+        executor = TrialExecutor(workers=workers)
+    return executor.run(specs)
+
+
+# ----------------------------------------------------------------------
+# Module-level trial functions (picklable into worker processes)
+
+
+def _timer_trial(params: Params, seed: int) -> TimerCharacterization:
+    return characterize_timer(
+        counter_threads=typing.cast(
+            typing.Optional[int], params.get("counter_threads")
+        ),
+        samples=typing.cast(int, params["samples"]),
+        seed=seed,
+    )
+
+
+def _llc_strategy_trial(params: Params, seed: int) -> ChannelResult:
+    channel = LLCChannel(
+        LLCChannelConfig(
+            direction=typing.cast(ChannelDirection, params["direction"]),
+            strategy=typing.cast(EvictionStrategy, params["strategy"]),
+        ),
+        soc_config=typing.cast(SoCConfig, params["soc_config"]),
+    )
+    return channel.transmit(n_bits=typing.cast(int, params["n_bits"]), seed=seed)
+
+
+def _llc_sets_trial(params: Params, seed: int) -> ChannelResult:
+    channel = LLCChannel(
+        LLCChannelConfig(
+            direction=typing.cast(ChannelDirection, params["direction"]),
+            n_sets_per_role=typing.cast(int, params["n_sets"]),
+        ),
+        soc_config=typing.cast(SoCConfig, params["soc_config"]),
+    )
+    return channel.transmit(n_bits=typing.cast(int, params["n_bits"]), seed=seed)
+
+
+def _llc_default_trial(params: Params, seed: int) -> ChannelResult:
+    channel = LLCChannel(
+        LLCChannelConfig(),
+        soc_config=typing.cast(SoCConfig, params["soc_config"]),
+    )
+    return channel.transmit(n_bits=typing.cast(int, params["n_bits"]), seed=seed)
+
+
+def _contention_calibrate_trial(params: Params, seed: int):
+    channel = ContentionChannel(
+        ContentionChannelConfig(
+            n_workgroups=typing.cast(int, params.get("n_workgroups", 2)),
+            gpu_buffer_paper_bytes=typing.cast(
+                int, params.get("gpu_buffer_paper_bytes", 2 * MB)
+            ),
+        ),
+        soc_config=typing.cast(SoCConfig, params["soc_config"]),
+    )
+    return channel.calibrate(seed=seed)
+
+
+def _contention_transmit_trial(params: Params, seed: int) -> ChannelResult:
+    channel = ContentionChannel(
+        ContentionChannelConfig(
+            n_workgroups=typing.cast(int, params.get("n_workgroups", 2)),
+            gpu_buffer_paper_bytes=typing.cast(
+                int, params.get("gpu_buffer_paper_bytes", 2 * MB)
+            ),
+        ),
+        soc_config=typing.cast(SoCConfig, params["soc_config"]),
+    )
+    return channel.transmit(
+        n_bits=typing.cast(int, params["n_bits"]),
+        seed=seed,
+        calibration=params["calibration"],
+    )
 
 
 # ----------------------------------------------------------------------
@@ -63,13 +161,32 @@ def fig4_timer_characterization(
     samples: int = 24,
     thread_counts: typing.Sequence[int] = (32, 96, 224),
     seed: int = 0,
+    workers: int = 0,
+    executor: typing.Optional["TrialExecutor"] = None,
 ) -> Fig4Data:
     """Fig. 4 plus the §III-B counter-thread ablation."""
-    return Fig4Data(
-        main=characterize_timer(samples=samples, seed=seed),
-        sweep=resolution_sweep(thread_counts=thread_counts, samples=samples // 2,
-                               seed=seed + 1),
+    from repro.exec import TrialSpec
+
+    specs = [TrialSpec(fn=_timer_trial, params={"samples": samples}, seed=seed)]
+    # The ablation keeps its historical seed schedule (seed+1+i per
+    # count) so the recorded figures match the pre-executor harness.
+    specs.extend(
+        TrialSpec(
+            fn=_timer_trial,
+            params={"counter_threads": count, "samples": samples // 2},
+            seed=seed + 1 + index,
+        )
+        for index, count in enumerate(thread_counts)
     )
+    report = _execute(specs, workers, executor)
+    characterizations = [
+        typing.cast(TimerCharacterization, outcome.result)
+        for outcome in report.outcomes
+        if outcome.ok
+    ]
+    if len(characterizations) != len(specs):
+        raise ChannelProtocolError("timer characterization trial failed")
+    return Fig4Data(main=characterizations[0], sweep=characterizations[1:])
 
 
 # ----------------------------------------------------------------------
@@ -114,10 +231,15 @@ def fig7_llc_strategies(
         ChannelDirection.CPU_TO_GPU,
     ),
     soc_config: typing.Optional[SoCConfig] = None,
+    workers: int = 0,
+    executor: typing.Optional["TrialExecutor"] = None,
 ) -> Fig7Data:
     """Sweep the three L3-eviction strategies in both directions."""
+    from repro.exec import TrialSpec
+
     soc_config = soc_config or _default_config()
-    points = []
+    cells: typing.List[typing.Tuple[EvictionStrategy, ChannelDirection]] = []
+    specs: typing.List[TrialSpec] = []
     for strategy in EvictionStrategy:
         # The naive whole-L3 clear is orders of magnitude slower; a short
         # payload suffices to pin its bandwidth.
@@ -125,14 +247,32 @@ def fig7_llc_strategies(
             16, n_bits // 4
         )
         for direction in directions:
-            channel = LLCChannel(
-                LLCChannelConfig(direction=direction, strategy=strategy),
-                soc_config=soc_config,
+            cells.append((strategy, direction))
+            specs.extend(
+                TrialSpec(
+                    fn=_llc_strategy_trial,
+                    params={
+                        "strategy": strategy,
+                        "direction": direction,
+                        "n_bits": bits,
+                        "soc_config": soc_config,
+                    },
+                    seed=seed,
+                    tag=len(cells) - 1,
+                )
+                for seed in seeds
             )
-            results = [channel.transmit(n_bits=bits, seed=seed) for seed in seeds]
-            points.append(
-                StrategyPoint(strategy, direction, aggregate_results(results))
+    report = _execute(specs, workers, executor)
+    points = []
+    n_seeds = len(seeds)
+    for cell_index, (strategy, direction) in enumerate(cells):
+        chunk = report.outcomes[cell_index * n_seeds : (cell_index + 1) * n_seeds]
+        results = [typing.cast(ChannelResult, o.result) for o in chunk if o.ok]
+        if len(results) != n_seeds:
+            raise ChannelProtocolError(
+                f"LLC strategy trial failed at {strategy.value}/{direction.pretty}"
             )
+        points.append(StrategyPoint(strategy, direction, aggregate_results(results)))
     return Fig7Data(points=points)
 
 
@@ -179,26 +319,41 @@ def fig8_llc_sets(
         ChannelDirection.CPU_TO_GPU,
     ),
     soc_config: typing.Optional[SoCConfig] = None,
+    workers: int = 0,
+    executor: typing.Optional["TrialExecutor"] = None,
 ) -> Fig8Data:
     """Sweep the redundant-set count for both directions."""
+    from repro.exec import TrialSpec
+
     soc_config = soc_config or _default_config()
-    points = []
+    cells: typing.List[typing.Tuple[int, ChannelDirection]] = []
+    specs: typing.List[TrialSpec] = []
     for n_sets in set_counts:
         for direction in directions:
-            channel = LLCChannel(
-                LLCChannelConfig(direction=direction, n_sets_per_role=n_sets),
-                soc_config=soc_config,
-            )
-            results = []
-            for seed in seeds:
-                try:
-                    results.append(channel.transmit(n_bits=n_bits, seed=seed))
-                except ChannelProtocolError:
-                    continue
-            if results:
-                points.append(
-                    SetCountPoint(n_sets, direction, aggregate_results(results))
+            cells.append((n_sets, direction))
+            specs.extend(
+                TrialSpec(
+                    fn=_llc_sets_trial,
+                    params={
+                        "n_sets": n_sets,
+                        "direction": direction,
+                        "n_bits": n_bits,
+                        "soc_config": soc_config,
+                    },
+                    seed=seed,
                 )
+                for seed in seeds
+            )
+    report = _execute(specs, workers, executor)
+    points = []
+    n_seeds = len(seeds)
+    for cell_index, (n_sets, direction) in enumerate(cells):
+        chunk = report.outcomes[cell_index * n_seeds : (cell_index + 1) * n_seeds]
+        results = [typing.cast(ChannelResult, o.result) for o in chunk if o.ok]
+        if results:
+            points.append(
+                SetCountPoint(n_sets, direction, aggregate_results(results))
+            )
     return Fig8Data(points=points)
 
 
@@ -242,16 +397,29 @@ def fig9_iteration_factor(
     ),
     soc_config: typing.Optional[SoCConfig] = None,
     seed: int = 1,
+    workers: int = 0,
+    executor: typing.Optional["TrialExecutor"] = None,
 ) -> Fig9Data:
     """Calibrate I_F across GPU buffer sizes (CPU buffer fixed at 512 KB)."""
+    from repro.exec import TrialSpec
+
     soc_config = soc_config or _default_config()
-    points = []
-    for size in gpu_buffer_sizes:
-        channel = ContentionChannel(
-            ContentionChannelConfig(gpu_buffer_paper_bytes=size),
-            soc_config=soc_config,
+    specs = [
+        TrialSpec(
+            fn=_contention_calibrate_trial,
+            params={"gpu_buffer_paper_bytes": size, "soc_config": soc_config},
+            seed=seed,
         )
-        calibration = channel.calibrate(seed=seed)
+        for size in gpu_buffer_sizes
+    ]
+    report = _execute(specs, workers, executor)
+    points = []
+    for size, outcome in zip(gpu_buffer_sizes, report.outcomes):
+        if not outcome.ok:
+            raise ChannelProtocolError(
+                f"calibration failed for {size}-byte GPU buffer: {outcome.error}"
+            )
+        calibration = outcome.result
         points.append(
             IterationFactorPoint(
                 gpu_buffer_paper_bytes=size,
@@ -309,37 +477,77 @@ def fig10_contention_sweep(
     n_bits: int = 96,
     seeds: typing.Sequence[int] = (1, 2, 3),
     soc_config: typing.Optional[SoCConfig] = None,
+    workers: int = 0,
+    executor: typing.Optional["TrialExecutor"] = None,
 ) -> Fig10Data:
-    """Sweep work-groups x GPU buffer size with repeated runs + 95% CI."""
+    """Sweep work-groups x GPU buffer size with repeated runs + 95% CI.
+
+    Two executor phases: every grid point's calibration runs first (all
+    in parallel), then every transmission, with the point's calibration
+    carried in the trial params — exactly the calibrate-once-per-point
+    schedule of the serial harness.
+    """
+    from repro.exec import TrialSpec
+
     soc_config = soc_config or _default_config()
-    points = []
-    for size in gpu_buffer_sizes:
-        for n_workgroups in workgroup_counts:
-            channel = ContentionChannel(
-                ContentionChannelConfig(
-                    n_workgroups=n_workgroups, gpu_buffer_paper_bytes=size
-                ),
-                soc_config=soc_config,
+    cells: typing.List[typing.Tuple[int, int]] = [
+        (size, n_workgroups)
+        for size in gpu_buffer_sizes
+        for n_workgroups in workgroup_counts
+    ]
+    calibration_specs = [
+        TrialSpec(
+            fn=_contention_calibrate_trial,
+            params={
+                "n_workgroups": n_workgroups,
+                "gpu_buffer_paper_bytes": size,
+                "soc_config": soc_config,
+            },
+            seed=seeds[0],
+        )
+        for size, n_workgroups in cells
+    ]
+    calibration_report = _execute(calibration_specs, workers, executor)
+    calibrations: typing.Dict[typing.Tuple[int, int], object] = {}
+    for cell, outcome in zip(cells, calibration_report.outcomes):
+        if not outcome.ok:
+            raise ChannelProtocolError(
+                f"calibration failed at {cell}: {outcome.error}"
             )
-            calibration = channel.calibrate(seed=seeds[0])
-            results: typing.List[ChannelResult] = []
-            for seed in seeds:
-                try:
-                    results.append(
-                        channel.transmit(n_bits=n_bits, seed=seed,
-                                         calibration=calibration)
-                    )
-                except ChannelProtocolError:
-                    continue
-            if results:
-                points.append(
-                    ContentionPoint(
-                        n_workgroups=n_workgroups,
-                        gpu_buffer_paper_bytes=size,
-                        aggregate=aggregate_results(results),
-                        iteration_factor=calibration.iteration_factor,
-                    )
+        calibrations[cell] = outcome.result
+
+    transmit_specs = [
+        TrialSpec(
+            fn=_contention_transmit_trial,
+            params={
+                "n_workgroups": n_workgroups,
+                "gpu_buffer_paper_bytes": size,
+                "n_bits": n_bits,
+                "calibration": calibrations[(size, n_workgroups)],
+                "soc_config": soc_config,
+            },
+            seed=seed,
+        )
+        for size, n_workgroups in cells
+        for seed in seeds
+    ]
+    report = _execute(transmit_specs, workers, executor)
+
+    points = []
+    n_seeds = len(seeds)
+    for cell_index, (size, n_workgroups) in enumerate(cells):
+        chunk = report.outcomes[cell_index * n_seeds : (cell_index + 1) * n_seeds]
+        results = [typing.cast(ChannelResult, o.result) for o in chunk if o.ok]
+        if results:
+            calibration = calibrations[(size, n_workgroups)]
+            points.append(
+                ContentionPoint(
+                    n_workgroups=n_workgroups,
+                    gpu_buffer_paper_bytes=size,
+                    aggregate=aggregate_results(results),
+                    iteration_factor=calibration.iteration_factor,
                 )
+            )
     return Fig10Data(points=points)
 
 
@@ -371,19 +579,64 @@ def headline(
     n_bits: int = 128,
     seeds: typing.Sequence[int] = (1, 2, 3),
     soc_config: typing.Optional[SoCConfig] = None,
+    workers: int = 0,
+    executor: typing.Optional["TrialExecutor"] = None,
 ) -> HeadlineData:
     """The paper's two headline operating points."""
+    from repro.exec import TrialSpec
+
     soc_config = soc_config or _default_config()
-    llc_channel = LLCChannel(LLCChannelConfig(), soc_config=soc_config)
-    llc_results = [llc_channel.transmit(n_bits=n_bits, seed=s) for s in seeds]
-    contention = ContentionChannel(
-        ContentionChannelConfig(), soc_config=soc_config
+    calibration_report = _execute(
+        [
+            TrialSpec(
+                fn=_contention_calibrate_trial,
+                params={"soc_config": soc_config},
+                seed=seeds[0],
+            )
+        ],
+        workers,
+        executor,
     )
-    calibration = contention.calibrate(seed=seeds[0])
-    contention_results = [
-        contention.transmit(n_bits=n_bits, seed=s, calibration=calibration)
-        for s in seeds
+    calibration_outcome = calibration_report.outcomes[0]
+    if not calibration_outcome.ok:
+        raise ChannelProtocolError(
+            f"headline calibration failed: {calibration_outcome.error}"
+        )
+    calibration = calibration_outcome.result
+
+    llc_specs = [
+        TrialSpec(
+            fn=_llc_default_trial,
+            params={"n_bits": n_bits, "soc_config": soc_config},
+            seed=seed,
+        )
+        for seed in seeds
     ]
+    contention_specs = [
+        TrialSpec(
+            fn=_contention_transmit_trial,
+            params={
+                "n_bits": n_bits,
+                "calibration": calibration,
+                "soc_config": soc_config,
+            },
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    report = _execute(llc_specs + contention_specs, workers, executor)
+    llc_results = [
+        typing.cast(ChannelResult, o.result)
+        for o in report.outcomes[: len(seeds)]
+        if o.ok
+    ]
+    contention_results = [
+        typing.cast(ChannelResult, o.result)
+        for o in report.outcomes[len(seeds) :]
+        if o.ok
+    ]
+    if len(llc_results) != len(seeds) or len(contention_results) != len(seeds):
+        raise ChannelProtocolError("a headline trial failed")
     return HeadlineData(
         llc=aggregate_results(llc_results),
         contention=aggregate_results(contention_results),

@@ -5,6 +5,12 @@ pattern for downstream users exploring new operating points: a grid of
 configurations, repeated seeded runs per point, aggregation with 95% CIs,
 and graceful handling of dead channels (a mitigated or mis-tuned point
 simply reports zero runs instead of aborting the sweep).
+
+Trials execute through :class:`repro.exec.TrialExecutor`: serially by
+default (``workers=0`` — no picklability requirements, the mode tests
+use), or across a process pool with ``workers >= 1`` and optionally an
+on-disk result cache.  The aggregates are bit-identical either way —
+seeds are fixed up front and outcomes return in submission order.
 """
 
 from __future__ import annotations
@@ -15,10 +21,12 @@ import typing
 
 from repro.analysis.metrics import AggregateResult, aggregate_results
 from repro.core.channel import ChannelResult
-from repro.errors import ChannelProtocolError
 
 Params = typing.Dict[str, object]
 RunFn = typing.Callable[[Params, int], ChannelResult]
+
+if typing.TYPE_CHECKING:
+    from repro.exec import ExecutionReport, TrialExecutor
 
 
 @dataclasses.dataclass
@@ -39,17 +47,26 @@ class SweepResult:
     """All grid points of one sweep."""
 
     points: typing.List[SweepPoint]
+    #: Execution details (cache hits, wall time, merged sim census) when
+    #: the sweep ran through a :class:`~repro.exec.TrialExecutor`.
+    report: typing.Optional["ExecutionReport"] = None
 
     def best_by_error(self) -> SweepPoint:
         """The live point with the lowest mean error."""
+        from repro.errors import ChannelProtocolError
+
         live = [p for p in self.points if p.alive]
         if not live:
             raise ChannelProtocolError("every sweep point was dead")
         return min(live, key=lambda p: p.aggregate.error_percent)  # type: ignore[union-attr]
 
+    def param_keys(self) -> typing.List[str]:
+        """Sorted union of parameter names across every point."""
+        return sorted({key for point in self.points for key in point.params})
+
     def rows(self) -> typing.List[typing.Tuple[object, ...]]:
         """Table rows: parameter values, bandwidth, error (or 'dead')."""
-        keys = sorted({key for point in self.points for key in point.params})
+        keys = self.param_keys()
         rows: typing.List[typing.Tuple[object, ...]] = []
         for point in self.points:
             values = tuple(point.params.get(key, "") for key in keys)
@@ -67,8 +84,7 @@ class SweepResult:
         return rows
 
     def header(self) -> typing.List[str]:
-        keys = sorted({key for point in self.points for key in point.params})
-        return keys + ["kb/s", "err %"]
+        return self.param_keys() + ["kb/s", "err %"]
 
 
 def grid(**axes: typing.Sequence[object]) -> typing.List[Params]:
@@ -82,17 +98,34 @@ def run_sweep(
     run: RunFn,
     points: typing.Sequence[Params],
     seeds: typing.Sequence[int] = (1, 2, 3),
+    workers: int = 0,
+    cache_dir: typing.Optional[str] = None,
+    executor: typing.Optional["TrialExecutor"] = None,
 ) -> SweepResult:
-    """Evaluate ``run(params, seed)`` over the grid with repetitions."""
+    """Evaluate ``run(params, seed)`` over the grid with repetitions.
+
+    ``workers``/``cache_dir`` construct a default executor; pass
+    ``executor`` to control timeouts, retries or cache policy directly.
+    With ``workers >= 1`` the ``run`` callable and its params/results
+    must be picklable (module-level functions, plain-data params).
+    """
+    from repro.exec import TrialExecutor, TrialSpec
+
+    if executor is None:
+        executor = TrialExecutor(workers=workers, cache=cache_dir)
+    specs = [
+        TrialSpec(fn=run, params=dict(params), seed=seed, tag=point_index)
+        for point_index, params in enumerate(points)
+        for seed in seeds
+    ]
+    report = executor.run(specs)
+
     out: typing.List[SweepPoint] = []
-    for params in points:
-        results: typing.List[ChannelResult] = []
-        failures = 0
-        for seed in seeds:
-            try:
-                results.append(run(dict(params), seed))
-            except ChannelProtocolError:
-                failures += 1
+    n_seeds = len(seeds)
+    for point_index, params in enumerate(points):
+        chunk = report.outcomes[point_index * n_seeds : (point_index + 1) * n_seeds]
+        results = [o.result for o in chunk if o.ok]
+        failures = sum(1 for o in chunk if not o.ok)
         out.append(
             SweepPoint(
                 params=dict(params),
@@ -100,4 +133,4 @@ def run_sweep(
                 failures=failures,
             )
         )
-    return SweepResult(points=out)
+    return SweepResult(points=out, report=report)

@@ -390,6 +390,34 @@ class ObservabilityConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class ExecutionConfig:
+    """How a batch of trials is executed (see :mod:`repro.exec`).
+
+    ``workers=0`` (the default) runs trials serially in-process — the
+    mode tests use, with no picklability requirements.  ``workers >= 1``
+    fans trials across that many worker processes.  ``cache_dir`` enables
+    the on-disk result cache; ``trial_timeout_s`` and ``retries`` bound
+    how long one wedged or crashed trial can hold up a sweep.
+    """
+
+    workers: int = 0
+    cache_dir: typing.Optional[str] = None
+    use_cache: bool = True
+    trial_timeout_s: float = 300.0
+    retries: int = 1
+
+    def validate(self) -> "ExecutionConfig":
+        _require(self.workers >= 0, "workers must be >= 0")
+        _require(self.trial_timeout_s > 0, "trial timeout must be positive")
+        _require(self.retries >= 0, "retries must be >= 0")
+        _require(
+            self.cache_dir is None or bool(self.cache_dir),
+            "cache_dir must be None or a non-empty path",
+        )
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
 class SoCConfig:
     """Complete description of the simulated machine."""
 

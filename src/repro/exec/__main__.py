@@ -1,0 +1,143 @@
+"""``python -m repro.exec`` — run a packaged sweep through the executor.
+
+Examples::
+
+    # Cheap synthetic sweep, serial, no cache:
+    python -m repro.exec --sweep smoke --no-cache
+
+    # Real LLC-channel sweep on 4 workers with an on-disk cache
+    # (run it twice: the second run is all cache hits):
+    python -m repro.exec --sweep llc --workers 4 --cache-dir .exec-cache
+
+The exit code is 0 when every trial succeeded or died deterministically
+(a dead channel point is a *result*, not an error) and 1 when any trial
+crashed or timed out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import typing
+
+from repro.analysis.render import format_table
+from repro.analysis.sweep import run_sweep
+from repro.config import ExecutionConfig
+from repro.exec import TrialExecutor, fan_out_seeds
+from repro.exec.demo import PACKAGED_SWEEPS, packaged_sweep
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="Run a packaged parameter sweep through the trial executor.",
+    )
+    parser.add_argument(
+        "--sweep", choices=PACKAGED_SWEEPS, default="smoke",
+        help="which packaged sweep to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes; 0 = serial in-process (default)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="on-disk result cache directory (default: cache off)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir is given",
+    )
+    parser.add_argument(
+        "--bits", type=int, default=32, metavar="N",
+        help="payload bits per trial (default: 32)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="seeded repetitions per grid point (default: 3)",
+    )
+    parser.add_argument(
+        "--root-seed", type=int, default=1, metavar="SEED",
+        help="root of the deterministic seed fan-out (default: 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-trial timeout when workers >= 1 (default: 300)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries for crashed/wedged trials (default: 1)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write a machine-readable summary to PATH",
+    )
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExecutionConfig(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        trial_timeout_s=args.timeout,
+        retries=args.retries,
+    ).validate()
+
+    fn, points = packaged_sweep(args.sweep, n_bits=args.bits)
+    seeds = fan_out_seeds(args.root_seed, args.seeds, label=args.sweep)
+    executor = TrialExecutor(
+        workers=config.workers,
+        cache=config.cache_dir if config.use_cache else None,
+        trial_timeout_s=config.trial_timeout_s,
+        retries=config.retries,
+    )
+    result = run_sweep(fn, points, seeds=seeds, executor=executor)
+    report = result.report
+    assert report is not None
+
+    print(f"sweep: {args.sweep} ({len(points)} points x {args.seeds} seeds)")
+    print(format_table(result.header(), result.rows()))
+    print()
+    print(report.summary())
+
+    if args.json:
+        doc = {
+            "sweep": args.sweep,
+            "points": len(points),
+            "seeds": seeds,
+            "workers": report.workers,
+            "wall_s": report.wall_s,
+            "events_executed": report.sim.get("events_executed", 0),
+            "events_per_sec": report.events_per_sec,
+            "cache": {
+                "hits": report.cache.hits,
+                "misses": report.cache.misses,
+                "stores": report.cache.stores,
+            },
+            "outcomes": {
+                kind: sum(1 for o in report.outcomes if o.kind == kind)
+                for kind in ("ok", "dead", "crash", "timeout")
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    hard_failures = [o for o in report.outcomes if o.kind in ("crash", "timeout")]
+    if hard_failures:
+        first = hard_failures[0]
+        print(
+            f"{len(hard_failures)} trial(s) failed hard; first: "
+            f"[{first.kind}] {first.error}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""Content-addressed on-disk cache of trial outcomes.
+
+A trial is a deterministic function of ``(code, config, seed)``, so its
+outcome can be cached under the key
+
+    SHA-256(config digest || code fingerprint || seed)
+
+where the config digest canonicalizes the trial function and its
+parameters (:func:`repro.exec.seeds.stable_digest`) and the code
+fingerprint covers every source file of the ``repro`` package
+(:func:`repro.exec.fingerprint.code_fingerprint`).  Any code change
+invalidates every entry; any parameter or seed change addresses a
+different entry.  Both successful results and *deterministic* failures
+(dead channel points) are cached — re-running a sweep recomputes nothing
+it already knows.
+
+Entries are pickled so a cache hit returns an object equal to what the
+cold run produced.  Unreadable or truncated entries are treated as
+misses and deleted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+import typing
+
+from repro.exec.fingerprint import code_fingerprint
+from repro.exec.seeds import stable_digest
+
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting for one executor run (or cache lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def summary(self) -> str:
+        if self.lookups == 0:
+            return "cache: disabled"
+        rate = 100.0 * self.hits / self.lookups
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({rate:.0f}% hit rate), {self.stores} new entries"
+        )
+
+
+class ResultCache:
+    """Filesystem-backed, content-addressed store of trial outcomes."""
+
+    def __init__(
+        self,
+        root: typing.Union[str, os.PathLike],
+        fingerprint: typing.Optional[str] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = CacheStats()
+
+    def key_for(self, fn: typing.Callable, params: typing.Mapping, seed: int) -> str:
+        """The content address of one trial."""
+        config_digest = stable_digest((fn, dict(params)))
+        material = f"{config_digest}|{self.fingerprint}|{seed}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> typing.Optional[typing.Tuple[str, object]]:
+        """Return the cached ``(kind, payload)`` or ``None`` on a miss.
+
+        ``kind`` is ``"ok"`` (payload: the trial's return value) or
+        ``"dead"`` (payload: the failure message of a deterministic
+        :class:`~repro.errors.ChannelProtocolError`).
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupt/unpicklable entry: drop it, treat as miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("v") != _FORMAT_VERSION:
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["kind"], entry["payload"]
+
+    def put(self, key: str, kind: str, payload: object) -> None:
+        """Store one outcome; atomic against concurrent writers."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"v": _FORMAT_VERSION, "kind": kind, "payload": payload}
+        # Write-to-temp + rename keeps readers from ever seeing a torn
+        # entry, even with several executors sharing one cache dir.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))

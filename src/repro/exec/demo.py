@@ -1,0 +1,128 @@
+"""Packaged sweeps for the ``python -m repro.exec`` CLI and CI smoke jobs.
+
+Three tiers, all built from module-level trial functions (so they pickle
+into worker processes):
+
+* ``smoke`` — a synthetic noisy-channel trial on the bare DES engine.
+  Cheap (milliseconds per trial) but real simulation work: it spins the
+  event loop, draws from seeded RNG streams, and returns a
+  :class:`~repro.core.channel.ChannelResult`.  CI uses it to exercise
+  the executor's fan-out, caching and JSON reporting inside a tight
+  timeout.
+* ``llc`` — the paper's PRIME+PROBE LLC channel over a small
+  redundant-set grid (Fig. 8 territory).
+* ``contention`` — the ring-contention channel over a work-group ×
+  buffer grid (Fig. 10 territory).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.channel import ChannelDirection, ChannelResult
+from repro.errors import ChannelProtocolError
+from repro.sim import FS_PER_US
+from repro.sim.engine import Engine
+from repro.sim.events import Timeout
+from repro.sim.rng import RngStreams
+
+Params = typing.Dict[str, object]
+MB = 1024 * 1024
+
+
+def synthetic_trial(params: Params, seed: int) -> ChannelResult:
+    """A tiny simulated noisy channel: engine-driven, fully deterministic.
+
+    A sender process emits ``n_bits`` bits at ``slot_us`` intervals; a
+    receiver samples each slot and misreads it with probability
+    ``noise``.  The point is not realism — it is a trial whose cost is
+    milliseconds while still exercising the event loop, the process
+    machinery and the seeded RNG streams end to end.
+    """
+    n_bits = int(params.get("n_bits", 64))
+    slot_us = float(params.get("slot_us", 5.0))
+    noise = float(params.get("noise", 0.02))
+    if not 0.0 <= noise < 0.5:
+        raise ChannelProtocolError(f"synthetic channel drowned in noise: {noise}")
+    rng = RngStreams(seed)
+    payload_rng = rng.stream("payload")
+    noise_rng = rng.stream("noise")
+    sent = [int(b) for b in payload_rng.integers(0, 2, size=n_bits)]
+    received: typing.List[int] = []
+    engine = Engine()
+    slot_fs = int(slot_us * FS_PER_US)
+
+    def sender() -> typing.Iterator[Timeout]:
+        for bit in sent:
+            yield Timeout(engine, slot_fs)
+            flipped = bool(noise_rng.random() < noise)
+            received.append(bit ^ int(flipped))
+
+    engine.process(sender())
+    engine.run()
+    return ChannelResult(
+        direction=ChannelDirection.GPU_TO_CPU,
+        sent=sent,
+        received=received,
+        elapsed_fs=engine.now,
+        meta={"kind": "synthetic", "noise": noise},
+    )
+
+
+def llc_trial(params: Params, seed: int) -> ChannelResult:
+    """One LLC PRIME+PROBE transmission at the given grid point."""
+    from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+
+    config = LLCChannelConfig(
+        direction=params.get("direction", ChannelDirection.GPU_TO_CPU),
+        n_sets_per_role=int(params.get("n_sets", 2)),
+    )
+    channel = LLCChannel(config)
+    return channel.transmit(n_bits=int(params.get("n_bits", 32)), seed=seed)
+
+
+def contention_trial(params: Params, seed: int) -> ChannelResult:
+    """One ring-contention transmission at the given grid point."""
+    from repro.core.contention_channel import (
+        ContentionChannel,
+        ContentionChannelConfig,
+    )
+
+    channel = ContentionChannel(
+        ContentionChannelConfig(
+            n_workgroups=int(params.get("n_workgroups", 2)),
+            gpu_buffer_paper_bytes=int(params.get("gpu_buffer_paper_bytes", 2 * MB)),
+        )
+    )
+    calibration = channel.calibrate(seed=int(params.get("calibration_seed", 1)))
+    return channel.transmit(
+        n_bits=int(params.get("n_bits", 32)), seed=seed, calibration=calibration
+    )
+
+
+def packaged_sweep(
+    name: str, n_bits: int
+) -> typing.Tuple[typing.Callable[[Params, int], ChannelResult], typing.List[Params]]:
+    """Return ``(trial_fn, grid points)`` for one packaged sweep name."""
+    from repro.analysis.sweep import grid
+
+    if name == "smoke":
+        return synthetic_trial, grid(
+            n_bits=(n_bits,), slot_us=(2.5, 5.0), noise=(0.0, 0.02, 0.1)
+        )
+    if name == "llc":
+        return llc_trial, grid(
+            n_bits=(n_bits,),
+            n_sets=(1, 2, 4),
+            direction=(ChannelDirection.GPU_TO_CPU, ChannelDirection.CPU_TO_GPU),
+        )
+    if name == "contention":
+        return contention_trial, grid(
+            n_bits=(n_bits,),
+            n_workgroups=(1, 2, 4),
+            gpu_buffer_paper_bytes=(1 * MB, 2 * MB),
+        )
+    raise ValueError(f"unknown packaged sweep {name!r} (smoke/llc/contention)")
+
+
+PACKAGED_SWEEPS = ("smoke", "llc", "contention")

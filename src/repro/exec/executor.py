@@ -1,0 +1,378 @@
+"""Parallel trial execution with deterministic results.
+
+:class:`TrialExecutor` fans a list of independent :class:`TrialSpec`\\ s —
+``(fn, params, seed)`` triples — across a ``multiprocessing`` worker pool.
+The contract:
+
+* **Determinism.**  Outcomes are keyed by submission index and every seed
+  is fixed before dispatch, so the aggregate result is bit-identical
+  whether trials run serially (``workers=0``, the default), on 2 workers
+  or on 64, and regardless of completion order.
+* **Caching.**  With a :class:`~repro.exec.cache.ResultCache` attached,
+  trials whose ``(config hash, code fingerprint, seed)`` key is already
+  on disk are not re-run; only new points compute.
+* **Degradation.**  A trial that crashes or wedges a worker becomes one
+  recorded :class:`TrialOutcome` failure (after ``retries`` fresh
+  attempts), never a hung or aborted sweep.  Dead channel points
+  (:class:`~repro.errors.ChannelProtocolError`) are recorded without
+  retry: the simulation is deterministic, so a dead point stays dead.
+* **Observability.**  Every trial runs under an armed
+  :class:`~repro.obs.EngineCensus`; the per-worker snapshots merge into
+  one ``report.sim`` total (engines created, events executed, furthest
+  simulated clock).
+
+Trial functions must be module-level callables and their params/results
+picklable when ``workers > 0``; the serial path has no such restriction,
+which is why it is the default for tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+import traceback
+import typing
+
+from repro.errors import ChannelProtocolError
+from repro.exec.cache import CacheStats, ResultCache
+from repro.obs.census import EngineCensus, note_external_sim
+
+Params = typing.Dict[str, object]
+TrialFn = typing.Callable[[Params, int], object]
+
+#: Outcome kinds, from best to worst.
+OK, DEAD, CRASH, TIMEOUT = "ok", "dead", "crash", "timeout"
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialSpec:
+    """One independent unit of work: ``fn(dict(params), seed)``."""
+
+    fn: TrialFn
+    params: Params
+    seed: int
+    #: Free-form grouping label (e.g. the sweep point the trial belongs
+    #: to); carried through to the outcome untouched.
+    tag: object = None
+
+
+@dataclasses.dataclass
+class TrialOutcome:
+    """What happened to one trial, in submission order."""
+
+    index: int
+    kind: str  # OK / DEAD / CRASH / TIMEOUT
+    result: object = None
+    error: typing.Optional[str] = None
+    from_cache: bool = False
+    attempts: int = 1
+    tag: object = None
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == OK
+
+
+@dataclasses.dataclass
+class ExecutionReport:
+    """Everything one :meth:`TrialExecutor.run` produced."""
+
+    outcomes: typing.List[TrialOutcome]
+    workers: int
+    wall_s: float
+    cache: CacheStats
+    #: Merged per-worker simulation census: engines created, events
+    #: executed (summed) and the furthest simulated clock (maxed).
+    sim: typing.Dict[str, int]
+
+    def results(self) -> typing.List[object]:
+        """Successful results, in submission order."""
+        return [o.result for o in self.outcomes if o.kind == OK]
+
+    @property
+    def failures(self) -> typing.List[TrialOutcome]:
+        return [o for o in self.outcomes if o.kind != OK]
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.sim.get("events_executed", 0) / self.wall_s
+
+    def summary(self) -> str:
+        ok = sum(1 for o in self.outcomes if o.kind == OK)
+        parts = [
+            f"{ok}/{len(self.outcomes)} trials ok "
+            f"(workers={self.workers}, {self.wall_s:.2f}s wall)",
+            self.cache.summary(),
+            (
+                f"sim: engines={self.sim.get('engines_created', 0)} "
+                f"events={self.sim.get('events_executed', 0)} "
+                f"({self.events_per_sec:,.0f} events/sec of wall time)"
+            ),
+        ]
+        kinds: typing.Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.kind != OK:
+                kinds[outcome.kind] = kinds.get(outcome.kind, 0) + 1
+        if kinds:
+            detail = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+            parts.append(f"failures: {detail}")
+        return "\n".join(parts)
+
+
+def _empty_sim() -> typing.Dict[str, int]:
+    return {"engines_created": 0, "events_executed": 0, "final_now_fs": 0}
+
+
+def _merge_sim(total: typing.Dict[str, int], part: typing.Mapping[str, int]) -> None:
+    total["engines_created"] += part.get("engines_created", 0)
+    total["events_executed"] += part.get("events_executed", 0)
+    total["final_now_fs"] = max(total["final_now_fs"], part.get("final_now_fs", 0))
+
+
+def run_one_trial(
+    payload: typing.Tuple[TrialFn, Params, int],
+) -> typing.Tuple[str, object, typing.Dict[str, int]]:
+    """Execute one trial under an engine census.
+
+    Module-level so worker processes can unpickle it.  Returns
+    ``(kind, result_or_message, sim_stats)``; exceptions other than
+    :class:`ChannelProtocolError` are folded into a ``CRASH`` record so a
+    worker never dies on an application error.
+    """
+    fn, params, seed = payload
+    with EngineCensus() as census:
+        try:
+            result = fn(dict(params), seed)
+            kind, value = OK, result
+        except ChannelProtocolError as exc:
+            kind, value = DEAD, str(exc)
+        except Exception:
+            kind, value = CRASH, traceback.format_exc(limit=20)
+    sim = {
+        "engines_created": census.engines_created,
+        "events_executed": census.events_executed,
+        "final_now_fs": census.final_now_fs,
+    }
+    return kind, value, sim
+
+
+def default_workers() -> int:
+    """A sensible worker count for "use the whole machine" callers."""
+    return max(1, os.cpu_count() or 1)
+
+
+class TrialExecutor:
+    """Runs trial specs serially or across a process pool (see module doc)."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: typing.Union[ResultCache, str, os.PathLike, None] = None,
+        trial_timeout_s: float = 300.0,
+        retries: int = 1,
+        mp_context: typing.Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if trial_timeout_s <= 0:
+            raise ValueError("trial_timeout_s must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.trial_timeout_s = trial_timeout_s
+        self.retries = retries
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        if mp_context is None:
+            # fork is the cheap, closure-tolerant default where it exists.
+            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._mp_context = mp_context
+
+    # -- cache plumbing -------------------------------------------------
+
+    def _cache_lookup(
+        self, spec: TrialSpec, index: int
+    ) -> typing.Optional[TrialOutcome]:
+        if self.cache is None:
+            return None
+        key = self.cache.key_for(spec.fn, spec.params, spec.seed)
+        entry = self.cache.get(key)
+        if entry is None:
+            return None
+        kind, payload = entry
+        if kind == OK:
+            return TrialOutcome(
+                index=index, kind=OK, result=payload, from_cache=True,
+                attempts=0, tag=spec.tag,
+            )
+        return TrialOutcome(
+            index=index, kind=DEAD, error=str(payload), from_cache=True,
+            attempts=0, tag=spec.tag,
+        )
+
+    def _cache_store(self, spec: TrialSpec, outcome: TrialOutcome) -> None:
+        # Only deterministic outcomes are cacheable; a crash or timeout
+        # may be environmental (OOM kill, wedged worker) and must re-run.
+        if self.cache is None or outcome.kind not in (OK, DEAD):
+            return
+        key = self.cache.key_for(spec.fn, spec.params, spec.seed)
+        payload = outcome.result if outcome.kind == OK else outcome.error
+        self.cache.put(key, outcome.kind, payload)
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, specs: typing.Sequence[TrialSpec]) -> ExecutionReport:
+        """Execute every spec; outcomes come back in submission order."""
+        start = time.perf_counter()
+        if self.cache is not None:
+            self.cache.stats = CacheStats()
+        sim = _empty_sim()
+        outcomes: typing.Dict[int, TrialOutcome] = {}
+        pending: typing.List[int] = []
+        for index, spec in enumerate(specs):
+            hit = self._cache_lookup(spec, index)
+            if hit is not None:
+                outcomes[index] = hit
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.workers == 0:
+                self._run_serial(specs, pending, outcomes, sim)
+            else:
+                self._run_parallel(specs, pending, outcomes, sim)
+
+        ordered = [outcomes[i] for i in range(len(specs))]
+        return ExecutionReport(
+            outcomes=ordered,
+            workers=self.workers,
+            wall_s=time.perf_counter() - start,
+            cache=self.cache.stats if self.cache is not None else CacheStats(),
+            sim=sim,
+        )
+
+    def _record(
+        self,
+        specs: typing.Sequence[TrialSpec],
+        outcomes: typing.Dict[int, TrialOutcome],
+        index: int,
+        kind: str,
+        value: object,
+        attempts: int,
+    ) -> None:
+        spec = specs[index]
+        if kind == OK:
+            outcome = TrialOutcome(
+                index=index, kind=OK, result=value, attempts=attempts,
+                tag=spec.tag,
+            )
+        else:
+            outcome = TrialOutcome(
+                index=index, kind=kind, error=str(value), attempts=attempts,
+                tag=spec.tag,
+            )
+        outcomes[index] = outcome
+        self._cache_store(spec, outcome)
+
+    def _run_serial(
+        self,
+        specs: typing.Sequence[TrialSpec],
+        pending: typing.Sequence[int],
+        outcomes: typing.Dict[int, TrialOutcome],
+        sim: typing.Dict[str, int],
+    ) -> None:
+        for index in pending:
+            spec = specs[index]
+            kind, value, trial_sim = run_one_trial((spec.fn, spec.params, spec.seed))
+            _merge_sim(sim, trial_sim)
+            self._record(specs, outcomes, index, kind, value, attempts=1)
+
+    def _run_parallel(
+        self,
+        specs: typing.Sequence[TrialSpec],
+        pending: typing.Sequence[int],
+        outcomes: typing.Dict[int, TrialOutcome],
+        sim: typing.Dict[str, int],
+    ) -> None:
+        context = (
+            multiprocessing.get_context(self._mp_context)
+            if self._mp_context
+            else multiprocessing.get_context()
+        )
+        # Workers' engines never announce to this process's censuses, so
+        # collect their merged census and publish it once at the end.
+        worker_sim = _empty_sim()
+        remaining = list(pending)
+        attempts = {index: 0 for index in remaining}
+        while remaining:
+            pool = context.Pool(processes=min(self.workers, len(remaining)))
+            next_round: typing.List[int] = []
+            try:
+                handles = [
+                    (
+                        index,
+                        pool.apply_async(
+                            run_one_trial,
+                            ((specs[index].fn, specs[index].params, specs[index].seed),),
+                        ),
+                    )
+                    for index in remaining
+                ]
+                aborted = False
+                for index, handle in handles:
+                    attempts[index] += 1
+                    if aborted:
+                        # A wedged worker poisoned this pool.  Harvest
+                        # whatever already finished; everything else goes
+                        # to a fresh pool (without burning an attempt).
+                        if not handle.ready():
+                            attempts[index] -= 1
+                            next_round.append(index)
+                            continue
+                    try:
+                        kind, value, trial_sim = handle.get(
+                            None if aborted else self.trial_timeout_s
+                        )
+                    except multiprocessing.TimeoutError:
+                        aborted = True
+                        if attempts[index] <= self.retries:
+                            next_round.append(index)
+                        else:
+                            self._record(
+                                specs, outcomes, index, TIMEOUT,
+                                f"trial exceeded {self.trial_timeout_s}s "
+                                f"(worker wedged or overloaded)",
+                                attempts[index],
+                            )
+                        continue
+                    except Exception as exc:
+                        # The worker process died before returning (hard
+                        # crash, OOM kill): retry on a fresh pool.
+                        aborted = True
+                        if attempts[index] <= self.retries:
+                            next_round.append(index)
+                        else:
+                            self._record(
+                                specs, outcomes, index, CRASH,
+                                f"worker died: {exc!r}", attempts[index],
+                            )
+                        continue
+                    _merge_sim(sim, trial_sim)
+                    _merge_sim(worker_sim, trial_sim)
+                    if kind == CRASH and attempts[index] <= self.retries:
+                        next_round.append(index)
+                    else:
+                        self._record(
+                            specs, outcomes, index, kind, value, attempts[index]
+                        )
+            finally:
+                pool.terminate()
+                pool.join()
+            remaining = next_round
+        note_external_sim(worker_sim)

@@ -1,0 +1,46 @@
+"""Code fingerprinting for cache invalidation.
+
+A cached trial result is only valid while the code that produced it is
+unchanged.  Rather than track fine-grained dependencies, the cache key
+includes one SHA-256 digest over the *contents* of every ``.py`` file in
+the installed ``repro`` package: touch any source file and every cache
+entry silently becomes a miss.  Contents (not mtimes) are hashed so a
+fresh checkout of identical code keeps its cache warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import typing
+
+_CACHE: typing.Dict[str, str] = {}
+
+
+def _package_root(package: str) -> pathlib.Path:
+    module = __import__(package)
+    file = getattr(module, "__file__", None)
+    if file is None:  # pragma: no cover - namespace package fallback
+        raise RuntimeError(f"cannot locate source of package {package!r}")
+    return pathlib.Path(file).resolve().parent
+
+
+def code_fingerprint(package: str = "repro", refresh: bool = False) -> str:
+    """SHA-256 over all ``.py`` sources of ``package``, hex-encoded.
+
+    The digest is computed once per process and memoized; pass
+    ``refresh=True`` to force a re-scan (used by tests that modify
+    sources on the fly).
+    """
+    if not refresh and package in _CACHE:
+        return _CACHE[package]
+    root = _package_root(package)
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    value = digest.hexdigest()
+    _CACHE[package] = value
+    return value

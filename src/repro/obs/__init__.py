@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.obs.census import EngineCensus, note_engine
+from repro.obs.census import EngineCensus, note_engine, note_external_sim
 from repro.obs.recorder import (
     DEFAULT_EVENT_ALLOWLIST,
     TRACE_EVENT_NAMES,
@@ -38,6 +38,7 @@ _LAZY = {
     "Counter": ("repro.obs.metrics", "Counter"),
     "Histogram": ("repro.obs.metrics", "Histogram"),
     "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "merge_snapshots": ("repro.obs.metrics", "merge_snapshots"),
     "chrome_trace_events": ("repro.obs.chrome_trace", "chrome_trace_events"),
     "export_chrome_trace": ("repro.obs.chrome_trace", "export_chrome_trace"),
     "track_names": ("repro.obs.chrome_trace", "track_names"),
@@ -52,7 +53,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover - typing aid only
         export_chrome_trace,
         track_names,
     )
-    from repro.obs.metrics import Counter, Histogram, MetricsRegistry  # noqa: F401
+    from repro.obs.metrics import (  # noqa: F401
+        Counter,
+        Histogram,
+        MetricsRegistry,
+        merge_snapshots,
+    )
     from repro.obs.report import (  # noqa: F401
         event_totals,
         per_track_totals,
@@ -85,6 +91,7 @@ __all__ = [
     "TRACE_EVENT_NAMES",
     "TraceSink",
     "note_engine",
+    "note_external_sim",
     "recorder",
     *sorted(_LAZY),
 ]

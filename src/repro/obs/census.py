@@ -29,11 +29,32 @@ def note_engine(engine: "Engine") -> None:
         census.engines.append(engine)
 
 
+def note_external_sim(sim: typing.Mapping[str, int]) -> None:
+    """Credit out-of-process simulation work to every armed census.
+
+    :class:`~repro.exec.TrialExecutor` runs trials in worker processes
+    whose engines never announce to the parent's censuses; the executor
+    publishes the workers' merged census here so ``EngineCensus`` totals
+    stay honest whether a figure ran serially or on a pool.
+    """
+    if not _ACTIVE:
+        return
+    for census in _ACTIVE:
+        census._ext_engines += sim.get("engines_created", 0)
+        census._ext_events += sim.get("events_executed", 0)
+        census._ext_final_now = max(
+            census._ext_final_now, sim.get("final_now_fs", 0)
+        )
+
+
 class EngineCensus:
     """Collects every engine created while armed; nestable."""
 
     def __init__(self) -> None:
         self.engines: typing.List["Engine"] = []
+        self._ext_engines = 0
+        self._ext_events = 0
+        self._ext_final_now = 0
 
     def start(self) -> "EngineCensus":
         _ACTIVE.append(self)
@@ -51,17 +72,23 @@ class EngineCensus:
 
     @property
     def engines_created(self) -> int:
-        return len(self.engines)
+        return len(self.engines) + self._ext_engines
 
     @property
     def events_executed(self) -> int:
         """Total actions executed across every censused engine."""
-        return sum(engine.events_executed for engine in self.engines)
+        return (
+            sum(engine.events_executed for engine in self.engines)
+            + self._ext_events
+        )
 
     @property
     def final_now_fs(self) -> int:
         """The furthest simulated clock any censused engine reached."""
-        return max((engine.now for engine in self.engines), default=0)
+        return max(
+            max((engine.now for engine in self.engines), default=0),
+            self._ext_final_now,
+        )
 
     def footer(self) -> str:
         """One-line summary for benchmark reports."""

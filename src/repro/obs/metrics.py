@@ -11,6 +11,7 @@ simulation's random streams.
 
 from __future__ import annotations
 
+import math
 import typing
 
 from repro.errors import ObservabilityError
@@ -135,6 +136,99 @@ class MetricsRegistry:
         for name, histogram in self._histograms.items():
             _nest(root, name, histogram.snapshot())
         return root
+
+
+def merge_snapshots(
+    snapshots: typing.Sequence[typing.Mapping[str, object]],
+) -> typing.Dict[str, object]:
+    """Merge nested metric snapshots from several workers into one report.
+
+    Counter leaves (plain numbers) are summed.  Histogram-summary leaves
+    (dicts carrying ``count``/``mean``) combine exactly for count, mean,
+    min and max via the parallel Welford rules; percentile keys are
+    count-weighted averages — an approximation, flagged here because the
+    underlying reservoirs live in the worker processes and are gone by
+    merge time.  Branch dicts merge recursively; a key that is a branch
+    in one snapshot and a leaf in another raises.
+    """
+    merged: typing.Dict[str, object] = {}
+    for snapshot in snapshots:
+        _merge_into(merged, snapshot)
+    return merged
+
+
+def _is_summary(value: object) -> bool:
+    return (
+        isinstance(value, dict)
+        and "count" in value
+        and "mean" in value
+        and all(isinstance(v, (int, float)) for v in value.values())
+    )
+
+
+def _merge_summaries(
+    a: typing.Dict[str, float], b: typing.Mapping[str, float]
+) -> typing.Dict[str, float]:
+    na, nb = a.get("count", 0), b.get("count", 0)
+    total = na + nb
+    if total == 0:
+        return dict(a)
+    out: typing.Dict[str, float] = {"count": total}
+    mean_a, mean_b = a.get("mean", 0.0), b.get("mean", 0.0)
+    out["mean"] = (mean_a * na + mean_b * nb) / total
+    if "stdev" in a or "stdev" in b:
+        # Pooled via the pairwise-variance identity on the m2 sums.
+        var_a = a.get("stdev", 0.0) ** 2
+        var_b = b.get("stdev", 0.0) ** 2
+        m2 = (
+            var_a * max(0, na - 1)
+            + var_b * max(0, nb - 1)
+            + (mean_b - mean_a) ** 2 * na * nb / total
+        )
+        out["stdev"] = math.sqrt(m2 / (total - 1)) if total > 1 else 0.0
+    if "min" in a or "min" in b:
+        mins = [s["min"] for s, n in ((a, na), (b, nb)) if n and "min" in s]
+        out["min"] = min(mins) if mins else 0.0
+    if "max" in a or "max" in b:
+        maxes = [s["max"] for s, n in ((a, na), (b, nb)) if n and "max" in s]
+        out["max"] = max(maxes) if maxes else 0.0
+    for key in sorted(set(a) | set(b)):
+        if key in out or key == "count":
+            continue
+        out[key] = (a.get(key, 0.0) * na + b.get(key, 0.0) * nb) / total
+    return out
+
+
+def _merge_into(
+    target: typing.Dict[str, object], source: typing.Mapping[str, object]
+) -> None:
+    for key, value in source.items():
+        if key not in target:
+            target[key] = _copy_tree(value)
+            continue
+        existing = target[key]
+        if _is_summary(existing) and _is_summary(value):
+            target[key] = _merge_summaries(
+                typing.cast(typing.Dict[str, float], existing),
+                typing.cast(typing.Mapping[str, float], value),
+            )
+        elif isinstance(existing, dict) and isinstance(value, dict):
+            _merge_into(
+                typing.cast(typing.Dict[str, object], existing),
+                typing.cast(typing.Mapping[str, object], value),
+            )
+        elif isinstance(existing, (int, float)) and isinstance(value, (int, float)):
+            target[key] = existing + value
+        else:
+            raise ObservabilityError(
+                f"cannot merge metric {key!r}: branch/leaf shape mismatch"
+            )
+
+
+def _copy_tree(value: object) -> object:
+    if isinstance(value, dict):
+        return {k: _copy_tree(v) for k, v in value.items()}
+    return value
 
 
 def _nest(root: typing.Dict[str, object], dotted: str, leaf: object) -> None:

@@ -3,6 +3,14 @@
 The engine owns a priority queue of ``(time_fs, sequence, action)`` entries.
 Ties on time break on insertion order, which makes every run fully
 deterministic for a given seed — a property the tests rely on.
+
+Every covert-channel trial pays for millions of trips through this loop, so
+:meth:`Engine.run` and :meth:`Engine.run_until_complete` inline the work of
+:meth:`Engine.step` with the queue, ``heappop`` and the trace sink bound to
+locals.  The inlined loops and ``step()`` must stay behaviourally identical:
+time never goes backwards (``schedule`` rejects negative delays, so the heap
+order guarantees it), ``events_executed`` counts every action, and the
+``engine.step`` trace event fires per action when a sink is armed.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ import typing
 from repro.errors import SimulationError
 from repro.obs.census import note_engine
 from repro.obs.recorder import recorder as _recorder
-from repro.sim.events import Event, Timeout
+from repro.sim.events import _PENDING, Event, Timeout
 
 Action = typing.Callable[[], None]
 
@@ -45,8 +53,9 @@ class Engine:
         """Run ``action`` after ``delay_fs`` femtoseconds."""
         if delay_fs < 0:
             raise SimulationError(f"cannot schedule in the past: {delay_fs}")
-        heapq.heappush(self._queue, (self._now + int(delay_fs), self._sequence, action))
-        self._sequence += 1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heapq.heappush(self._queue, (self._now + int(delay_fs), sequence, action))
 
     def timeout(self, delay_fs: int, value: object = None) -> Timeout:
         """Create a :class:`Timeout` event on this engine."""
@@ -83,14 +92,38 @@ class Engine:
         is given, time is advanced to exactly ``until_fs`` even if the last
         executed event was earlier.
         """
+        queue = self._queue
+        heappop = heapq.heappop
+        trace = self._trace
+        executed = 0
         if until_fs is None:
-            while self.step():
-                pass
+            try:
+                while queue:
+                    time_fs, _seq, action = heappop(queue)
+                    if time_fs < self._now:
+                        raise SimulationError("event queue time went backwards")
+                    self._now = time_fs
+                    executed += 1
+                    if trace is not None:
+                        trace.emit("engine.step", time_fs, "engine", None)
+                    action()
+            finally:
+                self._events_executed += executed
             return self._now
         if until_fs < self._now:
             raise SimulationError("run target is in the past")
-        while self._queue and self._queue[0][0] <= until_fs:
-            self.step()
+        try:
+            while queue and queue[0][0] <= until_fs:
+                time_fs, _seq, action = heappop(queue)
+                if time_fs < self._now:
+                    raise SimulationError("event queue time went backwards")
+                self._now = time_fs
+                executed += 1
+                if trace is not None:
+                    trace.emit("engine.step", time_fs, "engine", None)
+                action()
+        finally:
+            self._events_executed += executed
         self._now = until_fs
         return self._now
 
@@ -100,13 +133,28 @@ class Engine:
         Raises :class:`SimulationError` if the queue drains (deadlock) or the
         optional time ``limit_fs`` passes before the event triggers.
         """
-        while not event.triggered:
-            if limit_fs is not None and self._queue and self._queue[0][0] > limit_fs:
-                raise SimulationError(
-                    f"event did not trigger before limit ({limit_fs} fs)"
-                )
-            if not self.step():
-                from repro.errors import DeadlockError
+        queue = self._queue
+        heappop = heapq.heappop
+        trace = self._trace
+        executed = 0
+        try:
+            while event._value is _PENDING:
+                if not queue:
+                    from repro.errors import DeadlockError
 
-                raise DeadlockError("event queue drained before event triggered")
-        return event.value
+                    raise DeadlockError("event queue drained before event triggered")
+                if limit_fs is not None and queue[0][0] > limit_fs:
+                    raise SimulationError(
+                        f"event did not trigger before limit ({limit_fs} fs)"
+                    )
+                time_fs, _seq, action = heappop(queue)
+                if time_fs < self._now:
+                    raise SimulationError("event queue time went backwards")
+                self._now = time_fs
+                executed += 1
+                if trace is not None:
+                    trace.emit("engine.step", time_fs, "engine", None)
+                action()
+        finally:
+            self._events_executed += executed
+        return event._value

@@ -5,6 +5,10 @@ calls :meth:`Event.succeed`, at which point every registered callback runs
 (synchronously, in registration order) and late subscribers are invoked
 immediately.  Processes (see :mod:`repro.sim.process`) suspend themselves by
 yielding events.
+
+Millions of these objects are created per channel trial, so every class in
+the hierarchy declares ``__slots__`` (no per-instance ``__dict__``) and the
+hot :class:`Timeout` path schedules a bound method instead of a closure.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ _PENDING = object()
 
 class Event:
     """A one-shot future tied to an :class:`~repro.sim.engine.Engine`."""
+
+    __slots__ = ("engine", "_value", "_callbacks")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -46,12 +52,14 @@ class Event:
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event, delivering ``value`` to all subscribers."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event triggered twice")
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(self)
         return self
 
     def subscribe(self, callback: Callback) -> None:
@@ -60,7 +68,7 @@ class Event:
         If the event already triggered, the callback runs immediately; this
         lets processes yield events that completed in the past.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             callback(self)
         else:
             self._callbacks.append(callback)
@@ -69,12 +77,20 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay_fs`` femtoseconds after creation."""
 
+    __slots__ = ("delay_fs", "_payload")
+
     def __init__(self, engine: "Engine", delay_fs: int, value: object = None) -> None:
         if delay_fs < 0:
             raise SimulationError(f"negative timeout: {delay_fs}")
-        super().__init__(engine)
+        self.engine = engine
+        self._value = _PENDING
+        self._callbacks = []
         self.delay_fs = int(delay_fs)
-        engine.schedule(self.delay_fs, lambda: self.succeed(value))
+        self._payload = value
+        engine.schedule(self.delay_fs, self._fire)
+
+    def _fire(self) -> None:
+        self.succeed(self._payload)
 
 
 class AllOf(Event):
@@ -84,6 +100,8 @@ class AllOf(Event):
     given (not completion order).
     """
 
+    __slots__ = ("_events", "_remaining")
+
     def __init__(self, engine: "Engine", events: typing.Sequence[Event]) -> None:
         super().__init__(engine)
         self._events = list(events)
@@ -91,10 +109,13 @@ class AllOf(Event):
         if self._remaining == 0:
             # An empty barrier completes on the next scheduling round so
             # that subscribers registered after construction still fire.
-            engine.schedule(0, lambda: self.succeed([]))
+            engine.schedule(0, self._succeed_empty)
             return
         for event in self._events:
             event.subscribe(self._on_child)
+
+    def _succeed_empty(self) -> None:
+        self.succeed([])
 
     def _on_child(self, _event: Event) -> None:
         self._remaining -= 1
@@ -107,6 +128,8 @@ class AnyOf(Event):
 
     The value is a ``(index, value)`` pair identifying the winning child.
     """
+
+    __slots__ = ()
 
     def __init__(self, engine: "Engine", events: typing.Sequence[Event]) -> None:
         super().__init__(engine)

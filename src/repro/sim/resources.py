@@ -8,6 +8,7 @@ paper's second covert channel modulates (§IV).
 
 from __future__ import annotations
 
+import collections
 import typing
 
 from repro.errors import SimulationError
@@ -24,7 +25,10 @@ class FifoResource:
         self.engine = engine
         self.name = name
         self._busy = False
-        self._waiters: typing.List[Event] = []
+        # Each waiter is a (grant event, request time) pair; the request
+        # time feeds the wait accounting without touching the event object
+        # (Event has __slots__, so it cannot carry ad-hoc attributes).
+        self._waiters: typing.Deque[typing.Tuple[Event, int]] = collections.deque()
         # Accounting for utilization / contention analysis.
         self.total_grants = 0
         self.total_wait_fs = 0
@@ -43,28 +47,29 @@ class FifoResource:
 
     def request(self) -> Event:
         """Ask for the resource; the returned event triggers when granted."""
-        event = self.engine.event()
+        now = self.engine.now
+        event = Event(self.engine)
         if not self._busy:
             self._busy = True
-            self._granted_at = self.engine.now
+            self._granted_at = now
             self.total_grants += 1
-            event.succeed(self.engine.now)
+            event.succeed(now)
         else:
-            event._request_time = self.engine.now  # type: ignore[attr-defined]
-            self._waiters.append(event)
+            self._waiters.append((event, now))
         return event
 
     def release(self) -> None:
         """Give the resource up, waking the next waiter if any."""
         if not self._busy:
             raise SimulationError(f"release of idle resource {self.name!r}")
-        self.total_hold_fs += self.engine.now - self._granted_at
+        now = self.engine.now
+        self.total_hold_fs += now - self._granted_at
         if self._waiters:
-            event = self._waiters.pop(0)
-            self.total_wait_fs += self.engine.now - event._request_time  # type: ignore[attr-defined]
-            self._granted_at = self.engine.now
+            event, requested_at = self._waiters.popleft()
+            self.total_wait_fs += now - requested_at
+            self._granted_at = now
             self.total_grants += 1
-            event.succeed(self.engine.now)
+            event.succeed(now)
         else:
             self._busy = False
 
@@ -105,7 +110,7 @@ class Semaphore:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiters: typing.List[Event] = []
+        self._waiters: typing.Deque[Event] = collections.deque()
 
     @property
     def in_use(self) -> int:
@@ -130,7 +135,7 @@ class Semaphore:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle semaphore {self.name!r}")
         if self._waiters:
-            self._waiters.pop(0).succeed(self.engine.now)
+            self._waiters.popleft().succeed(self.engine.now)
         else:
             self._in_use -= 1
 

@@ -328,3 +328,64 @@ def test_cli_rejects_unknown_event():
 
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--events", "nope.event"])
+
+
+# ---------------------------------------------------------------------------
+# merge_snapshots (per-worker metrics -> one report)
+
+
+def test_merge_snapshots_sums_counters():
+    from repro.obs import merge_snapshots
+
+    merged = merge_snapshots([
+        {"llc": {"hits": 3, "misses": 1}},
+        {"llc": {"hits": 2, "misses": 4}, "ring": {"hops": 7}},
+    ])
+    assert merged == {"llc": {"hits": 5, "misses": 5}, "ring": {"hops": 7}}
+
+
+def test_merge_snapshots_pools_histogram_summaries_exactly():
+    from repro.obs import merge_snapshots
+    from repro.sim.stats import OnlineStats
+
+    sample_a = [1.0, 2.0, 3.0, 10.0]
+    sample_b = [4.0, 5.0, 6.0]
+    part_a, part_b, whole = OnlineStats(), OnlineStats(), OnlineStats()
+    for value in sample_a:
+        part_a.add(value)
+        whole.add(value)
+    for value in sample_b:
+        part_b.add(value)
+        whole.add(value)
+
+    merged = merge_snapshots(
+        [{"lat": part_a.snapshot()}, {"lat": part_b.snapshot()}]
+    )["lat"]
+    expected = whole.snapshot()
+    assert merged["count"] == expected["count"]
+    assert merged["mean"] == pytest.approx(expected["mean"])
+    assert merged["stdev"] == pytest.approx(expected["stdev"])
+    assert merged["min"] == expected["min"]
+    assert merged["max"] == expected["max"]
+
+
+def test_merge_snapshots_weighted_percentiles_and_empty_side():
+    from repro.obs import merge_snapshots
+
+    a = {"count": 3, "mean": 1.0, "p50": 1.0}
+    b = {"count": 1, "mean": 5.0, "p50": 5.0}
+    merged = merge_snapshots([{"h": a}, {"h": b}])["h"]
+    assert merged["count"] == 4
+    assert merged["p50"] == pytest.approx(2.0)
+
+    # A worker that never touched the histogram contributes nothing.
+    merged = merge_snapshots([{"h": a}, {"h": {"count": 0, "mean": 0.0}}])["h"]
+    assert merged["count"] == 3
+    assert merged["mean"] == pytest.approx(1.0)
+
+
+def test_merge_snapshots_shape_mismatch_raises():
+    from repro.obs import merge_snapshots
+
+    with pytest.raises(ObservabilityError):
+        merge_snapshots([{"x": 1}, {"x": {"nested": 2}}])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.sweep import SweepResult, grid, run_sweep
+from repro.analysis.sweep import SweepPoint, SweepResult, grid, run_sweep
 from repro.core.channel import ChannelDirection, ChannelResult
 from repro.errors import ChannelProtocolError
 
@@ -96,3 +96,45 @@ def test_sweep_with_real_channel_smoke():
     result = run_sweep(run, grid(sets=(2,)), seeds=(1,))
     assert result.points[0].alive
     assert result.points[0].aggregate.bandwidth_kbps > 0
+
+
+def test_rows_column_order_stable_with_heterogeneous_params():
+    """Regression: every row must use one sorted key-union, not a
+    per-row ordering — points that lack a key get a blank in *that*
+    column and nothing shifts."""
+    result = SweepResult(
+        points=[
+            SweepPoint(params={"b": 2, "a": 1}, aggregate=None, failures=1),
+            SweepPoint(params={"c": 3}, aggregate=None, failures=1),
+        ]
+    )
+    assert result.param_keys() == ["a", "b", "c"]
+    assert result.header() == ["a", "b", "c", "kb/s", "err %"]
+    rows = result.rows()
+    assert rows[0][:3] == (1, 2, "")
+    assert rows[1][:3] == ("", "", 3)
+
+
+def test_run_sweep_parallel_matches_serial():
+    """The sweep's table is bit-identical at any worker count."""
+    from repro.exec.demo import synthetic_trial
+
+    points = grid(noise=(0.0, 0.2), n_bits=(16,))
+    serial = run_sweep(synthetic_trial, points, seeds=(1, 2))
+    parallel = run_sweep(synthetic_trial, points, seeds=(1, 2), workers=2)
+    assert serial.rows() == parallel.rows()
+    assert parallel.report is not None
+    assert parallel.report.workers == 2
+
+
+def test_run_sweep_with_cache_reuses_results(tmp_path):
+    from repro.exec.demo import synthetic_trial
+
+    points = grid(noise=(0.1,), n_bits=(16,))
+    cold = run_sweep(synthetic_trial, points, seeds=(1, 2),
+                     cache_dir=str(tmp_path))
+    warm = run_sweep(synthetic_trial, points, seeds=(1, 2),
+                     cache_dir=str(tmp_path))
+    assert warm.rows() == cold.rows()
+    assert warm.report.cache.hits == 2
+    assert warm.report.sim["events_executed"] == 0
