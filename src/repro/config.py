@@ -357,6 +357,92 @@ class MmuConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class FaultsConfig:
+    """Deterministic fault injection (see :mod:`repro.faults`).
+
+    Each field parameterizes one injector; ``intensity`` is a global
+    multiplier applied to every rate and probability via :meth:`scaled`,
+    which is how the robustness matrix sweeps fault pressure with a
+    single knob.  All injectors draw from their own named RNG streams
+    (``fault-dram``, ``fault-ring``, ...), so enabling one never perturbs
+    the draws of another — or of the simulation proper.
+    """
+
+    enabled: bool = False
+    #: DRAM latency spikes: per-access probability and magnitude.
+    dram_spike_probability: float = 0.01
+    dram_spike_extra_ns: float = 180.0
+    #: Ring back-pressure bursts: Poisson burst rate and burst length.
+    ring_burst_rate_per_s: float = 2.0e3
+    ring_burst_duration_us: float = 6.0
+    #: Adversarial preemption windows on the attack cores.
+    preempt_rate_per_s: float = 1.5e3
+    preempt_duration_us: float = 12.0
+    #: Clock-domain drift: the SLM counter rate random-walks in steps of
+    #: up to ``clock_drift_step`` (fractional) every period, bounded to
+    #: ``1 +- clock_drift_max``.
+    clock_drift_step: float = 0.02
+    clock_drift_period_us: float = 40.0
+    clock_drift_max: float = 0.08
+    #: Handshake probe faults: a light poll's observation is lost (drop)
+    #: or the poll executes twice (duplicate), per-poll probabilities.
+    probe_drop_probability: float = 0.02
+    probe_duplicate_probability: float = 0.01
+
+    def validate(self) -> None:
+        for name in (
+            "dram_spike_probability",
+            "probe_drop_probability",
+            "probe_duplicate_probability",
+        ):
+            _require(
+                0.0 <= getattr(self, name) <= 1.0, f"{name} must be in [0, 1]"
+            )
+        _require(
+            self.probe_drop_probability + self.probe_duplicate_probability <= 1.0,
+            "probe drop + duplicate probabilities must not exceed 1",
+        )
+        for name in (
+            "dram_spike_extra_ns",
+            "ring_burst_rate_per_s",
+            "ring_burst_duration_us",
+            "preempt_rate_per_s",
+            "preempt_duration_us",
+            "clock_drift_step",
+            "clock_drift_period_us",
+            "clock_drift_max",
+        ):
+            _require(getattr(self, name) >= 0, f"{name} must be >= 0")
+        _require(self.clock_drift_max < 1.0, "clock_drift_max must be < 1")
+
+    def scaled(self, intensity: float) -> "FaultsConfig":
+        """This config with every rate/probability scaled by ``intensity``.
+
+        Probabilities are clamped to 1 (respecting the drop+duplicate
+        budget); rates and drift scale linearly.  ``intensity=0`` yields a
+        config whose injectors are all no-ops, which keeps a fault sweep's
+        baseline point on the exact same code path as its stressed points.
+        """
+        if intensity < 0:
+            raise ConfigError("fault intensity must be >= 0")
+        drop = min(1.0, self.probe_drop_probability * intensity)
+        dup = min(
+            max(0.0, 1.0 - drop), self.probe_duplicate_probability * intensity
+        )
+        return dataclasses.replace(
+            self,
+            enabled=True,
+            dram_spike_probability=min(1.0, self.dram_spike_probability * intensity),
+            ring_burst_rate_per_s=self.ring_burst_rate_per_s * intensity,
+            preempt_rate_per_s=self.preempt_rate_per_s * intensity,
+            clock_drift_step=self.clock_drift_step * intensity,
+            clock_drift_max=min(0.9, self.clock_drift_max * intensity),
+            probe_drop_probability=drop,
+            probe_duplicate_probability=dup,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class ObservabilityConfig:
     """Tracing/metrics knobs for one simulated machine.
 
@@ -435,6 +521,7 @@ class SoCConfig:
     mmu: MmuConfig = dataclasses.field(default_factory=MmuConfig)
     noise: NoiseConfig = dataclasses.field(default_factory=NoiseConfig)
     obs: ObservabilityConfig = dataclasses.field(default_factory=ObservabilityConfig)
+    faults: FaultsConfig = dataclasses.field(default_factory=FaultsConfig)
     seed: int = 0
 
     def validate(self) -> "SoCConfig":
@@ -443,7 +530,7 @@ class SoCConfig:
         for section in (
             self.cpu_clock, self.gpu_clock, self.cpu_cache, self.llc, self.gpu,
             self.gpu_l3, self.slm, self.ring, self.dram, self.mmu, self.noise,
-            self.obs,
+            self.obs, self.faults,
         ):
             section.validate()
         _require(

@@ -31,7 +31,7 @@ from repro.errors import ChannelProtocolError
 from repro.gpu.device import GpuDevice
 from repro.gpu.opencl import OpenClContext
 from repro.obs.recorder import recorder as _recorder
-from repro.sim import FS_PER_S, FS_PER_US
+from repro.sim import FS_PER_S, FS_PER_US, RngStreams
 from repro.soc.machine import SoC
 
 if typing.TYPE_CHECKING:
@@ -63,6 +63,17 @@ class ContentionChannelConfig:
     #: Optional §VI mitigation applied to the freshly wired machine.
     mitigation: typing.Optional[typing.Callable] = None
     max_sim_seconds: float = 2.0
+    #: Per-frame retransmissions when the decoder loses the frame
+    #: (preamble never found / truncated payload).  0 means "auto": no
+    #: retries on a healthy machine, a small budget under fault injection.
+    frame_retries: int = 0
+    #: Capped backoff for retries: each attempt records longer, up to
+    #: this multiple of the expected duration.
+    retry_margin_cap: float = 2.2
+    #: Upper bound on pacing spins per slot target; a pacing loop that
+    #: exceeds it (a wedged timer) kills the transmission instead of
+    #: spinning forever.
+    max_pace_spins: int = 100_000
 
 
 class ContentionChannel:
@@ -98,12 +109,68 @@ class ContentionChannel:
         seed: int = 0,
         calibration: typing.Optional[CalibrationResult] = None,
     ) -> ChannelResult:
-        """Send a payload over a freshly wired SoC; returns the result."""
+        """Send a payload over a freshly wired SoC; returns the result.
+
+        On a healthy machine this is a single attempt.  Under fault
+        injection (or with ``frame_retries`` set) a frame the decoder
+        loses — preamble never found, payload truncated — is resent on a
+        fresh machine with a derived seed and a longer recording window
+        (capped backoff); the best attempt is returned with the attempt
+        count in ``meta["frame_attempts"]``.
+        """
         params = self.params()
         if calibration is None:
             calibration = calibrate_iteration_factor(
                 self.soc_config, params, seed=seed + 10_000
             )
+        if bits is None:
+            # Same stream the transmission machine would expose: named
+            # streams are draw-order independent, so pre-drawing the
+            # payload here leaves every other stream untouched.
+            bits = random_bits(n_bits, RngStreams(seed).stream("payload"))
+        payload = [int(b) & 1 for b in bits]
+        retries = self.config.frame_retries or (
+            2 if self.soc_config.faults.enabled else 0
+        )
+        margin = self.config.record_margin
+        best: typing.Optional[ChannelResult] = None
+        failure: typing.Optional[ChannelProtocolError] = None
+        attempts = 0
+        for attempt in range(retries + 1):
+            attempts = attempt + 1
+            attempt_seed = seed if attempt == 0 else seed + 104_729 * attempt
+            try:
+                result = self._transmit_once(
+                    params, payload, attempt_seed, calibration, margin
+                )
+            except ChannelProtocolError as exc:
+                if retries == 0:
+                    raise
+                failure = exc
+                result = None
+            if result is not None:
+                if best is None or len(result.received) > len(best.received):
+                    best = result
+                if len(result.received) >= len(payload):
+                    break
+            # Retries most often lose the frame to a truncated recording;
+            # record longer next time, up to the cap.
+            margin = min(margin * 1.4, self.config.retry_margin_cap)
+        if best is None:
+            if failure is not None:
+                raise failure
+            raise ChannelProtocolError("no transmission attempt produced a frame")
+        best.meta["frame_attempts"] = attempts
+        return best
+
+    def _transmit_once(
+        self,
+        params: ContentionParams,
+        payload: typing.List[int],
+        seed: int,
+        calibration: CalibrationResult,
+        record_margin: float,
+    ) -> ChannelResult:
         soc = SoC(self.soc_config.replace(seed=seed))
         device = GpuDevice(soc)
         spy_space = soc.new_process("spy")
@@ -111,9 +178,6 @@ class ContentionChannel:
         spy = CpuProgram(soc, self.config.spy_core, spy_space, name="spy")
         cl = OpenClContext(soc, device, trojan_space)
 
-        if bits is None:
-            bits = random_bits(n_bits, soc.rng.stream("payload"))
-        payload = [int(b) & 1 for b in bits]
         frame = frame_bits(payload)
 
         cpu_buffer = spy_space.mmap_huge(4 * params.cpu_buffer_bytes)
@@ -139,7 +203,7 @@ class ContentionChannel:
         # The sender's warm-up (two passes over a cold working set) and the
         # framing precede the payload; record past all of it with margin.
         deadline_fs = soc.engine.now + int(
-            self.config.record_margin * (expected_fs + 6 * calibration.gpu_pass_fs)
+            record_margin * (expected_fs + 6 * calibration.gpu_pass_fs)
         )
         samples: typing.List[typing.Tuple[int, int]] = []
 
@@ -153,16 +217,26 @@ class ContentionChannel:
                 samples.append((soc.now_fs, end - start))
             return len(samples)
 
+        max_pace_spins = self.config.max_pace_spins
+
         def pace_until(wg: "WorkGroupCtx", target_ticks: float) -> typing.Generator:
-            """Spin until the SLM counter reaches an absolute target."""
+            """Spin until the SLM counter reaches an absolute target.
+
+            The spin count is bounded: a counter that stops advancing
+            (a wedged clock domain) must kill the transmission, not hang
+            the simulation."""
             assert wg.timer is not None
             rate = wg.timer.rate_per_cycle
-            while True:
+            for _spin in range(max_pace_spins):
                 now_ticks = yield from wg.read_timer()
                 remaining = target_ticks - now_ticks
                 if remaining <= 0:
                     return
                 yield from wg.wait_cycles(max(4.0, 0.9 * remaining / rate))
+            raise ChannelProtocolError(
+                f"pacing stalled: SLM counter never reached its slot target "
+                f"after {max_pace_spins} spins"
+            )
 
         def trojan_kernel(wg: "WorkGroupCtx") -> typing.Generator:
             lines_for_wg = stripes[wg.workgroup_id]

@@ -144,7 +144,7 @@ def decode_frame(bits: typing.Sequence[int]) -> FrameReport:
     payload = bytes(data[2 : 2 + declared])
     checksum = data[2 + declared]
     crc_ok = checksum == crc8(data[: 2 + declared])
-    return FrameReport(payload if crc_ok else payload, crc_ok, corrections, declared)
+    return FrameReport(payload if crc_ok else None, crc_ok, corrections, declared)
 
 
 def frame_overhead_ratio(payload_bytes: int) -> float:

@@ -125,6 +125,14 @@ class _Session:
         self.tuning.latch_window = max(
             self.tuning.latch_window, int(3 * polls_per_prime)
         )
+        # A machine with fault injection armed gets the hardened protocol:
+        # bounded re-synchronization and an erasure budget turn handshake
+        # timeouts into degraded BER instead of a dead channel.  Healthy
+        # machines keep the strict defaults, so the §VI mitigation
+        # experiments still observe ChannelProtocolError.
+        if soc_config.faults.enabled:
+            self.tuning.max_resyncs = max(self.tuning.max_resyncs, 2)
+            self.tuning.erasure_limit = max(self.tuning.erasure_limit, 8)
 
     def _estimation_ctx(self) -> WorkGroupCtx:
         """A throwaway work-group context used only for cost estimates."""

@@ -82,6 +82,21 @@ class ProtocolTuning:
     #: the peer's prime cannot re-evict them (a phantom signal otherwise).
     #: ``None`` is auto-derived from the peer's prime cost estimate.
     peer_prime_settle_fs: typing.Optional[int] = None
+    # ------------------------------------------------------------------
+    # Hardening knobs (see repro.faults).  All default *off* so the
+    # healthy protocol — and the §VI mitigation experiments, which rely
+    # on a dead handshake raising ChannelProtocolError — are unchanged.
+    #: Bounded re-synchronization: after a handshake timeout, back off
+    #: and retry the wait up to this many times before giving up.
+    max_resyncs: int = 0
+    #: Initial backoff before a re-synchronization attempt; doubles per
+    #: attempt up to the cap (capped exponential backoff).
+    resync_backoff_fs: int = 30 * FS_PER_US
+    resync_backoff_cap_fs: int = 240 * FS_PER_US
+    #: Per-loop budget of *consecutive* handshake failures tolerated as
+    #: bit erasures (receiver records a 0, sender skips the bit) before
+    #: the loop declares the channel dead.
+    erasure_limit: int = 0
 
 
 #: Optional protocol trace hook: a callable ``(time_fs, message)`` set by
@@ -114,6 +129,17 @@ class Endpoint:
     plan: EndpointPlan
     #: Trace track this endpoint's protocol events land on.
     track: str = "channel"
+    #: The machine this endpoint runs on (set by subclasses).
+    _soc: "SoC"
+
+    def probe_fault(self) -> typing.Optional[str]:
+        """Consult the machine's probe-fault hook (see :mod:`repro.faults`).
+
+        Returns ``None`` (healthy), ``"drop"`` (this poll's observation is
+        lost) or ``"dup"`` (the poll executes twice).
+        """
+        hook = self._soc.probe_fault_hook
+        return hook() if hook is not None else None
 
     def now_fs(self) -> int:
         raise NotImplementedError
@@ -466,7 +492,19 @@ def wait_for_signal(
         # not share a line, since a probed line is refilled and would veto
         # the next poll's all-lines-missed verdict.
         salt = attempt * tuning.handshake_probe_lines
+        fault = endpoint.probe_fault()
         verdicts = yield from endpoint.probe_light(role, salt=salt)
+        if fault == "drop":
+            # The poll ran (lines refilled, time spent) but its
+            # observation is lost.
+            verdicts = [False] * n_sets
+        elif fault == "dup":
+            # The poll executes twice; the repeat samples different lines
+            # (the first pass refilled its own) and the observations merge.
+            repeat = yield from endpoint.probe_light(
+                role, salt=salt + tuning.handshake_probe_lines
+            )
+            verdicts = [a or b for a, b in zip(verdicts, repeat)]
         latched = [seen or new for seen, new in zip(latched, verdicts)]
         if all(latched):
             _trace(endpoint, f"detected {role.name} after {attempt + 1} polls")
@@ -489,6 +527,51 @@ def wait_for_signal(
     )
 
 
+def wait_for_signal_resync(
+    endpoint: Endpoint,
+    role: Role,
+    tuning: ProtocolTuning,
+    poll_gap_fs: int,
+    consume: bool = True,
+    reprime: typing.Sequence[Role] = (),
+) -> typing.Generator:
+    """:func:`wait_for_signal` with bounded re-synchronization.
+
+    A handshake timeout under fault injection usually means the peer's
+    prime was masked (dropped poll, preemption window, drift-skewed
+    pacing), not that the channel is dead.  Up to ``tuning.max_resyncs``
+    times, back off with capped exponential backoff, re-prime the roles in
+    ``reprime`` (the endpoint's own outgoing signals, which the failed
+    round may have left stale) and retry the wait.  With the default
+    ``max_resyncs=0`` this is exactly :func:`wait_for_signal`.
+    """
+    backoff_fs = tuning.resync_backoff_fs
+    sink = _recorder.sink_for("channel.resync")
+    for attempt in range(tuning.max_resyncs + 1):
+        try:
+            polls = yield from wait_for_signal(
+                endpoint, role, tuning, poll_gap_fs, consume
+            )
+            return polls
+        except ChannelProtocolError:
+            if attempt >= tuning.max_resyncs:
+                raise
+        _trace(endpoint, f"resync {attempt + 1} on {role.name}")
+        if sink is not None:
+            sink.emit(
+                "channel.resync",
+                endpoint.now_fs(),
+                endpoint.track,
+                {"role": role.name, "attempt": attempt + 1,
+                 "backoff_ns": backoff_fs / 1e6},
+            )
+        yield from endpoint.wait_fs(backoff_fs)
+        backoff_fs = min(2 * backoff_fs, tuning.resync_backoff_cap_fs)
+        for other in reprime:
+            yield from endpoint.prime(other)
+    raise ChannelProtocolError("unreachable")  # pragma: no cover
+
+
 def sender_loop(
     endpoint: Endpoint, bits: typing.Sequence[int], tuning: ProtocolTuning
 ) -> typing.Generator:
@@ -499,16 +582,30 @@ def sender_loop(
     yield from endpoint.prime(Role.READY_RECV)
     idle_fs = endpoint.estimate_prime_fs(Role.DATA)
     sink = _recorder.sink_for("channel.bit")
+    erasures = 0
     for index, bit in enumerate(bits):
         yield from endpoint.prime(Role.READY_SEND)
         _trace(endpoint, f"sender primed READY_SEND bit={index} value={bit}")
-        yield from wait_for_signal(
-            endpoint,
-            Role.READY_RECV,
-            tuning,
-            tuning.sender_poll_gap_fs,
-            consume=False,
-        )
+        try:
+            yield from wait_for_signal_resync(
+                endpoint,
+                Role.READY_RECV,
+                tuning,
+                tuning.sender_poll_gap_fs,
+                consume=False,
+                reprime=(Role.READY_SEND,),
+            )
+        except ChannelProtocolError:
+            # The receiver never acknowledged this round.  Under fault
+            # injection, treat it as an erasure and move on to keep the
+            # stream draining; consecutive erasures beyond the budget
+            # mean the channel really is dead.
+            erasures += 1
+            if erasures > tuning.erasure_limit:
+                raise
+            _trace(endpoint, f"sender erased bit={index}")
+            continue
+        erasures = 0
         # Send the bit first — the receiver's DATA window is already
         # open — then restore READY_RECV for the next round, after the
         # tail of the receiver's READY_RECV prime has drained.
@@ -538,10 +635,23 @@ def receiver_loop(
     yield from endpoint.prime(Role.READY_SEND)
     yield from endpoint.prime(Role.DATA)
     sink = _recorder.sink_for("channel.bit")
+    erasures = 0
     for _ in range(n_bits):
-        yield from wait_for_signal(
-            endpoint, Role.READY_SEND, tuning, tuning.receiver_poll_gap_fs
-        )
+        try:
+            yield from wait_for_signal_resync(
+                endpoint, Role.READY_SEND, tuning, tuning.receiver_poll_gap_fs
+            )
+        except ChannelProtocolError:
+            # Never saw the sender's ready signal: record an erasure (a
+            # zero bit — framing's CRC catches the corruption upstream)
+            # rather than abandoning the bits already received.
+            erasures += 1
+            if erasures > tuning.erasure_limit:
+                raise
+            received.append(0)
+            _trace(endpoint, f"receiver erased bit={len(received) - 1}")
+            continue
+        erasures = 0
         yield from endpoint.prime(Role.READY_RECV)
         _trace(endpoint, f"receiver primed READY_RECV bit={len(received)}")
         yield from endpoint.wait_fs(t_data_fs)

@@ -1,0 +1,57 @@
+"""Deterministic fault injection and robustness tooling.
+
+The paper's headline numbers are *error rates under real noise*, so the
+reproduction's noise model has to be honest and its protocols have to
+degrade gracefully rather than hang.  This package supplies both halves
+of that story:
+
+* :mod:`repro.faults.injectors` — composable fault injectors configured
+  from :class:`~repro.config.FaultsConfig`: DRAM latency spikes, ring
+  back-pressure bursts, adversarial preemption windows, SLM clock-domain
+  drift, and dropped/duplicated handshake probes.  Every injector draws
+  from its own named RNG stream (``fault-*``) and emits ``fault.inject``
+  trace events, so injected faults are deterministic for a given root
+  seed and visible in Chrome traces.
+* :mod:`repro.faults.matrix` — a :mod:`repro.exec`-driven robustness
+  matrix that sweeps fault intensity over either covert channel and
+  asserts graceful BER degradation (``python -m repro.faults``).
+
+The channel protocols are hardened against the injected faults (bounded
+handshake timeouts with capped-backoff re-synchronization in the LLC
+protocol; bounded pacing and per-frame retry in the contention channel),
+so a faulted sweep ends with degraded BER instead of a hang or a crash.
+"""
+
+from repro.faults.injectors import (
+    ClockDriftInjector,
+    DramLatencySpikeInjector,
+    FaultInjector,
+    FaultSuite,
+    PreemptionInjector,
+    ProbeFaultInjector,
+    RingBackpressureInjector,
+)
+from repro.faults.matrix import (
+    DEFAULT_INTENSITIES,
+    MatrixPoint,
+    MatrixResult,
+    faulted_contention_trial,
+    faulted_llc_trial,
+    run_matrix,
+)
+
+__all__ = [
+    "ClockDriftInjector",
+    "DEFAULT_INTENSITIES",
+    "DramLatencySpikeInjector",
+    "FaultInjector",
+    "FaultSuite",
+    "MatrixPoint",
+    "MatrixResult",
+    "PreemptionInjector",
+    "ProbeFaultInjector",
+    "RingBackpressureInjector",
+    "faulted_contention_trial",
+    "faulted_llc_trial",
+    "run_matrix",
+]

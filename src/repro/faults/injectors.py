@@ -1,0 +1,265 @@
+"""Composable, deterministic fault injectors for one simulated SoC.
+
+Each injector models one hostile condition the paper's channels must
+survive on real silicon:
+
+* :class:`DramLatencySpikeInjector` — sporadic DRAM latency spikes
+  (refresh storms, scheduler hiccups) stretched onto the miss path.
+* :class:`RingBackpressureInjector` — Poisson bursts of third-party ring
+  traffic that queue ahead of both attack agents.
+* :class:`PreemptionInjector` — adversarial OS preemption windows on
+  random CPU cores, beyond the benign timer-tick model.
+* :class:`ClockDriftInjector` — the GPU clock domain drifting against
+  the rest of the machine, warping every SLM counter's tick rate.
+* :class:`ProbeFaultInjector` — handshake light-polls whose observation
+  is lost (drop) or which execute twice (duplicate).
+
+Determinism contract: every injector owns a named RNG stream
+(``fault-<kind>``) created at construction, so for a fixed root seed the
+injected fault sequence is a pure function of simulated time — repeated
+runs fault identically, and enabling one injector never perturbs the
+draws of another or of the simulation proper (DESIGN.md §9).  Every
+injection emits a ``fault.inject`` trace event when observability is on.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.recorder import recorder as _recorder
+from repro.sim import FS_PER_NS, FS_PER_S, FS_PER_US, Timeout
+
+if typing.TYPE_CHECKING:
+    from repro.soc.machine import SoC
+
+
+class FaultInjector:
+    """Base class: one fault source bound to one machine.
+
+    Subclasses set :attr:`kind` (which names the RNG stream and shows up
+    in trace events) and implement :meth:`start`; hook-based injectors
+    also override :meth:`stop` to unhook themselves.
+    """
+
+    kind: str = "fault"
+
+    def __init__(self, soc: "SoC") -> None:
+        self.soc = soc
+        self.cfg = soc.config.faults
+        self._rng = soc.rng.stream(f"fault-{self.kind}")
+        self._trace = _recorder.sink_for("fault.inject")
+        #: Number of faults injected so far (monotone; never reset).
+        self.injected = 0
+        self._process: typing.Optional[typing.Any] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the injector is currently armed."""
+        return self._process is not None and self._process.alive
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        if self._process is not None:
+            if self._process.alive:
+                self._process.interrupt("stop")
+            self._process = None
+
+    def _emit(self, **details: object) -> None:
+        self.injected += 1
+        if self._trace is not None:
+            payload: typing.Dict[str, object] = {"kind": self.kind}
+            payload.update(details)
+            self._trace.emit(
+                "fault.inject", self.soc.now_fs, f"fault.{self.kind}", payload
+            )
+
+
+class DramLatencySpikeInjector(FaultInjector):
+    """Stretch a fraction of DRAM accesses by an extra latency spike.
+
+    Installed as :attr:`repro.soc.dram.Dram.fault_hook`; the spike
+    magnitude is uniform in ``[0.5, 1.5] x dram_spike_extra_ns`` so
+    spikes are not trivially filterable as a constant offset.
+    """
+
+    kind = "dram"
+
+    def start(self) -> None:
+        if self.cfg.dram_spike_probability <= 0 or self.cfg.dram_spike_extra_ns <= 0:
+            return
+        self.soc.dram.fault_hook = self._extra_latency_fs
+
+    def stop(self) -> None:
+        # == not `is`: bound-method objects are re-created per access.
+        if self.soc.dram.fault_hook == self._extra_latency_fs:
+            self.soc.dram.fault_hook = None
+        super().stop()
+
+    def _extra_latency_fs(self) -> int:
+        if self._rng.random() >= self.cfg.dram_spike_probability:
+            return 0
+        extra_ns = self.cfg.dram_spike_extra_ns * (0.5 + self._rng.random())
+        self._emit(extra_ns=extra_ns)
+        return int(extra_ns * FS_PER_NS)
+
+
+class RingBackpressureInjector(FaultInjector):
+    """Poisson bursts of third-party traffic saturating the ring.
+
+    During a burst the injector issues back-to-back cache-line transfers
+    under the auxiliary ``"fault"`` domain, so both attack agents queue
+    behind it — the T_OV they measure inflates without any LLC state
+    changing.
+    """
+
+    kind = "ring"
+
+    def start(self) -> None:
+        if self.cfg.ring_burst_rate_per_s <= 0 or self.cfg.ring_burst_duration_us <= 0:
+            return
+        self._process = self.soc.engine.process(self._loop())
+
+    def _loop(self) -> typing.Generator[object, object, None]:
+        soc = self.soc
+        slots = soc.ring.slots_for_line(soc.config.llc.line_bytes)
+        rate = self.cfg.ring_burst_rate_per_s
+        while True:
+            gap_fs = max(1, int(self._rng.exponential(1.0 / rate) * FS_PER_S))
+            yield Timeout(soc.engine, gap_fs)
+            duration_fs = int(self.cfg.ring_burst_duration_us * FS_PER_US)
+            self._emit(duration_us=duration_fs / FS_PER_US)
+            burst_end = soc.now_fs + duration_fs
+            while soc.now_fs < burst_end:
+                yield from soc.ring.transfer(slots, "fault")
+
+
+class PreemptionInjector(FaultInjector):
+    """Adversarial preemption: stall random cores for long windows."""
+
+    kind = "preempt"
+
+    def start(self) -> None:
+        if self.cfg.preempt_rate_per_s <= 0 or self.cfg.preempt_duration_us <= 0:
+            return
+        self._process = self.soc.engine.process(self._loop())
+
+    def _loop(self) -> typing.Generator[object, object, None]:
+        soc = self.soc
+        rate = self.cfg.preempt_rate_per_s
+        while True:
+            gap_fs = max(1, int(self._rng.exponential(1.0 / rate) * FS_PER_S))
+            yield Timeout(soc.engine, gap_fs)
+            core = int(self._rng.integers(0, soc.config.cpu_cores))
+            duration_fs = int(
+                self.cfg.preempt_duration_us * FS_PER_US * (0.5 + self._rng.random())
+            )
+            soc.preempt_core(core, duration_fs)
+            self._emit(core=core, duration_us=duration_fs / FS_PER_US)
+
+
+class ClockDriftInjector(FaultInjector):
+    """Random-walk drift of the GPU clock feeding the SLM counters.
+
+    Every period the drift level takes a uniform step of up to
+    ``clock_drift_step`` and is clamped to ``±clock_drift_max``; the
+    resulting rate multiplier is pushed to every registered SLM timer via
+    :meth:`~repro.gpu.timer.SlmTimer.set_drift` (piecewise integration,
+    so already-elapsed ticks are untouched).
+    """
+
+    kind = "clock"
+
+    def __init__(self, soc: "SoC") -> None:
+        super().__init__(soc)
+        self._level = 0.0
+
+    def start(self) -> None:
+        if self.cfg.clock_drift_step <= 0 or self.cfg.clock_drift_period_us <= 0:
+            return
+        self._process = self.soc.engine.process(self._loop())
+
+    def _loop(self) -> typing.Generator[object, object, None]:
+        soc = self.soc
+        period_fs = int(self.cfg.clock_drift_period_us * FS_PER_US)
+        bound = self.cfg.clock_drift_max
+        while True:
+            # Jittered period: drift steps must not alias with slot pacing.
+            gap_fs = max(1, int(period_fs * (0.5 + self._rng.random())))
+            yield Timeout(soc.engine, gap_fs)
+            step = self._rng.uniform(-self.cfg.clock_drift_step, self.cfg.clock_drift_step)
+            self._level = min(bound, max(-bound, self._level + step))
+            factor = 1.0 + self._level
+            for timer in soc.slm_timers:
+                timer.set_drift(factor)  # type: ignore[attr-defined]
+            self._emit(factor=factor, timers=len(soc.slm_timers))
+
+
+class ProbeFaultInjector(FaultInjector):
+    """Drop or duplicate handshake light-polls.
+
+    Installed as :attr:`repro.soc.machine.SoC.probe_fault_hook`; the LLC
+    protocol consults it once per poll.  ``"drop"`` means the poll runs
+    but its observation is discarded; ``"dup"`` means the poll executes
+    twice (re-touching the probe lines, which can mask a peer's signal).
+    """
+
+    kind = "probe"
+
+    def start(self) -> None:
+        if self.cfg.probe_drop_probability + self.cfg.probe_duplicate_probability <= 0:
+            return
+        self.soc.probe_fault_hook = self._classify
+
+    def stop(self) -> None:
+        if self.soc.probe_fault_hook == self._classify:
+            self.soc.probe_fault_hook = None
+        super().stop()
+
+    def _classify(self) -> typing.Optional[str]:
+        u = self._rng.random()
+        if u < self.cfg.probe_drop_probability:
+            self._emit(effect="drop")
+            return "drop"
+        if u < self.cfg.probe_drop_probability + self.cfg.probe_duplicate_probability:
+            self._emit(effect="dup")
+            return "dup"
+        return None
+
+
+#: Construction order is part of the determinism contract: stream names
+#: are unique per kind, so order does not affect seeding, but keeping it
+#: fixed keeps engine process-creation order (and thus event tie-breaks)
+#: reproducible.
+INJECTOR_TYPES: typing.Tuple[typing.Type[FaultInjector], ...] = (
+    DramLatencySpikeInjector,
+    RingBackpressureInjector,
+    PreemptionInjector,
+    ClockDriftInjector,
+    ProbeFaultInjector,
+)
+
+
+class FaultSuite:
+    """The full set of injectors configured for one machine."""
+
+    def __init__(self, injectors: typing.Iterable[FaultInjector]) -> None:
+        self.injectors: typing.List[FaultInjector] = list(injectors)
+
+    @classmethod
+    def from_config(cls, soc: "SoC") -> "FaultSuite":
+        """Build every injector for ``soc`` (its config decides no-ops)."""
+        return cls(injector_type(soc) for injector_type in INJECTOR_TYPES)
+
+    def start(self) -> None:
+        for injector in self.injectors:
+            injector.start()
+
+    def stop(self) -> None:
+        for injector in self.injectors:
+            injector.stop()
+
+    def counts(self) -> typing.Dict[str, int]:
+        """Injected-fault counts per kind (for tests and the matrix CLI)."""
+        return {injector.kind: injector.injected for injector in self.injectors}

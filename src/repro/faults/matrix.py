@@ -1,0 +1,224 @@
+"""The robustness matrix: BER vs fault intensity, asserted graceful.
+
+``python -m repro.faults`` sweeps a grid of fault intensities over one
+(or both) covert channels through :class:`repro.exec.TrialExecutor`, so
+points run in parallel, cache across invocations and — crucially — a
+wedged or crashed point degrades to one recorded failure instead of
+killing the sweep.  The sweep then *asserts* graceful degradation:
+
+* no point crashed or timed out (hardened protocols must fail softly);
+* every intensity kept at least one live trial (no collapse);
+* mean BER stays under a ceiling (degraded, not random);
+* BER is monotone-ish in intensity: more faults may not *help* beyond a
+  noise slack.
+
+Intensity scales every configured fault rate/probability through
+:meth:`repro.config.FaultsConfig.scaled`; intensity 0 runs the identical
+hardened code path with every injector a no-op, anchoring the baseline.
+Determinism: trial seeds come from :func:`repro.exec.fan_out_seeds`, so
+the whole matrix is a pure function of the root seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import FaultsConfig, kaby_lake_model
+from repro.core.contention_channel.channel import (
+    ContentionChannel,
+    ContentionChannelConfig,
+)
+from repro.core.llc_channel.channel import LLCChannel, LLCChannelConfig
+from repro.exec.executor import ExecutionReport, TrialExecutor, TrialSpec
+from repro.exec.seeds import fan_out_seeds
+
+DEFAULT_INTENSITIES: typing.Tuple[float, ...] = (0.0, 0.5, 1.0, 2.0)
+
+#: Default per-point trial payload; small enough that the full matrix is
+#: a smoke test, large enough that BER has resolution.
+DEFAULT_N_BITS = 16
+
+
+def _result_record(result: object) -> typing.Dict[str, object]:
+    """Flatten a ChannelResult into the small picklable record we keep."""
+    return {
+        "error_rate": result.error_rate,  # type: ignore[attr-defined]
+        "bandwidth_kbps": result.bandwidth_kbps,  # type: ignore[attr-defined]
+        "n_sent": len(result.sent),  # type: ignore[attr-defined]
+        "n_received": len(result.received),  # type: ignore[attr-defined]
+        "frame_attempts": result.meta.get(  # type: ignore[attr-defined]
+            "frame_attempts", 1
+        ),
+    }
+
+
+def faulted_llc_trial(params: typing.Dict[str, object], seed: int) -> typing.Dict[str, object]:
+    """One LLC-channel transmission under scaled fault injection."""
+    intensity = float(typing.cast(float, params.get("intensity", 1.0)))
+    n_bits = int(typing.cast(int, params.get("n_bits", DEFAULT_N_BITS)))
+    soc_config = kaby_lake_model(scale=16).replace(
+        faults=FaultsConfig().scaled(intensity)
+    )
+    channel = LLCChannel(LLCChannelConfig(), soc_config=soc_config)
+    return _result_record(channel.transmit(n_bits=n_bits, seed=seed))
+
+
+def faulted_contention_trial(
+    params: typing.Dict[str, object], seed: int
+) -> typing.Dict[str, object]:
+    """One contention-channel transmission under scaled fault injection.
+
+    Calibration runs on a *healthy* machine (the attacker calibrates
+    offline, before the environment turns hostile); only the recorded
+    transmission sees the faults.
+    """
+    intensity = float(typing.cast(float, params.get("intensity", 1.0)))
+    n_bits = int(typing.cast(int, params.get("n_bits", DEFAULT_N_BITS)))
+    healthy = kaby_lake_model(scale=16)
+    faulted = healthy.replace(faults=FaultsConfig().scaled(intensity))
+    config = ContentionChannelConfig()
+    calibration = ContentionChannel(config, soc_config=healthy).calibrate(seed=seed)
+    channel = ContentionChannel(config, soc_config=faulted)
+    return _result_record(
+        channel.transmit(n_bits=n_bits, seed=seed, calibration=calibration)
+    )
+
+
+TRIAL_FNS: typing.Dict[str, typing.Callable] = {
+    "llc": faulted_llc_trial,
+    "contention": faulted_contention_trial,
+}
+
+
+@dataclasses.dataclass
+class MatrixPoint:
+    """Aggregate of every trial at one fault intensity."""
+
+    intensity: float
+    ber_percent: float
+    bandwidth_kbps: float
+    frame_attempts: float
+    n_ok: int
+    n_dead: int
+    n_failed: int  # crashes + timeouts
+
+    @property
+    def alive(self) -> bool:
+        return self.n_ok > 0
+
+    def row(self) -> str:
+        return (
+            f"{self.intensity:9.2f} {self.ber_percent:8.2f} "
+            f"{self.bandwidth_kbps:10.1f} {self.frame_attempts:9.2f} "
+            f"{self.n_ok:4d} {self.n_dead:5d} {self.n_failed:7d}"
+        )
+
+
+@dataclasses.dataclass
+class MatrixResult:
+    """One channel's full intensity sweep plus the executor report."""
+
+    channel: str
+    points: typing.List[MatrixPoint]
+    report: ExecutionReport
+
+    def violations(
+        self, max_ber_percent: float = 45.0, slack_percent: float = 8.0
+    ) -> typing.List[str]:
+        """Graceful-degradation violations; empty means the sweep passed."""
+        found: typing.List[str] = []
+        for point in self.points:
+            where = f"{self.channel} @ intensity {point.intensity:g}"
+            if point.n_failed:
+                found.append(
+                    f"{where}: {point.n_failed} trial(s) crashed or timed out"
+                )
+            if not point.alive:
+                found.append(f"{where}: collapsed (no trial delivered a frame)")
+            elif point.ber_percent > max_ber_percent:
+                found.append(
+                    f"{where}: BER {point.ber_percent:.1f}% exceeds the "
+                    f"{max_ber_percent:.0f}% graceful ceiling"
+                )
+        alive = [p for p in self.points if p.alive]
+        for previous, current in zip(alive, alive[1:]):
+            if current.ber_percent < previous.ber_percent - slack_percent:
+                found.append(
+                    f"{self.channel}: BER fell {previous.ber_percent:.1f}% -> "
+                    f"{current.ber_percent:.1f}% from intensity "
+                    f"{previous.intensity:g} to {current.intensity:g} "
+                    f"(more faults should not help beyond {slack_percent:g}% slack)"
+                )
+        return found
+
+    def table(self) -> str:
+        header = (
+            f"{'intensity':>9} {'ber_%':>8} {'kbps':>10} {'attempts':>9} "
+            f"{'ok':>4} {'dead':>5} {'failed':>7}"
+        )
+        return "\n".join([f"[{self.channel}]", header]
+                         + [p.row() for p in self.points])
+
+    def as_dict(self) -> typing.Dict[str, object]:
+        return {
+            "channel": self.channel,
+            "points": [dataclasses.asdict(p) for p in self.points],
+            "violations": self.violations(),
+        }
+
+
+def _mean(values: typing.Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def run_matrix(
+    channel: str = "llc",
+    intensities: typing.Sequence[float] = DEFAULT_INTENSITIES,
+    n_bits: int = DEFAULT_N_BITS,
+    n_seeds: int = 2,
+    root_seed: int = 1,
+    workers: int = 0,
+    cache_dir: typing.Optional[str] = None,
+    trial_timeout_s: float = 600.0,
+) -> MatrixResult:
+    """Sweep ``channel`` over ``intensities`` and aggregate per point."""
+    if channel not in TRIAL_FNS:
+        raise ValueError(f"unknown channel {channel!r}; pick from {sorted(TRIAL_FNS)}")
+    fn = TRIAL_FNS[channel]
+    specs: typing.List[TrialSpec] = []
+    for intensity in intensities:
+        seeds = fan_out_seeds(root_seed, n_seeds, label=f"faults-{channel}-{intensity!r}")
+        specs.extend(
+            TrialSpec(fn, {"intensity": intensity, "n_bits": n_bits}, seed,
+                      tag=intensity)
+            for seed in seeds
+        )
+    executor = TrialExecutor(
+        workers=workers, cache=cache_dir, trial_timeout_s=trial_timeout_s
+    )
+    report = executor.run(specs)
+
+    points: typing.List[MatrixPoint] = []
+    for intensity in intensities:
+        outcomes = [o for o in report.outcomes if o.tag == intensity]
+        ok = [typing.cast(typing.Dict[str, object], o.result)
+              for o in outcomes if o.ok]
+        points.append(
+            MatrixPoint(
+                intensity=float(intensity),
+                ber_percent=100.0 * _mean(
+                    [typing.cast(float, r["error_rate"]) for r in ok]
+                ),
+                bandwidth_kbps=_mean(
+                    [typing.cast(float, r["bandwidth_kbps"]) for r in ok]
+                ),
+                frame_attempts=_mean(
+                    [float(typing.cast(int, r["frame_attempts"])) for r in ok]
+                ),
+                n_ok=len(ok),
+                n_dead=sum(1 for o in outcomes if o.kind == "dead"),
+                n_failed=sum(1 for o in outcomes if o.kind in ("crash", "timeout")),
+            )
+        )
+    return MatrixResult(channel=channel, points=points, report=report)

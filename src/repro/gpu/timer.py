@@ -64,11 +64,48 @@ class SlmTimer:
         self._started_fs = soc.now_fs
         self._last_value = 0
         self.reads = 0
+        # Clock-domain drift (see repro.faults): a multiplicative rate
+        # error applied piecewise.  The healthy path never touches the
+        # accumulator, so simulations without drift are bit-identical to
+        # the pre-drift implementation.
+        self._drift = 1.0
+        self._drift_active = False
+        self._drift_accum_ticks = 0.0
+        self._drift_mark_fs = self._started_fs
+        registry = getattr(soc, "slm_timers", None)
+        if registry is not None:
+            registry.append(self)
 
     def restart(self) -> None:
         """Zero the counter (a fresh kernel launch)."""
         self._started_fs = self.soc.now_fs
         self._last_value = 0
+        self._drift_accum_ticks = 0.0
+        self._drift_mark_fs = self._started_fs
+
+    def set_drift(self, factor: float) -> None:
+        """Step the counter's effective rate to ``rate * factor``.
+
+        Models clock-domain drift between the GPU clock feeding the SLM
+        counter and the rest of the machine; ticks already accumulated are
+        unaffected (the drift integrates piecewise from now on).
+        """
+        if factor <= 0:
+            raise GpuModelError("drift factor must be positive")
+        self._integrate_drift()
+        self._drift = float(factor)
+        self._drift_active = True
+
+    @property
+    def drift(self) -> float:
+        """The currently applied rate multiplier (1.0 = no drift)."""
+        return self._drift
+
+    def _integrate_drift(self) -> None:
+        now_fs = self.soc.now_fs
+        cycles = (now_fs - self._drift_mark_fs) / self.soc.config.gpu_clock.cycle_fs
+        self._drift_accum_ticks += self.rate_per_cycle * self._drift * cycles
+        self._drift_mark_fs = now_fs
 
     def _value_now(self) -> int:
         """Sample the counter.
@@ -81,9 +118,13 @@ class SlmTimer:
         and reads immediately after a glitch see the true value again —
         so pacing loops built on the timer do not accumulate drift.
         """
-        elapsed_fs = self.soc.now_fs - self._started_fs
-        cycles = elapsed_fs / self.soc.config.gpu_clock.cycle_fs
-        value = self.rate_per_cycle * cycles
+        if self._drift_active:
+            self._integrate_drift()
+            value = self._drift_accum_ticks
+        else:
+            elapsed_fs = self.soc.now_fs - self._started_fs
+            cycles = elapsed_fs / self.soc.config.gpu_clock.cycle_fs
+            value = self.rate_per_cycle * cycles
         if (
             self.config.read_glitch_probability > 0
             and self._rng.random() < self.config.read_glitch_probability

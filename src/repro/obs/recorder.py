@@ -38,8 +38,10 @@ TRACE_EVENT_NAMES: typing.Tuple[str, ...] = (
     "engine.step",    # one scheduled action executed (very high volume)
     "channel.bit",    # a covert-channel endpoint sent/decoded one bit
     "channel.sync",   # a handshake signal was detected
+    "channel.resync", # a hardened endpoint recovered from a sync timeout
     "cpu.probe",      # a timed CPU probe completed (measured cycles)
     "gpu.kernel",     # a GPU kernel ran (span: launch -> completion)
+    "fault.inject",   # a fault injector perturbed the machine (see repro.faults)
 )
 
 #: The default allowlist: everything except the per-step firehose, which

@@ -5,40 +5,81 @@ allocation, timer jitter, payload generation, background noise) draws from
 its own named substream so that adding a new noise source never perturbs
 the draws of an existing one.  All streams derive deterministically from a
 single root seed.
+
+Stream-naming contract (see DESIGN.md §9):
+
+* ``stream(name)`` keys the substream on a SHA-256 digest of the *entire*
+  UTF-8 name.  Two distinct names — however long their common prefix —
+  yield statistically independent generators.  (An earlier revision hashed
+  only the first 8 bytes, which silently collapsed ``cpu-timer-spy-0`` and
+  ``cpu-timer-trojan-1`` onto one generator and perfectly correlated the
+  Trojan's and Spy's timer jitter.)
+* ``fork(salt)`` derives a child family ``SeedSequence.spawn``-style: the
+  salt extends the spawn-key path instead of being folded into a narrow
+  integer seed, so arbitrarily many forks (and forks of forks) never
+  collide.
 """
 
 from __future__ import annotations
 
+import hashlib
 import typing
 
 import numpy as np
+
+#: How many 32-bit words of the SHA-256 digest feed the spawn key.  128
+#: bits is far beyond birthday range for any realistic stream count.
+_KEY_WORDS = 4
+
+
+def _digest_words(material: bytes) -> typing.Tuple[int, ...]:
+    """The leading 32-bit big-endian words of SHA-256 over ``material``."""
+    digest = hashlib.sha256(material).digest()
+    return tuple(
+        int.from_bytes(digest[4 * i : 4 * i + 4], "big") for i in range(_KEY_WORDS)
+    )
 
 
 class RngStreams:
     """A factory of independent :class:`numpy.random.Generator` streams."""
 
-    def __init__(self, root_seed: int = 0) -> None:
+    def __init__(
+        self,
+        root_seed: int = 0,
+        fork_path: typing.Tuple[int, ...] = (),
+    ) -> None:
         self.root_seed = int(root_seed)
-        self._root = np.random.SeedSequence(self.root_seed)
+        #: Spawn-key path accumulated by :meth:`fork` (empty at the root).
+        self.fork_path = tuple(int(word) for word in fork_path)
+        self._root = np.random.SeedSequence(
+            entropy=self.root_seed, spawn_key=self.fork_path
+        )
         self._streams: typing.Dict[str, np.random.Generator] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
 
-        The stream for a given ``(root_seed, name)`` pair is always seeded
-        identically, regardless of creation order.
+        The stream for a given ``(root_seed, fork path, name)`` triple is
+        always seeded identically, regardless of creation order.  The
+        spawn key is derived from a SHA-256 digest of the full name, so
+        names sharing a prefix (``slm-timer-wg0`` vs ``slm-timer-wg1``)
+        never alias.
         """
         if name not in self._streams:
-            # Hash the name into the spawn key so ordering is irrelevant.
-            digest = np.frombuffer(
-                name.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64
-            )[0]
             seq = np.random.SeedSequence(
-                entropy=self._root.entropy, spawn_key=(int(digest),)
+                entropy=self._root.entropy,
+                spawn_key=self.fork_path + _digest_words(name.encode("utf-8")),
             )
             self._streams[name] = np.random.default_rng(seq)
         return self._streams[name]
 
     def fork(self, salt: int) -> "RngStreams":
-        """Derive a new independent stream family (e.g. per repeated run)."""
-        return RngStreams(root_seed=(self.root_seed * 1_000_003 + salt) & 0x7FFFFFFF)
+        """Derive a new independent stream family (e.g. per repeated run).
+
+        The salt is hashed onto the spawn-key path (``SeedSequence.spawn``
+        semantics) rather than folded into a small integer seed, so two
+        distinct salts — or distinct fork *paths* — can never produce
+        identically seeded families.
+        """
+        salt_words = _digest_words(repr(int(salt)).encode("ascii"))
+        return RngStreams(self.root_seed, self.fork_path + salt_words)

@@ -26,6 +26,10 @@ class Dram:
         self.accesses = 0
         self.row_misses = 0
         self.total_latency_fs = 0
+        #: Optional fault hook (see :mod:`repro.faults`): called once per
+        #: access, returns extra latency in fs.  ``None`` keeps the
+        #: healthy path to a single check.
+        self.fault_hook: typing.Optional[typing.Callable[[], int]] = None
 
     def latency_fs(self) -> int:
         """Latency of one memory access, in femtoseconds."""
@@ -37,6 +41,8 @@ class Dram:
         if self.config.jitter_sigma_ns > 0:
             latency_ns += abs(self._rng.normal(0.0, self.config.jitter_sigma_ns))
         latency = max(1, round(latency_ns * FS_PER_NS))
+        if self.fault_hook is not None:
+            latency += self.fault_hook()
         self.total_latency_fs += latency
         return latency
 

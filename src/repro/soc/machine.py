@@ -78,6 +78,16 @@ class SoC:
         self._core_stall_until = [0] * self.config.cpu_cores
         self._tick_process: typing.Optional[Process] = None
         # ------------------------------------------------------------------
+        # Fault injection (see repro.faults).  Every SLM timer registers
+        # itself here so the clock-drift injector can reach it; the probe
+        # hook lets the handshake-fault injector classify light polls.
+        # Both stay None/empty on a healthy machine.
+        self.slm_timers: typing.List[object] = []
+        self.probe_fault_hook: typing.Optional[
+            typing.Callable[[], typing.Optional[str]]
+        ] = None
+        self._fault_suite: typing.Optional[object] = None
+        # ------------------------------------------------------------------
         # Observability.  Sinks resolve once, here; when tracing is off
         # every emit site below is a single `is None` check.  The latency
         # histograms are likewise armed only when observability is on, so
@@ -161,6 +171,16 @@ class SoC:
         if stall_until > self.engine.now:
             yield Timeout(self.engine, stall_until - self.engine.now)
         return self.engine.now - start
+
+    def preempt_core(self, core: int, duration_fs: int) -> None:
+        """Descheduled window: stall ``core`` for ``duration_fs`` from now.
+
+        Used by the OS-tick model and the fault-injection preemption
+        injector; overlapping windows extend rather than truncate.
+        """
+        self._core_stall_until[core] = max(
+            self._core_stall_until[core], self.engine.now + int(duration_fs)
+        )
 
     def _record_cpu_latency(self, core: int, latency_fs: int) -> None:
         if self._lat_cpu is not None:
@@ -369,9 +389,7 @@ class SoC:
             duration_fs = int(
                 noise.os_tick_duration_us * FS_PER_US * (0.6 + 0.8 * rng.random())
             )
-            self._core_stall_until[core] = max(
-                self._core_stall_until[core], self.engine.now + duration_fs
-            )
+            self.preempt_core(core, duration_fs)
 
     def stop_os_ticks(self) -> None:
         """Stop the timer-interrupt model."""
@@ -380,12 +398,48 @@ class SoC:
             self._tick_process = None
 
     def start_system_effects(self) -> None:
-        """Convenience: background noise + OS ticks (the default testbed)."""
+        """Convenience: background noise + OS ticks (the default testbed).
+
+        When the config arms fault injection, the configured fault suite
+        starts alongside the benign system effects.
+        """
         if self.config.noise.enabled:
             if self._noise_process is None or not self._noise_process.alive:
                 self.start_noise()
             if self._tick_process is None or not self._tick_process.alive:
                 self.start_os_ticks()
+        if self.config.faults.enabled:
+            self.start_faults()
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+
+    def start_faults(self) -> None:
+        """Start the fault-injection suite configured in ``config.faults``.
+
+        Idempotent: a suite that is already running is left alone.  A
+        no-op when ``config.faults.enabled`` is False.
+        """
+        if not self.config.faults.enabled:
+            return
+        if self._fault_suite is not None:
+            return
+        from repro.faults.injectors import FaultSuite
+
+        suite = FaultSuite.from_config(self)
+        suite.start()
+        self._fault_suite = suite
+
+    def stop_faults(self) -> None:
+        """Stop the fault-injection suite, if one is running."""
+        if self._fault_suite is not None:
+            self._fault_suite.stop()  # type: ignore[attr-defined]
+            self._fault_suite = None
+
+    @property
+    def fault_suite(self) -> typing.Optional[object]:
+        """The running :class:`~repro.faults.injectors.FaultSuite`, if any."""
+        return self._fault_suite
 
     # ------------------------------------------------------------------
     # Introspection used by tests and the analysis layer

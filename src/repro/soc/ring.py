@@ -94,8 +94,10 @@ class Ring:
             if tdm_wait:
                 yield Timeout(self.engine, tdm_wait)
         waited = yield from self._resource.occupy(self.hold_fs(payload_slots))
-        self.transfers[domain] += 1
-        self.waited_fs[domain] += waited
+        # `.get` keeps the accounting open to auxiliary domains ("fault"
+        # back-pressure bursts) beyond the wired-in cpu/gpu pair.
+        self.transfers[domain] = self.transfers.get(domain, 0) + 1
+        self.waited_fs[domain] = self.waited_fs.get(domain, 0) + waited
         if self._trace is not None:
             self._trace.emit(
                 "ring.hop",
@@ -116,16 +118,16 @@ class Ring:
 
     def mean_wait_fs(self, domain: Domain) -> float:
         """Average queueing delay experienced by one domain."""
-        count = self.transfers[domain]
-        return self.waited_fs[domain] / count if count else 0.0
+        count = self.transfers.get(domain, 0)
+        return self.waited_fs.get(domain, 0) / count if count else 0.0
 
     def stats_dict(self) -> typing.Dict[str, object]:
         """Per-domain transfer/queueing counters for the metrics registry."""
         stats: typing.Dict[str, object] = {"utilization": self.utilization()}
-        for domain in ("cpu", "gpu"):
+        for domain in sorted(self.transfers):
             stats[domain] = {
                 "transfers": self.transfers[domain],
-                "waited_fs": self.waited_fs[domain],
+                "waited_fs": self.waited_fs.get(domain, 0),
                 "mean_wait_ns": self.mean_wait_fs(domain) / 1e6,
             }
         return stats

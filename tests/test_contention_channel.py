@@ -182,10 +182,18 @@ def test_quiet_system_low_error(default_calibration):
 
 
 def test_single_workgroup_weaker_but_alive():
+    # A single work-group is the marginal operating point (Fig. 10): with
+    # Trojan/Spy noise streams properly decorrelated, individual seeds
+    # swing widely, so assert on the mean over a few runs instead of one
+    # golden seed.
     channel = ContentionChannel(ContentionChannelConfig(n_workgroups=1))
     calibration = channel.calibrate(seed=2)
-    result = channel.transmit(n_bits=48, seed=8, calibration=calibration)
-    assert result.error_rate < 0.5  # far from random guessing
+    results = [
+        channel.transmit(n_bits=48, seed=seed, calibration=calibration)
+        for seed in (5, 6, 7)
+    ]
+    mean_error = sum(r.error_rate for r in results) / len(results)
+    assert mean_error < 0.45  # far from random guessing on average
 
 
 def test_transmit_calibrates_when_not_given():

@@ -1,0 +1,297 @@
+"""Tests for repro.faults: deterministic injection, hardened protocols,
+and the graceful-degradation robustness matrix."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ConfigError, FaultsConfig, kaby_lake_model
+from repro.core.contention_channel.channel import (
+    ContentionChannel,
+    ContentionChannelConfig,
+)
+from repro.core.llc_channel.channel import LLCChannel, LLCChannelConfig
+from repro.errors import GpuModelError
+from repro.faults import FaultSuite, run_matrix
+from repro.faults.matrix import faulted_llc_trial
+from repro.gpu.workgroup import WorkGroupCtx
+from repro.obs import recorder
+from repro.obs.sinks import MemorySink
+from repro.sim import FS_PER_S, FS_PER_US
+from repro.soc.machine import SoC
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    yield
+    recorder.uninstall()
+
+
+def _faulted_config(intensity=1.0, **overrides):
+    faults = FaultsConfig().scaled(intensity)
+    if overrides:
+        faults = dataclasses.replace(faults, **overrides)
+    return kaby_lake_model(scale=16).replace(faults=faults)
+
+
+# ----------------------------------------------------------------------
+# FaultsConfig
+
+
+def test_faults_config_default_off_and_valid():
+    config = kaby_lake_model(scale=16)
+    assert not config.faults.enabled
+    config.validate()  # must not raise
+
+
+def test_scaled_zero_is_enabled_noop():
+    scaled = FaultsConfig().scaled(0.0)
+    assert scaled.enabled
+    assert scaled.dram_spike_probability == 0.0
+    assert scaled.ring_burst_rate_per_s == 0.0
+    assert scaled.preempt_rate_per_s == 0.0
+    assert scaled.clock_drift_step == 0.0
+    assert scaled.probe_drop_probability == 0.0
+    scaled.validate()
+
+
+def test_scaled_clamps_probabilities():
+    scaled = FaultsConfig(probe_drop_probability=0.4,
+                          probe_duplicate_probability=0.4).scaled(2.0)
+    assert scaled.probe_drop_probability == pytest.approx(0.8)
+    # Duplicate respects the remaining probability budget.
+    assert scaled.probe_drop_probability + scaled.probe_duplicate_probability <= 1.0
+    assert scaled.clock_drift_max <= 0.9
+    scaled.validate()
+
+
+def test_scaled_negative_intensity_raises():
+    with pytest.raises(ConfigError):
+        FaultsConfig().scaled(-1.0)
+
+
+def test_faults_config_validates_probability_range():
+    with pytest.raises(ConfigError):
+        kaby_lake_model(scale=16).replace(
+            faults=FaultsConfig(dram_spike_probability=1.5)
+        ).validate()
+
+
+# ----------------------------------------------------------------------
+# Injector mechanics
+
+
+def test_suite_starts_with_system_effects_and_is_idempotent():
+    soc = SoC(_faulted_config())
+    assert soc.fault_suite is None
+    soc.start_system_effects()
+    suite = soc.fault_suite
+    assert isinstance(suite, FaultSuite)
+    soc.start_faults()  # idempotent: the running suite stays
+    assert soc.fault_suite is suite
+    assert soc.dram.fault_hook is not None
+    assert soc.probe_fault_hook is not None
+    soc.stop_faults()
+    assert soc.fault_suite is None
+    assert soc.dram.fault_hook is None
+    assert soc.probe_fault_hook is None
+
+
+def test_healthy_machine_never_starts_faults():
+    soc = SoC(kaby_lake_model(scale=16))
+    soc.start_system_effects()
+    assert soc.fault_suite is None
+    assert soc.dram.fault_hook is None
+
+
+def test_injectors_fire_and_are_observable():
+    sink = MemorySink()
+    recorder.install(sink)
+    soc = SoC(_faulted_config(intensity=2.0))
+    soc.start_system_effects()
+    wg = WorkGroupCtx(soc, workgroup_id=0, subslice=0, threads=256)
+    wg.start_timer()
+    soc.engine.run(until_fs=int(0.01 * FS_PER_S))
+    counts = soc.fault_suite.counts()
+    assert counts["ring"] > 0
+    assert counts["preempt"] > 0
+    assert counts["clock"] > 0
+    events = sink.by_name("fault.inject")
+    assert len(events) >= counts["ring"] + counts["preempt"] + counts["clock"]
+    kinds = {event[3]["kind"] for event in events}
+    assert {"ring", "preempt", "clock"} <= kinds
+
+
+def test_dram_spikes_inflate_latency():
+    healthy = SoC(kaby_lake_model(scale=16))
+    faulted = SoC(_faulted_config(dram_spike_probability=1.0,
+                                  dram_spike_extra_ns=500.0))
+    faulted.start_faults()
+    healthy_mean = sum(healthy.dram.latency_fs() for _ in range(200)) / 200
+    faulted_mean = sum(faulted.dram.latency_fs() for _ in range(200)) / 200
+    assert faulted.fault_suite.counts()["dram"] == 200
+    assert faulted_mean > healthy_mean + 400.0 * 1e6  # ≥400 ns in fs
+
+
+def test_preemption_windows_stall_cores():
+    soc = SoC(_faulted_config(intensity=4.0))
+    soc.start_faults()
+    soc.engine.run(until_fs=int(0.01 * FS_PER_S))
+    assert soc.fault_suite.counts()["preempt"] > 0
+    assert max(soc._core_stall_until) > 0
+
+
+def test_clock_drift_warps_registered_timers():
+    soc = SoC(_faulted_config(intensity=2.0))
+    wg = WorkGroupCtx(soc, workgroup_id=0, subslice=0, threads=256)
+    timer = wg.start_timer()
+    assert timer in soc.slm_timers
+    soc.start_faults()
+    soc.engine.run(until_fs=int(0.005 * FS_PER_S))
+    assert soc.fault_suite.counts()["clock"] > 0
+    assert timer.drift != 1.0
+    bound = soc.config.faults.clock_drift_max
+    assert 1.0 - bound <= timer.drift <= 1.0 + bound
+
+
+def test_timer_drift_rejects_nonpositive_factor():
+    soc = SoC(kaby_lake_model(scale=16))
+    wg = WorkGroupCtx(soc, workgroup_id=0, subslice=0, threads=256)
+    timer = wg.start_timer()
+    with pytest.raises(GpuModelError):
+        timer.set_drift(0.0)
+
+
+def test_probe_hook_classifies_deterministically():
+    a = SoC(_faulted_config(intensity=3.0))
+    b = SoC(_faulted_config(intensity=3.0))
+    a.start_faults()
+    b.start_faults()
+    draws_a = [a.probe_fault_hook() for _ in range(500)]
+    draws_b = [b.probe_fault_hook() for _ in range(500)]
+    assert draws_a == draws_b
+    assert "drop" in draws_a
+    assert "dup" in draws_a
+
+
+# ----------------------------------------------------------------------
+# Hardened protocols end to end
+
+
+def test_llc_hardening_armed_only_under_faults():
+    healthy = LLCChannel(LLCChannelConfig(), soc_config=kaby_lake_model(scale=16))
+    assert healthy.build_session(seed=0).tuning.max_resyncs == 0
+    faulted = LLCChannel(LLCChannelConfig(), soc_config=_faulted_config())
+    tuning = faulted.build_session(seed=0).tuning
+    assert tuning.max_resyncs >= 2
+    assert tuning.erasure_limit >= 8
+
+
+def test_llc_transmission_survives_faults():
+    channel = LLCChannel(LLCChannelConfig(), soc_config=_faulted_config(2.0))
+    result = channel.transmit(n_bits=10, seed=3)
+    assert len(result.received) == 10
+    assert result.error_rate < 0.5
+
+
+def test_llc_faulted_run_is_deterministic():
+    def run():
+        channel = LLCChannel(LLCChannelConfig(), soc_config=_faulted_config(2.0))
+        return channel.transmit(n_bits=8, seed=5)
+
+    first, second = run(), run()
+    assert first.received == second.received
+    assert first.elapsed_fs == second.elapsed_fs
+
+
+def test_contention_transmission_degrades_not_dies():
+    healthy = kaby_lake_model(scale=16)
+    config = ContentionChannelConfig()
+    calibration = ContentionChannel(config, soc_config=healthy).calibrate(seed=3)
+    channel = ContentionChannel(config, soc_config=_faulted_config(2.0))
+    result = channel.transmit(n_bits=16, seed=3, calibration=calibration)
+    assert len(result.received) == 16
+    assert result.error_rate < 0.5
+    assert result.meta["frame_attempts"] >= 1
+
+
+def test_contention_faulted_run_is_deterministic():
+    healthy = kaby_lake_model(scale=16)
+    config = ContentionChannelConfig()
+    calibration = ContentionChannel(config, soc_config=healthy).calibrate(seed=4)
+    def run():
+        channel = ContentionChannel(config, soc_config=_faulted_config(1.5))
+        return channel.transmit(n_bits=12, seed=4, calibration=calibration)
+
+    first, second = run(), run()
+    assert first.received == second.received
+    assert first.meta["frame_attempts"] == second.meta["frame_attempts"]
+
+
+# ----------------------------------------------------------------------
+# Robustness matrix
+
+
+def test_run_matrix_graceful_and_deterministic():
+    kwargs = dict(
+        channel="llc",
+        intensities=(0.0, 1.0),
+        n_bits=8,
+        n_seeds=1,
+        root_seed=2,
+    )
+    first = run_matrix(**kwargs)
+    second = run_matrix(**kwargs)
+    assert first.violations() == []
+    assert [p.ber_percent for p in first.points] == [
+        p.ber_percent for p in second.points
+    ]
+    assert all(p.n_failed == 0 for p in first.points)
+    assert "intensity" in first.table()
+
+
+def test_matrix_violations_flag_collapse_and_regression():
+    from repro.faults.matrix import MatrixPoint, MatrixResult
+
+    result = MatrixResult(
+        channel="llc",
+        points=[
+            MatrixPoint(0.0, 30.0, 10.0, 1.0, n_ok=2, n_dead=0, n_failed=0),
+            MatrixPoint(1.0, 5.0, 10.0, 1.0, n_ok=2, n_dead=0, n_failed=1),
+            MatrixPoint(2.0, 60.0, 10.0, 1.0, n_ok=0, n_dead=2, n_failed=0),
+        ],
+        report=None,
+    )
+    violations = result.violations(max_ber_percent=45.0, slack_percent=8.0)
+    text = "\n".join(violations)
+    assert "crashed or timed out" in text
+    assert "collapsed" in text
+    assert "should not help" in text
+
+
+def test_matrix_trial_fn_smoke():
+    record = faulted_llc_trial({"intensity": 1.0, "n_bits": 6}, seed=1)
+    assert set(record) >= {"error_rate", "bandwidth_kbps", "n_received"}
+    assert 0.0 <= record["error_rate"] <= 1.0
+
+
+def test_matrix_rejects_unknown_channel():
+    with pytest.raises(ValueError):
+        run_matrix(channel="carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# Hardened protocol building blocks
+
+
+def test_resync_events_recorded_when_observed():
+    """The resync path emits channel.resync events (when it triggers)."""
+    from repro.obs import TRACE_EVENT_NAMES
+
+    assert "channel.resync" in TRACE_EVENT_NAMES
+    assert "fault.inject" in TRACE_EVENT_NAMES
+
+
+def test_pace_until_bound_is_configurable():
+    config = ContentionChannelConfig(max_pace_spins=123)
+    assert config.max_pace_spins == 123

@@ -107,6 +107,40 @@ def test_frame_detects_uncorrectable_corruption():
     report = decode_frame(bits)
     assert not report.crc_ok
     assert not report.delivered
+    # Regression: a frame that fails its CRC must not expose the corrupt
+    # bytes as if they were the payload.
+    assert report.payload is None
+
+
+@given(st.binary(min_size=1, max_size=24), st.data())
+def test_frame_corrupt_payload_never_leaks(payload, data):
+    """Any CRC-failing decode yields payload None and delivered False."""
+    bits = encode_frame(payload)
+    # Double-flip inside one codeword: miscorrection guaranteed.
+    word = data.draw(st.integers(min_value=0, max_value=len(bits) // 7 - 1))
+    positions = data.draw(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=2, max_size=2,
+                 unique=True)
+    )
+    for offset in positions:
+        bits[word * 7 + offset] ^= 1
+    report = decode_frame(bits)
+    if not report.crc_ok:
+        assert report.payload is None
+        assert not report.delivered
+
+
+@given(st.binary(min_size=0, max_size=32), st.data())
+def test_frame_survives_any_single_flip(payload, data):
+    """Property: one flipped channel bit anywhere is always corrected."""
+    bits = encode_frame(payload)
+    position = data.draw(st.integers(min_value=0, max_value=len(bits) - 1))
+    bits[position] ^= 1
+    report = decode_frame(bits)
+    assert report.delivered
+    assert report.crc_ok
+    assert report.payload == payload
+    assert report.corrected_bits == 1
 
 
 def test_frame_truncated_input():
