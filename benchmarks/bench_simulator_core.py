@@ -8,7 +8,6 @@ regression canary for the heavy figure harnesses.
 from conftest import record_core_metric
 
 from repro.config import kaby_lake
-from repro.sim import Timeout
 from repro.sim.engine import Engine
 from repro.soc.cache import SetAssocCache
 from repro.soc.machine import SoC
@@ -21,7 +20,7 @@ def test_engine_event_throughput(benchmark):
 
         def ticker():
             for _ in range(2000):
-                yield Timeout(engine, 10)
+                yield 10
 
         engine.process(ticker())
         engine.run()

@@ -1,0 +1,91 @@
+"""Benchmark regression guard for the simulator core.
+
+Compares the just-measured ``engine_events_per_sec`` (written by
+``bench_simulator_core.py`` into ``benchmarks/results/``) against the
+figure committed at HEAD — the benchmark run overwrites the working-tree
+file, so the committed baseline has to come out of git — and fails when
+throughput regresses more than the allowed fraction (default 20%).
+
+Usage (CI runs exactly this)::
+
+    python -m pytest benchmarks/bench_simulator_core.py -q
+    python benchmarks/check_bench_regression.py
+
+Exit status 0 on pass, 1 on regression, 2 when the baseline cannot be
+resolved (not a git checkout and no ``--baseline`` given).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+RESULT_RELPATH = "benchmarks/results/BENCH_simulator_core.json"
+METRIC = "engine_events_per_sec"
+DEFAULT_TOLERANCE = 0.20
+
+
+def _repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def _rate(doc: dict) -> float:
+    return float(doc["metrics"][METRIC])
+
+
+def committed_baseline(rev: str = "HEAD") -> float:
+    """The metric as committed at ``rev`` (the run overwrites the file)."""
+    blob = subprocess.check_output(
+        ["git", "show", f"{rev}:{RESULT_RELPATH}"],
+        cwd=_repo_root(),
+        stderr=subprocess.STDOUT,
+    )
+    return _rate(json.loads(blob))
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--baseline", type=float, default=None,
+        help="explicit baseline events/sec (default: the figure at HEAD)",
+    )
+    parser.add_argument(
+        "--rev", default="HEAD",
+        help="git revision to read the baseline from (default HEAD)",
+    )
+    args = parser.parse_args(argv)
+
+    current_path = _repo_root() / RESULT_RELPATH
+    if not current_path.exists():
+        print(f"no current result at {current_path}; run the benchmark first")
+        return 2
+    current = _rate(json.loads(current_path.read_text()))
+
+    if args.baseline is not None:
+        baseline = args.baseline
+    else:
+        try:
+            baseline = committed_baseline(args.rev)
+        except (subprocess.CalledProcessError, FileNotFoundError) as exc:
+            print(f"cannot read committed baseline ({exc}); pass --baseline")
+            return 2
+
+    floor = baseline * (1.0 - args.tolerance)
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(
+        f"{verdict}: {METRIC} current={current:,.0f}/s "
+        f"baseline={baseline:,.0f}/s floor={floor:,.0f}/s "
+        f"({current / baseline:.2f}x of baseline, tolerance -{args.tolerance:.0%})"
+    )
+    return 0 if current >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -117,8 +117,7 @@ def _measure(
     def spy_loop(program: CpuProgram) -> typing.Generator:
         while True:
             start = program.soc.now_fs
-            for paddr in chase.next_paddrs(params.probe_group):
-                yield from program.read(paddr)
+            yield from program.read_series(chase.next_paddrs(params.probe_group))
             group_times.append(program.soc.now_fs - start)
 
     pass_times: typing.List[int] = []

@@ -211,8 +211,7 @@ class ContentionChannel:
             yield from program.read_batch(cpu_lines)  # warm the LLC
             while soc.now_fs < deadline_fs:
                 start = yield from program.rdtsc()
-                for paddr in chase.next_paddrs(params.probe_group):
-                    yield from program.read(paddr)
+                yield from program.read_series(chase.next_paddrs(params.probe_group))
                 end = yield from program.rdtsc()
                 samples.append((soc.now_fs, end - start))
             return len(samples)

@@ -34,7 +34,7 @@ import typing
 from repro.core.llc_channel.plan import EndpointPlan, EvictionStrategy, Role
 from repro.errors import ChannelProtocolError
 from repro.obs.recorder import recorder as _recorder
-from repro.sim import FS_PER_NS, FS_PER_US, Timeout
+from repro.sim import FS_PER_NS, FS_PER_US
 
 if typing.TYPE_CHECKING:
     from repro.cpu.core import CpuProgram
@@ -260,7 +260,7 @@ class CpuEndpoint(Endpoint):
         return self._soc.now_fs
 
     def wait_fs(self, duration_fs: int) -> typing.Generator:
-        yield Timeout(self._soc.engine, max(1, duration_fs))
+        yield max(1, duration_fs)
 
     def estimate_prime_fs(self, role: Role) -> int:
         from repro.cpu.core import CPU_MEM_PARALLELISM
@@ -414,7 +414,7 @@ class GpuEndpoint(Endpoint):
         return self._soc.now_fs
 
     def wait_fs(self, duration_fs: int) -> typing.Generator:
-        yield Timeout(self._soc.engine, max(1, duration_fs))
+        yield max(1, duration_fs)
 
     def _pollute_cost_ns(self, role: Role) -> float:
         role_plan = self.plan.roles[role]

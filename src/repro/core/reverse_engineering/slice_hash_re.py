@@ -94,8 +94,7 @@ def build_conflict_oracle(
 
         def body() -> typing.Generator:
             yield from program.read(victim)
-            for paddr in candidates:
-                yield from program.read(paddr)
+            yield from program.read_series(candidates)
             cycles = yield from program.timed_read(victim)
             return cycles > threshold_cycles
 

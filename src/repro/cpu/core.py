@@ -12,7 +12,7 @@ from __future__ import annotations
 import typing
 
 from repro.obs.recorder import recorder as _recorder
-from repro.sim import AllOf, Timeout
+from repro.sim import AllOf
 from repro.sim.process import Process
 from repro.soc.mmu import AddressSpace
 
@@ -62,16 +62,17 @@ class CpuProgram:
     def read_series(
         self, paddrs: typing.Sequence[int]
     ) -> typing.Generator[object, object, typing.List[int]]:
-        """Serial loads (the CPU probes a set one way at a time, §III-E)."""
-        latencies = []
-        for paddr in paddrs:
-            latency = yield from self.read(paddr)
-            latencies.append(latency)
+        """Serial loads (the CPU probes a set one way at a time, §III-E).
+
+        Routed through :meth:`SoC.cpu_access_burst`, which folds runs of
+        private-cache hits into one timed wait per run.
+        """
+        latencies = yield from self.soc.cpu_access_burst(self.core, paddrs)
         return latencies
 
     def _issue_after(self, delay_fs: int, paddr: int) -> typing.Generator:
         if delay_fs:
-            yield Timeout(self.soc.engine, delay_fs)
+            yield delay_fs
         latency = yield from self.soc.cpu_access(self.core, paddr)
         return latency
 
@@ -87,11 +88,19 @@ class CpuProgram:
         textbook case.  Timed *probes* use :meth:`read_series` instead —
         the measurement depends on the serial pointer-chase latency.
         """
-        engine = self.soc.engine
-        issue_fs = self.soc.cpu_cycles_fs(2)
+        soc = self.soc
+        engine = soc.engine
+        issue_fs = soc.cpu_cycles_fs(2)
+        step = max(1, parallelism)
+        fast = soc._fastpath
         latencies: typing.List[int] = []
-        for start in range(0, len(paddrs), max(1, parallelism)):
-            batch = paddrs[start : start + max(1, parallelism)]
+        for start in range(0, len(paddrs), step):
+            batch = paddrs[start : start + step]
+            if fast:
+                folded = yield from self._read_batch_fast(batch, issue_fs)
+                if folded is not None:
+                    latencies.extend(folded)
+                    continue
             children = [
                 Process(engine, self._issue_after(i * issue_fs, paddr))
                 for i, paddr in enumerate(batch)
@@ -100,13 +109,84 @@ class CpuProgram:
             latencies.extend(typing.cast(typing.List[int], results))
         return latencies
 
+    def _read_batch_fast(
+        self, batch: typing.Sequence[int], issue_fs: int
+    ) -> typing.Generator[object, object, typing.Optional[typing.List[int]]]:
+        """Analytic fast path for an all-private-hit MLP batch.
+
+        When every line of the batch sits in the private caches and no
+        queued event (or preemption window) falls inside the batch's time
+        span, the fan-out of child processes is pure bookkeeping: commit
+        the cache state changes in issue order, emit the trace/metrics
+        records in *completion* order (Welford accumulation is
+        order-sensitive) and sleep once until the last completion.
+        Returns ``None`` — without yielding — when the batch must fall
+        back to the event-mode fan-out.
+        """
+        soc = self.soc
+        engine = soc.engine
+        core = self.core
+        t0 = engine._now
+        if soc._core_stall_until[core] > t0:
+            return None
+        caches = soc.cpu_caches[core]
+        l1 = caches.l1
+        l2 = caches.l2
+        d1 = soc._l1_hit_fs
+        d2 = soc._l2_hit_fs
+        n = len(batch)
+        t_bound = t0 + (n - 1) * issue_fs + (d1 if d1 > d2 else d2)
+        queue = engine._queue
+        if queue and queue[0][0] <= t_bound:
+            return None
+        # L1 ⊆ L2 (back-invalidation keeps inclusivity), so membership in
+        # L2 is the stable all-hit predicate: hits never evict L2 lines.
+        for paddr in batch:
+            if not l2.contains(paddr):
+                return None
+        trace = soc._trace_cache
+        hist = soc._lat_cpu[core] if soc._lat_cpu is not None else None
+        track = soc._core_tracks[core]
+        pending: typing.List[typing.Tuple[int, int, str, int, int]] = []
+        latencies: typing.List[int] = []
+        t_end = t0
+        for k, paddr in enumerate(batch):
+            if l1.contains(paddr):
+                l1.access(paddr)
+                d = d1
+                level = "l1"
+            else:
+                l1.access(paddr)  # install; the L1 victim drops cleanly
+                result = l2.access(paddr)
+                if result.evicted is not None:
+                    l1.invalidate(result.evicted)
+                d = d2
+                level = "l2"
+            done = t0 + k * issue_fs + d
+            if done > t_end:
+                t_end = done
+            latencies.append(d)
+            pending.append((done, k, level, paddr, d))
+        # Children with a 2-cycle issue stagger can complete out of order
+        # (L1 vs L2 hits); ties resolve by issue index, matching the
+        # event queue's sequence-number tie-break.
+        pending.sort()
+        for done, _k, level, paddr, d in pending:
+            if trace is not None:
+                trace.emit("cache.access", done, track,
+                           {"level": level, "hit": True, "paddr": paddr})
+            if hist is not None:
+                hist.add(d / 1e6)
+        yield t_end - t0
+        return latencies
+
     # ------------------------------------------------------------------
     # Timing
 
     def rdtsc(self) -> typing.Generator[object, object, int]:
         """Serialized timestamp; returns the time in CPU cycles."""
         yield from self.soc.stall_if_preempted(self.core)
-        yield Timeout(self.soc.engine, self.soc.cpu_cycles_fs(RDTSC_CYCLES))
+        yield self.soc.cpu_cycles_fs(RDTSC_CYCLES)
         cycles = self.soc.now_fs / self.soc.config.cpu_clock.cycle_fs
         jitter = self._rng.integers(-RDTSC_JITTER_CYCLES, RDTSC_JITTER_CYCLES + 1)
         return int(cycles) + int(jitter)
@@ -159,7 +239,7 @@ class CpuProgram:
 
     def wait_cycles(self, cycles: float) -> typing.Generator:
         """Spin for a number of CPU cycles."""
-        yield Timeout(self.soc.engine, self.soc.cpu_cycles_fs(cycles))
+        yield self.soc.cpu_cycles_fs(cycles)
 
     # ------------------------------------------------------------------
     # Allocation convenience

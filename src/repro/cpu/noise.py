@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.sim import FS_PER_S, Timeout
+from repro.sim import FS_PER_S
 from repro.sim.process import Process
 
 if typing.TYPE_CHECKING:
@@ -56,12 +56,12 @@ class BurstyNoiseAgent:
         rng = self._rng
         while True:
             quiet_fs = max(1, int(rng.exponential(self.mean_quiet_s) * FS_PER_S))
-            yield Timeout(self.soc.engine, quiet_fs)
+            yield quiet_fs
             burst_end = self.soc.now_fs + max(
                 1, int(rng.exponential(self.mean_burst_s) * FS_PER_S)
             )
             while self.soc.now_fs < burst_end:
                 gap_fs = max(1, int(rng.exponential(1.0 / self.burst_rate_per_s) * FS_PER_S))
-                yield Timeout(self.soc.engine, gap_fs)
+                yield gap_fs
                 paddr = self._lines[int(rng.integers(0, len(self._lines)))]
                 yield from self.soc.cpu_access(self.core, paddr)

@@ -78,8 +78,11 @@ class PointerChaseBuffer:
     def chase(
         self, program: "CpuProgram", count: int
     ) -> typing.Generator[object, object, int]:
-        """Issue ``count`` chase loads; returns total elapsed fs."""
+        """Issue ``count`` chase loads; returns total elapsed fs.
+
+        Serial by construction (each address is data-dependent on the
+        previous load); the burst path folds runs of private hits.
+        """
         start = program.soc.now_fs
-        for paddr in self.next_paddrs(count):
-            yield from program.read(paddr)
+        yield from program.read_series(self.next_paddrs(count))
         return program.soc.now_fs - start

@@ -27,7 +27,7 @@ from __future__ import annotations
 import typing
 
 from repro.obs.recorder import recorder as _recorder
-from repro.sim import FS_PER_NS, FS_PER_S, FS_PER_US, Timeout
+from repro.sim import FS_PER_NS, FS_PER_S, FS_PER_US
 
 if typing.TYPE_CHECKING:
     from repro.soc.machine import SoC
@@ -127,7 +127,7 @@ class RingBackpressureInjector(FaultInjector):
         rate = self.cfg.ring_burst_rate_per_s
         while True:
             gap_fs = max(1, int(self._rng.exponential(1.0 / rate) * FS_PER_S))
-            yield Timeout(soc.engine, gap_fs)
+            yield gap_fs
             duration_fs = int(self.cfg.ring_burst_duration_us * FS_PER_US)
             self._emit(duration_us=duration_fs / FS_PER_US)
             burst_end = soc.now_fs + duration_fs
@@ -150,7 +150,7 @@ class PreemptionInjector(FaultInjector):
         rate = self.cfg.preempt_rate_per_s
         while True:
             gap_fs = max(1, int(self._rng.exponential(1.0 / rate) * FS_PER_S))
-            yield Timeout(soc.engine, gap_fs)
+            yield gap_fs
             core = int(self._rng.integers(0, soc.config.cpu_cores))
             duration_fs = int(
                 self.cfg.preempt_duration_us * FS_PER_US * (0.5 + self._rng.random())
@@ -187,7 +187,7 @@ class ClockDriftInjector(FaultInjector):
         while True:
             # Jittered period: drift steps must not alias with slot pacing.
             gap_fs = max(1, int(period_fs * (0.5 + self._rng.random())))
-            yield Timeout(soc.engine, gap_fs)
+            yield gap_fs
             step = self._rng.uniform(-self.cfg.clock_drift_step, self.cfg.clock_drift_step)
             self._level = min(bound, max(-bound, self._level + step))
             factor = 1.0 + self._level

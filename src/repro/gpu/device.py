@@ -20,7 +20,7 @@ from repro.errors import KernelLaunchError
 from repro.gpu.kernel import KernelSpec
 from repro.obs.recorder import recorder as _recorder
 from repro.gpu.workgroup import WorkGroupCtx
-from repro.sim import AllOf, Timeout
+from repro.sim import AllOf
 from repro.sim.events import Event
 from repro.sim.process import Process
 from repro.sim.resources import Semaphore
@@ -134,7 +134,7 @@ class GpuDevice:
         self, spec: KernelSpec, *args: object
     ) -> typing.Generator[object, object, KernelInstance]:
         """Launch including the host-side overhead; for CPU-process agents."""
-        yield Timeout(self.soc.engine, self.launch_overhead_fs)
+        yield self.launch_overhead_fs
         return self.launch(spec, *args)
 
     def _kernel_finished(self, instance: KernelInstance) -> None:

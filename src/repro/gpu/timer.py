@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.config import SlmConfig
 from repro.errors import GpuModelError
-from repro.sim import Timeout
 
 if typing.TYPE_CHECKING:
     from repro.soc.machine import SoC
@@ -144,7 +143,7 @@ class SlmTimer:
         on nor perturbs the L3/ring traffic being measured.
         """
         self.reads += 1
-        yield Timeout(self.soc.engine, self.soc.gpu_cycles_fs(self.config.access_cycles))
+        yield self.soc.gpu_cycles_fs(self.config.access_cycles)
         return self._value_now()
 
     def ticks_for_ns(self, ns: float) -> float:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import typing
 
 from repro.errors import GpuModelError
-from repro.sim import AllOf, Timeout
+from repro.sim import AllOf
 from repro.sim.process import Process
 
 if typing.TYPE_CHECKING:
@@ -68,7 +68,7 @@ class WorkGroupCtx:
 
     def _issue_after(self, delay_fs: int, paddr: int) -> typing.Generator:
         if delay_fs:
-            yield Timeout(self.soc.engine, delay_fs)
+            yield delay_fs
         latency = yield from self.soc.gpu_access(paddr)
         return latency
 
@@ -80,11 +80,19 @@ class WorkGroupCtx:
         Returns per-access latencies (fs).  Requests within one batch issue
         ``issue_cycles`` apart and overlap in the memory system; batches
         run back to back, modeling SIMT lock-step over the wavefronts.
+        On a fast-path machine, an all-L3-hit batch commits analytically
+        with one timed wait instead of a fan-out of child processes.
         """
         latencies: typing.List[int] = []
         engine = self.soc.engine
+        fast = self.soc._fastpath
         for start in range(0, len(paddrs), self.mem_parallelism):
             batch = paddrs[start : start + self.mem_parallelism]
+            if fast:
+                folded = yield from self._parallel_read_fast(batch)
+                if folded is not None:
+                    latencies.extend(folded)
+                    continue
             children = [
                 Process(engine, self._issue_after(i * self._issue_fs, paddr))
                 for i, paddr in enumerate(batch)
@@ -93,13 +101,50 @@ class WorkGroupCtx:
             latencies.extend(typing.cast(typing.List[int], results))
         return latencies
 
+    def _parallel_read_fast(
+        self, batch: typing.Sequence[int]
+    ) -> typing.Generator[object, object, typing.Optional[typing.List[int]]]:
+        """Analytic fast path for an all-L3-hit parallel batch.
+
+        L3 hits never evict, so peeking membership of the whole batch is
+        sound; commits then happen in issue order and every completion
+        (hence every trace/metrics record) lands strictly ascending in the
+        issue index.  Returns ``None`` — without yielding — when any line
+        misses or a queued event falls inside the batch's span.
+        """
+        soc = self.soc
+        engine = soc.engine
+        l3 = soc.gpu_l3
+        hit_fs = soc._l3_hit_fs
+        issue_fs = self._issue_fs
+        n = len(batch)
+        t0 = engine._now
+        t_end = t0 + (n - 1) * issue_fs + hit_fs
+        queue = engine._queue
+        if queue and queue[0][0] <= t_end:
+            return None
+        for paddr in batch:
+            if not l3.contains(paddr):
+                return None
+        trace = soc._trace_cache
+        hist = soc._lat_gpu
+        for k, paddr in enumerate(batch):
+            l3.access(paddr)
+            if trace is not None:
+                trace.emit("cache.access", t0 + k * issue_fs + hit_fs, "gpu",
+                           {"level": "l3", "hit": True, "paddr": paddr})
+            if hist is not None:
+                hist.add(hit_fs / 1e6)
+        yield t_end - t0
+        return [hit_fs] * n
+
     def wait_cycles(self, cycles: float) -> typing.Generator:
         """Busy-wait for a number of GPU cycles."""
-        yield Timeout(self.soc.engine, self.soc.gpu_cycles_fs(cycles))
+        yield self.soc.gpu_cycles_fs(cycles)
 
     def barrier(self) -> typing.Generator:
         """Work-group barrier; a few cycles of synchronization cost."""
-        yield Timeout(self.soc.engine, self.soc.gpu_cycles_fs(4))
+        yield self.soc.gpu_cycles_fs(4)
 
     # ------------------------------------------------------------------
     # Custom timer (§III-B)

@@ -1,0 +1,55 @@
+"""Global switch for the simulator's coalesced fast paths.
+
+Layer 1 of the fast path — integer-delay yields in
+:class:`~repro.sim.process.Process` — is *unconditionally* equivalent to
+yielding a :class:`~repro.sim.events.Timeout` (same resume time, same
+tie-breaking sequence number) and is therefore always on.  Layers 2 and 3
+— coalesced access paths, the ring reservation ledger and the burst APIs
+— change how many engine events a simulated access costs, so they sit
+behind this switch: the equivalence suite (``tests/test_fastpath.py``)
+runs every scenario with the switch forced on and off and pins the
+outcomes to each other.
+
+The flag is sampled **once, at construction time**, by every component
+that owns a fast path (:class:`~repro.soc.machine.SoC`,
+:class:`~repro.soc.ring.Ring`), so one machine is consistently fast or
+consistently slow for its whole lifetime; flipping the switch mid-run
+only affects machines built afterwards.  Default is on; set
+``REPRO_FASTPATH=0`` in the environment to build slow-path machines.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import typing
+
+_ENABLED = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+    "no",
+)
+
+
+def enabled() -> bool:
+    """Whether machines built now use the coalesced fast paths."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Set the construction-time default for new machines."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextlib.contextmanager
+def forced(flag: bool) -> typing.Iterator[None]:
+    """Temporarily force the flag (the equivalence suite's lever)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

@@ -1,30 +1,42 @@
 """Generator-based simulation processes.
 
 A process is a Python generator that yields :class:`~repro.sim.events.Event`
-objects.  Yielding suspends the process until the event triggers, at which
-point the event's value is sent back into the generator.  Sub-operations
-compose with ``yield from`` (e.g. a CPU load is a generator that acquires
-the ring, waits a cache latency, and *returns* the measured latency).
+objects **or plain non-negative integers**.  Yielding an event suspends the
+process until the event triggers, at which point the event's value is sent
+back into the generator.  Yielding an ``int`` is a pure timed wait: the
+process's bound resume callback is scheduled directly on the engine,
+skipping the ``Timeout``/``Event`` allocation, the callback list and the
+subscribe step — the resume lands at exactly the time, and with exactly
+the tie-breaking sequence number, the equivalent ``Timeout`` yield would
+have produced.  Sub-operations compose with ``yield from`` (e.g. a CPU
+load is a generator that acquires the ring, waits a cache latency, and
+*returns* the measured latency).
 
 A :class:`Process` is itself an event that triggers with the generator's
 return value, so processes can wait on each other and :class:`AllOf` can
 act as a barrier across a batch of parallel memory requests.
 
 The advance/wake cycle is the hottest control path in the simulator: every
-yield costs one ``_advance`` plus one ``_on_event``.  Both are plain bound
-methods (no closures allocated per yield) and the generator's ``send`` is
-cached at spawn time.
+yield costs one ``_advance`` plus one ``_on_event`` (or ``_on_timed``).
+All of them are plain bound methods — the module's contract is that **no
+closures are allocated per yield or per interrupt** — and the generator's
+``send`` is cached at spawn time.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush as _heappush
 
 from repro.errors import SimulationError
 from repro.sim.events import _PENDING, Event
 
 if typing.TYPE_CHECKING:
     from repro.sim.engine import Engine
+
+#: Sentinel stored in ``_waiting_on`` while a process sits in an
+#: integer-delay timed wait (there is no event object to point at).
+_TIMED = object()
 
 
 class Interrupt(Exception):
@@ -36,9 +48,17 @@ class Interrupt(Exception):
 
 
 class Process(Event):
-    """Drives a generator, suspending on the events it yields."""
+    """Drives a generator, suspending on the events (or delays) it yields."""
 
-    __slots__ = ("_generator", "_send", "_waiting_on", "_alive")
+    __slots__ = (
+        "_generator",
+        "_send",
+        "_waiting_on",
+        "_alive",
+        "_resume_at",
+        "_stale_times",
+        "_interrupts",
+    )
 
     def __init__(self, engine: "Engine", generator: typing.Generator) -> None:
         if not hasattr(generator, "send"):
@@ -50,8 +70,13 @@ class Process(Event):
         self._callbacks = []
         self._generator = generator
         self._send = generator.send
-        self._waiting_on: typing.Optional[Event] = None
+        self._waiting_on: typing.Optional[object] = None
         self._alive = True
+        self._resume_at = 0
+        # Lazily allocated: only processes that are interrupted mid-wait
+        # ever pay for these.
+        self._stale_times: typing.Optional[typing.List[int]] = None
+        self._interrupts: typing.Optional[typing.List[Interrupt]] = None
         # Start on the next scheduling round so the caller can subscribe
         # before the first step runs.
         engine.schedule(0, self._start)
@@ -62,12 +87,40 @@ class Process(Event):
         return self._alive
 
     def interrupt(self, cause: object = None) -> None:
-        """Throw :class:`Interrupt` into the process at its current yield."""
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Delivery goes through the prebound :meth:`_deliver_interrupt` —
+        no closure is allocated per interrupt.  Multiple interrupts queue
+        FIFO, one delivery per scheduled callback, matching the old
+        one-closure-per-interrupt semantics exactly.
+        """
         if not self._alive:
             return
+        if self._waiting_on is _TIMED:
+            # The already-scheduled timed resume must become a no-op; its
+            # callback is identified by the time it will fire at.
+            if self._stale_times is None:
+                self._stale_times = []
+            self._stale_times.append(self._resume_at)
         self._waiting_on = None
-        exc = Interrupt(cause)
-        self.engine.schedule(0, lambda: self._advance(None, exc))
+        if self._interrupts is None:
+            self._interrupts = []
+        self._interrupts.append(Interrupt(cause))
+        self.engine.schedule(0, self._deliver_interrupt)
+
+    def _deliver_interrupt(self) -> None:
+        pending = self._interrupts
+        if not pending:
+            return
+        if self._waiting_on is _TIMED:
+            # A queued interrupt can land while a fresh timed wait is in
+            # flight (the previous interrupt's handler re-entered one);
+            # orphan that resume exactly like interrupt() does.
+            if self._stale_times is None:
+                self._stale_times = []
+            self._stale_times.append(self._resume_at)
+            self._waiting_on = None
+        self._advance(None, pending.pop(0))
 
     def _start(self) -> None:
         self._advance(None, None)
@@ -90,13 +143,44 @@ class Process(Event):
             self._alive = False
             self.succeed(None)
             return
+        if type(yielded) is int:
+            # Pure timed wait: schedule the bound resume directly.  The
+            # inline push mirrors Engine.schedule (same time, same
+            # sequence counter) without the attribute round-trips.
+            if yielded < 0:
+                raise SimulationError(f"cannot schedule in the past: {yielded}")
+            engine = self.engine
+            at = engine._now + yielded
+            sequence = engine._sequence
+            engine._sequence = sequence + 1
+            _heappush(engine._queue, (at, sequence, self._on_timed))
+            self._waiting_on = _TIMED
+            self._resume_at = at
+            return
         if not isinstance(yielded, Event):
             raise SimulationError(
                 f"process yielded {type(yielded).__name__}; processes must "
-                "yield Event objects (Timeout, Process, AllOf, ...)"
+                "yield Event objects (Timeout, Process, AllOf, ...) or a "
+                "non-negative int delay in femtoseconds"
             )
         self._waiting_on = yielded
         yielded.subscribe(self._on_event)
+
+    def _on_timed(self) -> None:
+        stale = self._stale_times
+        if stale:
+            # A resume orphaned by an interrupt fires before any timed
+            # wait scheduled after it (earlier sequence number wins ties),
+            # so consuming one matching entry per firing is exact even
+            # when a stale and a live resume share the same timestamp.
+            now = self.engine._now
+            if now in stale:
+                stale.remove(now)
+                return
+        if self._waiting_on is not _TIMED:
+            return  # stale wakeup after an interrupt
+        self._waiting_on = None
+        self._advance(None, None)
 
     def _on_event(self, event: Event) -> None:
         if self._waiting_on is not event:

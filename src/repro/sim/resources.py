@@ -12,7 +12,7 @@ import collections
 import typing
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, Timeout
+from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:
     from repro.sim.engine import Engine
@@ -34,11 +34,13 @@ class FifoResource:
         self.total_wait_fs = 0
         self.total_hold_fs = 0
         self._granted_at = 0
+        # Reservation ledger (fast path): the time the server frees up.
+        self._busy_until = 0
 
     @property
     def busy(self) -> bool:
         """Whether the resource is currently held."""
-        return self._busy
+        return self._busy or self.engine.now < self._busy_until
 
     @property
     def queue_length(self) -> int:
@@ -82,8 +84,36 @@ class FifoResource:
         requested_at = self.engine.now
         yield self.request()
         waited = self.engine.now - requested_at
-        yield Timeout(self.engine, hold_fs)
+        yield hold_fs
         self.release()
+        return waited
+
+    def reserve(self, hold_fs: int, at_fs: typing.Optional[int] = None) -> int:
+        """Ledger-mode occupancy: grant, hold and release in one call.
+
+        Books a FIFO occupancy of ``hold_fs`` requested at ``at_fs``
+        (default: now) without any event traffic, returning the queueing
+        delay the requester experiences — exactly what
+        ``yield from occupy(hold_fs)`` would have returned, because FIFO
+        service order is fully determined by request time.  The caller is
+        responsible for simulating the returned wait plus the hold (one
+        coalesced yield).  ``at_fs`` may lie in the future (a coalesced
+        access path reserving at its logical request time); it must never
+        precede an earlier reservation's request time.
+
+        Event-mode (:meth:`request`/:meth:`release`) and ledger-mode use
+        must not be mixed on one resource — a machine picks one mode at
+        construction.
+        """
+        at = self.engine._now if at_fs is None else at_fs
+        start = self._busy_until
+        if start < at:
+            start = at
+        waited = start - at
+        self._busy_until = start + hold_fs
+        self.total_grants += 1
+        self.total_wait_fs += waited
+        self.total_hold_fs += hold_fs
         return waited
 
     def utilization(self) -> float:
@@ -93,6 +123,11 @@ class FifoResource:
         held = self.total_hold_fs
         if self._busy:
             held += self.engine.now - self._granted_at
+        # Ledger mode books whole holds up front; exclude the unexpired
+        # overhang so mid-hold reads match event-mode partial accounting.
+        overhang = self._busy_until - self.engine.now
+        if overhang > 0:
+            held -= overhang
         return held / self.engine.now
 
 

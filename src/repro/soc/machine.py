@@ -22,7 +22,8 @@ from repro.config import SoCConfig, kaby_lake
 from repro.errors import SimulationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import recorder as _recorder
-from repro.sim import FS_PER_S, RngStreams, Timeout
+from repro.sim import FS_PER_S, RngStreams
+from repro.sim import fastpath as _fastpath
 from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.soc.cpu_cache import CpuCoreCaches
@@ -77,6 +78,26 @@ class SoC:
         # Per-core OS preemption windows (timer interrupts, §V error floor).
         self._core_stall_until = [0] * self.config.cpu_cores
         self._tick_process: typing.Optional[Process] = None
+        # ------------------------------------------------------------------
+        # Fast path (see repro.sim.fastpath).  Sampled once so this machine
+        # is consistently fast or consistently slow; the precomputed fixed
+        # latencies below feed the coalesced access paths and bursts.
+        self._fastpath = _fastpath.enabled()
+        cache_cfg = self.config.cpu_cache
+        self._l1_hit_fs = self.cpu_cycles_fs(cache_cfg.l1_hit_cycles)
+        self._l2_hit_fs = self.cpu_cycles_fs(cache_cfg.l2_hit_cycles)
+        self._l3_hit_fs = self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles)
+        llc_lookup_fs = self.cpu_cycles_fs(self.config.llc.lookup_cycles)
+        gpu_traverse_fs = (
+            self.ring.traverse_fs * self.config.ring.gpu_traverse_multiplier
+        )
+        self._cpu_pre_fs = self._l2_hit_fs + self.ring.traverse_fs
+        self._cpu_tail_base_fs = llc_lookup_fs + self.ring.traverse_fs
+        self._gpu_pre_fs = self._l3_hit_fs + gpu_traverse_fs
+        self._gpu_tail_base_fs = llc_lookup_fs + gpu_traverse_fs
+        self._core_tracks = [
+            f"cpu.core{core}" for core in range(self.config.cpu_cores)
+        ]
         # ------------------------------------------------------------------
         # Fault injection (see repro.faults).  Every SLM timer registers
         # itself here so the clock-drift injector can reach it; the probe
@@ -168,8 +189,8 @@ class SoC:
         """Hold the program while the OS has preempted its core."""
         start = self.engine.now
         stall_until = self._core_stall_until[core]
-        if stall_until > self.engine.now:
-            yield Timeout(self.engine, stall_until - self.engine.now)
+        if stall_until > start:
+            yield stall_until - start
         return self.engine.now - start
 
     def preempt_core(self, core: int, duration_fs: int) -> None:
@@ -188,6 +209,12 @@ class SoC:
 
     def cpu_access(self, core: int, paddr: int) -> AccessGen:
         """One CPU load (or write-allocate store); returns latency in fs."""
+        if self._fastpath:
+            return self._cpu_access_fast(core, paddr)
+        return self._cpu_access_slow(core, paddr)
+
+    def _cpu_access_slow(self, core: int, paddr: int) -> AccessGen:
+        """Reference path: one yield per pipeline stage."""
         start = self.engine.now
         yield from self.stall_if_preempted(core)
         caches = self.cpu_caches[core]
@@ -195,7 +222,7 @@ class SoC:
         trace = self._trace_cache
         l1 = caches.l1.access(paddr)
         if l1.hit:
-            yield Timeout(self.engine, self.cpu_cycles_fs(cache_cfg.l1_hit_cycles))
+            yield self.cpu_cycles_fs(cache_cfg.l1_hit_cycles)
             if trace is not None:
                 trace.emit("cache.access", self.engine.now, f"cpu.core{core}",
                            {"level": "l1", "hit": True, "paddr": paddr})
@@ -206,7 +233,7 @@ class SoC:
         if l2.evicted is not None:
             caches.l1.invalidate(l2.evicted)
         if l2.hit:
-            yield Timeout(self.engine, self.cpu_cycles_fs(cache_cfg.l2_hit_cycles))
+            yield self.cpu_cycles_fs(cache_cfg.l2_hit_cycles)
             if trace is not None:
                 trace.emit("cache.access", self.engine.now, f"cpu.core{core}",
                            {"level": "l2", "hit": True, "paddr": paddr})
@@ -214,10 +241,7 @@ class SoC:
             self._record_cpu_latency(core, latency)
             return latency
         # Private caches missed: cross the ring to the LLC slice.
-        yield Timeout(
-            self.engine,
-            self.cpu_cycles_fs(cache_cfg.l2_hit_cycles) + self.ring.traverse_fs,
-        )
+        yield self.cpu_cycles_fs(cache_cfg.l2_hit_cycles) + self.ring.traverse_fs
         yield from self.ring.transfer(self._line_slots, "cpu")
         llc = self.llc.access(paddr, allowed_ways=self._fill_ways("cpu"))
         self._llc_evict_cpu_side(llc.evicted)
@@ -247,10 +271,217 @@ class SoC:
             if self._lat_dram is not None:
                 self._lat_dram.add(dram_fs / 1e6)
             tail_fs += dram_fs
-        yield Timeout(self.engine, tail_fs)
+        yield tail_fs
         latency = self.engine.now - start
         self._record_cpu_latency(core, latency)
         return latency
+
+    def _cpu_access_fast(self, core: int, paddr: int) -> AccessGen:
+        """Coalesced path: one yield for a private hit, ≤2 around the ring.
+
+        Observationally equivalent to :meth:`_cpu_access_slow`: every
+        cache/ring/DRAM state change and every trace/metrics emit happens
+        with the same logical timestamp and in the same cross-agent order
+        (folds only happen when no other event can run inside the folded
+        window — see DESIGN, "Fast-path contract").
+        """
+        engine = self.engine
+        start = engine._now
+        stall_until = self._core_stall_until[core]
+        if stall_until > start:
+            yield stall_until - start
+        caches = self.cpu_caches[core]
+        trace = self._trace_cache
+        l1 = caches.l1.access(paddr)
+        if l1.hit:
+            yield self._l1_hit_fs
+            if trace is not None:
+                trace.emit("cache.access", engine._now, self._core_tracks[core],
+                           {"level": "l1", "hit": True, "paddr": paddr})
+            latency = engine._now - start
+            if self._lat_cpu is not None:
+                self._lat_cpu[core].add(latency / 1e6)
+            return latency
+        l2 = caches.l2.access(paddr)
+        if l2.evicted is not None:
+            caches.l1.invalidate(l2.evicted)
+        if l2.hit:
+            yield self._l2_hit_fs
+            if trace is not None:
+                trace.emit("cache.access", engine._now, self._core_tracks[core],
+                           {"level": "l2", "hit": True, "paddr": paddr})
+            latency = engine._now - start
+            if self._lat_cpu is not None:
+                self._lat_cpu[core].add(latency / 1e6)
+            return latency
+        yield from self._miss_path_fast(
+            "cpu", self._core_tracks[core], paddr,
+            self._cpu_pre_fs, self._cpu_tail_base_fs,
+        )
+        latency = engine._now - start
+        if self._lat_cpu is not None:
+            self._lat_cpu[core].add(latency / 1e6)
+        return latency
+
+    def _llc_fill_fast(
+        self, domain: str, track: str, paddr: int, at_fs: int, tail_base_fs: int
+    ) -> int:
+        """LLC lookup + possible DRAM fill, stamped with logical ``at_fs``.
+
+        Returns the tail delay beyond ``at_fs``.  State mutations and
+        emits are identical to the slow path's post-ring segment; only
+        the timestamp is supplied instead of read from the engine.
+        """
+        llc = self.llc.access(paddr, allowed_ways=self._fill_ways(domain))
+        self._llc_evict_cpu_side(llc.evicted)
+        trace = self._trace_cache
+        if trace is not None:
+            location = self.llc.location_of(paddr)
+            trace.emit(
+                "cache.access", at_fs, track,
+                {"level": "llc", "hit": llc.hit, "paddr": paddr,
+                 "slice": location.slice_index, "set": location.set_index},
+            )
+        if llc.evicted is not None and self._trace_evict is not None:
+            self._trace_evict.emit(
+                "cache.evict", at_fs, "llc",
+                {"line": llc.evicted, "by": track, "set": llc.set_index},
+            )
+        tail_fs = tail_base_fs
+        if not llc.hit:
+            dram_fs = self.dram.latency_fs()
+            if self._trace_dram is not None:
+                self._trace_dram.emit(
+                    "dram.access", at_fs, "dram",
+                    {"requester": track, "latency_ns": dram_fs / 1e6},
+                )
+            if self._lat_dram is not None:
+                self._lat_dram.add(dram_fs / 1e6)
+            tail_fs += dram_fs
+        return tail_fs
+
+    def _miss_path_fast(
+        self, domain: str, track: str, paddr: int, pre_fs: int, tail_base_fs: int
+    ) -> typing.Generator[object, object, None]:
+        """Private-miss → ring → LLC/DRAM with fixed segments folded.
+
+        Folding a segment is legal only when no other queued event can
+        run inside it (strictly — pre-existing entries at the boundary
+        time carry lower sequence numbers and would run first), so every
+        fold is guarded by a queue-head check.  The TDM window check and,
+        when a DRAM fault hook is armed, the DRAM draw must happen at
+        their true times; those configurations simply fold less.
+        """
+        engine = self.engine
+        ring = self.ring
+        queue = engine._queue
+        t0 = engine._now
+        t1 = t0 + pre_fs
+        if ring.tdm is None and (not queue or queue[0][0] > t1):
+            # Fold the pre-ring latency into the reservation: the request
+            # is booked at its logical time t1.
+            waited, hold = ring.reserve(self._line_slots, domain, at_fs=t1)
+            t3 = t1 + waited + hold
+            if self.dram.fault_hook is None and (not queue or queue[0][0] > t3):
+                tail_fs = self._llc_fill_fast(domain, track, paddr, t3, tail_base_fs)
+                yield t3 - t0 + tail_fs
+                return
+            yield t3 - t0
+            tail_fs = self._llc_fill_fast(domain, track, paddr, engine._now, tail_base_fs)
+            yield tail_fs
+            return
+        yield pre_fs
+        if ring.tdm is not None:
+            tdm_wait = ring.tdm.wait_fs(domain, engine._now)
+            if tdm_wait:
+                yield tdm_wait
+        t1 = engine._now
+        waited, hold = ring.reserve(self._line_slots, domain)
+        t3 = t1 + waited + hold
+        if self.dram.fault_hook is None and (not queue or queue[0][0] > t3):
+            tail_fs = self._llc_fill_fast(domain, track, paddr, t3, tail_base_fs)
+            yield t3 - t1 + tail_fs
+            return
+        yield t3 - t1
+        tail_fs = self._llc_fill_fast(domain, track, paddr, engine._now, tail_base_fs)
+        yield tail_fs
+
+    def cpu_access_burst(
+        self, core: int, paddrs: typing.Sequence[int]
+    ) -> typing.Generator[object, object, typing.List[int]]:
+        """Serial loads; runs of private-cache hits fold into one yield.
+
+        Returns per-access latencies, exactly as issuing each load through
+        :meth:`cpu_access` would.  Private hits touch no shared state, so
+        batching a run of them is invisible to every other agent — and the
+        fold only happens while no other event (and no preemption-window
+        boundary) falls inside the run.  Misses, stalls and near-term
+        foreign events drop to the per-access path for one access.
+        """
+        if not self._fastpath:
+            latencies = []
+            for paddr in paddrs:
+                latency = yield from self._cpu_access_slow(core, paddr)
+                latencies.append(latency)
+            return latencies
+        engine = self.engine
+        queue = engine._queue
+        caches = self.cpu_caches[core]
+        l1 = caches.l1
+        l2 = caches.l2
+        d1 = self._l1_hit_fs
+        d2 = self._l2_hit_fs
+        trace = self._trace_cache
+        hist = self._lat_cpu[core] if self._lat_cpu is not None else None
+        track = self._core_tracks[core]
+        stalls = self._core_stall_until
+        latencies: typing.List[int] = []
+        n = len(paddrs)
+        i = 0
+        while i < n:
+            acc = 0
+            t = engine._now
+            head = queue[0][0] if queue else None
+            while i < n:
+                ti = t + acc
+                if stalls[core] > ti:
+                    break
+                if head is not None and head <= ti + d2:
+                    break
+                paddr = paddrs[i]
+                if l1.contains(paddr):
+                    l1.access(paddr)
+                    acc += d1
+                    if trace is not None:
+                        trace.emit("cache.access", ti + d1, track,
+                                   {"level": "l1", "hit": True, "paddr": paddr})
+                    latencies.append(d1)
+                    if hist is not None:
+                        hist.add(d1 / 1e6)
+                    i += 1
+                    continue
+                if l2.contains(paddr):
+                    l1.access(paddr)  # install (same as the scalar path)
+                    result = l2.access(paddr)
+                    if result.evicted is not None:
+                        l1.invalidate(result.evicted)
+                    acc += d2
+                    if trace is not None:
+                        trace.emit("cache.access", ti + d2, track,
+                                   {"level": "l2", "hit": True, "paddr": paddr})
+                    latencies.append(d2)
+                    if hist is not None:
+                        hist.add(d2 / 1e6)
+                    i += 1
+                    continue
+                break
+            if acc:
+                yield acc
+            if i < n:
+                latency = yield from self._cpu_access_fast(core, paddrs[i])
+                latencies.append(latency)
+                i += 1
+        return latencies
 
     def clflush(self, core: int, paddr: int) -> AccessGen:
         """Flush one line from the CPU-coherent domain (L1, L2, LLC).
@@ -265,7 +496,7 @@ class SoC:
         cost_cycles = self.config.cpu_cache.l2_hit_cycles
         if was_in_llc:
             cost_cycles += self.config.llc.lookup_cycles
-        yield Timeout(self.engine, self.cpu_cycles_fs(cost_cycles))
+        yield self.cpu_cycles_fs(cost_cycles)
         return self.engine.now - start
 
     # ------------------------------------------------------------------
@@ -273,11 +504,17 @@ class SoC:
 
     def gpu_access(self, paddr: int) -> AccessGen:
         """One GPU (OpenCL) load through L3 → ring → LLC → DRAM."""
+        if self._fastpath:
+            return self._gpu_access_fast(paddr)
+        return self._gpu_access_slow(paddr)
+
+    def _gpu_access_slow(self, paddr: int) -> AccessGen:
+        """Reference path: one yield per pipeline stage."""
         start = self.engine.now
         trace = self._trace_cache
         l3 = self.gpu_l3.access(paddr)
         if l3.hit:
-            yield Timeout(self.engine, self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles))
+            yield self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles)
             if trace is not None:
                 trace.emit("cache.access", self.engine.now, "gpu",
                            {"level": "l3", "hit": True, "paddr": paddr})
@@ -288,10 +525,7 @@ class SoC:
         # L3 miss detection, then cross the ring.  The L3 fill already
         # happened in state (non-inclusive victim silently dropped).
         gpu_traverse_fs = self.ring.traverse_fs * self.config.ring.gpu_traverse_multiplier
-        yield Timeout(
-            self.engine,
-            self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles) + gpu_traverse_fs,
-        )
+        yield self.gpu_cycles_fs(self.config.gpu_l3.hit_cycles) + gpu_traverse_fs
         yield from self.ring.transfer(self._line_slots, "gpu")
         llc = self.llc.access(paddr, allowed_ways=self._fill_ways("gpu"))
         self._llc_evict_cpu_side(llc.evicted)
@@ -320,11 +554,86 @@ class SoC:
             if self._lat_dram is not None:
                 self._lat_dram.add(dram_fs / 1e6)
             tail_fs += dram_fs
-        yield Timeout(self.engine, tail_fs)
+        yield tail_fs
         latency = self.engine.now - start
         if self._lat_gpu is not None:
             self._lat_gpu.add(latency / 1e6)
         return latency
+
+    def _gpu_access_fast(self, paddr: int) -> AccessGen:
+        """Coalesced path: one yield for an L3 hit, ≤2 around the ring."""
+        engine = self.engine
+        start = engine._now
+        trace = self._trace_cache
+        l3 = self.gpu_l3.access(paddr)
+        if l3.hit:
+            yield self._l3_hit_fs
+            if trace is not None:
+                trace.emit("cache.access", engine._now, "gpu",
+                           {"level": "l3", "hit": True, "paddr": paddr})
+            latency = engine._now - start
+            if self._lat_gpu is not None:
+                self._lat_gpu.add(latency / 1e6)
+            return latency
+        yield from self._miss_path_fast(
+            "gpu", "gpu", paddr, self._gpu_pre_fs, self._gpu_tail_base_fs
+        )
+        latency = engine._now - start
+        if self._lat_gpu is not None:
+            self._lat_gpu.add(latency / 1e6)
+        return latency
+
+    def gpu_access_burst(
+        self, paddrs: typing.Sequence[int]
+    ) -> typing.Generator[object, object, typing.List[int]]:
+        """Serial GPU loads; runs of L3 hits fold into one yield.
+
+        The GPU-side sibling of :meth:`cpu_access_burst` (no preemption
+        windows on the GPU; L3 hits never evict, §III-D).  Returns
+        per-access latencies.
+        """
+        if not self._fastpath:
+            latencies = []
+            for paddr in paddrs:
+                latency = yield from self._gpu_access_slow(paddr)
+                latencies.append(latency)
+            return latencies
+        engine = self.engine
+        queue = engine._queue
+        l3 = self.gpu_l3
+        d3 = self._l3_hit_fs
+        trace = self._trace_cache
+        hist = self._lat_gpu
+        latencies: typing.List[int] = []
+        n = len(paddrs)
+        i = 0
+        while i < n:
+            acc = 0
+            t = engine._now
+            head = queue[0][0] if queue else None
+            while i < n:
+                ti = t + acc
+                if head is not None and head <= ti + d3:
+                    break
+                paddr = paddrs[i]
+                if not l3.contains(paddr):
+                    break
+                l3.access(paddr)
+                acc += d3
+                if trace is not None:
+                    trace.emit("cache.access", ti + d3, "gpu",
+                               {"level": "l3", "hit": True, "paddr": paddr})
+                latencies.append(d3)
+                if hist is not None:
+                    hist.add(d3 / 1e6)
+                i += 1
+            if acc:
+                yield acc
+            if i < n:
+                latency = yield from self._gpu_access_fast(paddrs[i])
+                latencies.append(latency)
+                i += 1
+        return latencies
 
     # ------------------------------------------------------------------
     # Background noise (§II-B: unconstrained CPU side)
@@ -357,7 +666,7 @@ class SoC:
         lines = self._noise_lines
         while True:
             gap_fs = max(1, int(rng.exponential(1.0 / rate_per_s) * FS_PER_S))
-            yield Timeout(self.engine, gap_fs)
+            yield gap_fs
             paddr = lines[int(rng.integers(0, len(lines)))]
             yield from self.cpu_access(core, paddr)
 
@@ -384,7 +693,7 @@ class SoC:
             gap_us = noise.os_tick_period_us + rng.uniform(
                 -noise.os_tick_jitter_us, noise.os_tick_jitter_us
             )
-            yield Timeout(self.engine, max(1, int(gap_us * FS_PER_US)))
+            yield max(1, int(gap_us * FS_PER_US))
             core = int(rng.integers(0, self.config.cpu_cores))
             duration_fs = int(
                 noise.os_tick_duration_us * FS_PER_US * (0.6 + 0.8 * rng.random())

@@ -19,7 +19,7 @@ import typing
 from repro.config import ClockConfig, RingConfig
 from repro.errors import ConfigError
 from repro.obs.recorder import recorder as _recorder
-from repro.sim import Timeout
+from repro.sim import fastpath as _fastpath
 from repro.sim.engine import Engine
 from repro.sim.resources import FifoResource
 
@@ -67,6 +67,9 @@ class Ring:
         self.waited_fs: typing.Dict[Domain, int] = {"cpu": 0, "gpu": 0}
         # Resolved once; `None` keeps transfer()'s disabled path to one check.
         self._trace = _recorder.sink_for("ring.hop")
+        # Sampled at construction: one ring is consistently ledger-mode
+        # (reserve) or consistently event-mode (occupy) for its lifetime.
+        self._fast = _fastpath.enabled()
 
     @property
     def traverse_fs(self) -> int:
@@ -88,11 +91,22 @@ class Ring:
 
         Composable with ``yield from``.  The returned value is the
         contention component of the requester's latency (T_OV in Eq. (3)).
+        On a fast-path ring the occupancy goes through the reservation
+        ledger (one coalesced yield); otherwise through the event-mode
+        FIFO.  Both orderings are FIFO by request time, so the waits —
+        and all accounting — are identical.
         """
+        if self._fast:
+            return self._transfer_ledger(payload_slots, domain)
+        return self._transfer_event(payload_slots, domain)
+
+    def _transfer_event(
+        self, payload_slots: int, domain: Domain
+    ) -> typing.Generator[object, object, int]:
         if self.tdm is not None:
             tdm_wait = self.tdm.wait_fs(domain, self.engine.now)
             if tdm_wait:
-                yield Timeout(self.engine, tdm_wait)
+                yield tdm_wait
         waited = yield from self._resource.occupy(self.hold_fs(payload_slots))
         # `.get` keeps the accounting open to auxiliary domains ("fault"
         # back-pressure bursts) beyond the wired-in cpu/gpu pair.
@@ -111,6 +125,49 @@ class Ring:
                 },
             )
         return waited
+
+    def _transfer_ledger(
+        self, payload_slots: int, domain: Domain
+    ) -> typing.Generator[object, object, int]:
+        if self.tdm is not None:
+            # The TDM window check must happen at the true request time,
+            # so it cannot fold into the occupancy yield.
+            tdm_wait = self.tdm.wait_fs(domain, self.engine.now)
+            if tdm_wait:
+                yield tdm_wait
+        waited, hold = self.reserve(payload_slots, domain)
+        yield waited + hold
+        return waited
+
+    def reserve(
+        self, payload_slots: int, domain: Domain, at_fs: typing.Optional[int] = None
+    ) -> typing.Tuple[int, int]:
+        """Ledger-mode transfer: book occupancy + accounting at request time.
+
+        Returns ``(waited_fs, hold_fs)``; the caller simulates the delay
+        (typically folded into one coalesced yield).  ``at_fs`` lets a
+        coalesced access path reserve at its logical request time.  The
+        ``ring.hop`` trace fires now with the logical completion
+        timestamp — the same timestamp the event-mode emit carries.
+        """
+        at = self.engine._now if at_fs is None else at_fs
+        hold = self.hold_fs(payload_slots)
+        waited = self._resource.reserve(hold, at_fs=at)
+        self.transfers[domain] = self.transfers.get(domain, 0) + 1
+        self.waited_fs[domain] = self.waited_fs.get(domain, 0) + waited
+        if self._trace is not None:
+            self._trace.emit(
+                "ring.hop",
+                at + waited + hold,
+                "ring",
+                {
+                    "domain": domain,
+                    "slots": payload_slots,
+                    "waited_ns": waited / 1e6,
+                    "hold_ns": hold / 1e6,
+                },
+            )
+        return waited, hold
 
     def utilization(self) -> float:
         """Fraction of simulated time the ring medium was occupied."""
@@ -133,6 +190,14 @@ class Ring:
         return stats
 
     def reset_stats(self) -> None:
-        """Zero the per-domain accounting (between measurement windows)."""
-        self.transfers = {"cpu": 0, "gpu": 0}
-        self.waited_fs = {"cpu": 0, "gpu": 0}
+        """Zero the per-domain accounting (between measurement windows).
+
+        Auxiliary domains (e.g. the ``"fault"`` back-pressure domain) are
+        zeroed in place rather than dropped, so ``stats_dict()`` keeps
+        reporting them across measurement-window resets.
+        """
+        self.transfers = {domain: 0 for domain in self.transfers}
+        self.waited_fs = {domain: 0 for domain in self.waited_fs}
+        for domain in ("cpu", "gpu"):
+            self.transfers.setdefault(domain, 0)
+            self.waited_fs.setdefault(domain, 0)

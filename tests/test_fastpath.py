@@ -1,0 +1,385 @@
+"""Fast-path equivalence suite (see DESIGN, "Fast-path contract").
+
+Layer 1 of the fast path — integer-delay yields — is unconditionally
+equivalent to ``Timeout`` yields.  Layers 2–3 (coalesced access paths,
+the ring reservation ledger and the burst APIs) change how many engine
+events a simulated access costs, so every scenario here runs twice —
+``repro.sim.fastpath`` forced on and forced off — and the outcomes are
+pinned to each other byte-for-byte: payloads, latencies, final
+simulation time, metrics snapshots (including the order-sensitive
+Welford histograms) and armed trace streams.  The only licensed
+difference is ``engine.events_executed``, which the fast path must not
+*increase*.
+"""
+
+import pytest
+
+from repro.config import FaultsConfig, kaby_lake_model
+from repro.core.channel import ChannelDirection
+from repro.core.contention_channel import ContentionChannel, ContentionChannelConfig
+from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+from repro.cpu.core import CpuProgram
+from repro.gpu.workgroup import WorkGroupCtx
+from repro.mitigations import llc_way_partition, ring_tdm
+from repro.obs import DEFAULT_EVENT_ALLOWLIST, MemorySink, recorder
+from repro.sim import fastpath
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource
+from repro.soc.machine import SoC
+
+
+def _run(soc, generator):
+    process = soc.engine.process(generator)
+    return soc.engine.run_until_complete(process)
+
+
+def _snapshot_without_event_count(soc):
+    """Metrics snapshot with the events_executed carve-out applied.
+
+    Returns ``(snapshot, events_executed)``; everything in the snapshot
+    — including histogram summaries, whose float accumulation is
+    order-dependent — must be bit-identical across modes.
+    """
+    snapshot = soc.metrics_snapshot()
+    engine = dict(snapshot["engine"])
+    events = engine.pop("events_executed")
+    snapshot = dict(snapshot)
+    snapshot["engine"] = engine
+    return snapshot, events
+
+
+def _sorted_trace(events):
+    return sorted(
+        (e for e in events if e[0] != "engine.step"),
+        key=lambda e: (e[1], e[0], e[2], repr(e[3])),
+    )
+
+
+def _assert_equivalent(fast_outcome, slow_outcome):
+    """Compare (result, snapshot, events_executed[, trace]) packs."""
+    fast_result, fast_snapshot, fast_events = fast_outcome[:3]
+    slow_result, slow_snapshot, slow_events = slow_outcome[:3]
+    assert fast_result == slow_result
+    assert fast_snapshot == slow_snapshot
+    assert fast_events <= slow_events
+    if len(fast_outcome) > 3:
+        assert fast_outcome[3] == slow_outcome[3]
+
+
+# ----------------------------------------------------------------------
+# Machine-level workloads driven directly
+
+
+def _cpu_workload(fast, seed, use_burst):
+    with fastpath.forced(fast):
+        soc = SoC(kaby_lake_model(seed=seed, scale=16))
+        program = CpuProgram(soc, 0)
+        lines = program.alloc_lines(96)
+
+        def body():
+            # Cold fills with MLP, then hot re-reads (the burst's bread
+            # and butter), then a timed probe (rdtsc + read_series).
+            filled = yield from program.read_batch(lines)
+            if use_burst:
+                hot = yield from soc.cpu_access_burst(0, lines * 3)
+            else:
+                hot = []
+                for paddr in lines * 3:
+                    latency = yield from soc.cpu_access(0, paddr)
+                    hot.append(latency)
+            cycles = yield from program.timed_probe(lines[:32])
+            yield from program.clflush(lines[0])
+            reread = yield from program.read(lines[0])
+            return filled, hot, cycles, reread
+
+        result = _run(soc, body())
+        snapshot, events = _snapshot_without_event_count(soc)
+        return (result, soc.engine.now), snapshot, events
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_cpu_workload_equivalence(seed):
+    slow = _cpu_workload(False, seed, use_burst=False)
+    fast = _cpu_workload(True, seed, use_burst=False)
+    _assert_equivalent(fast, slow)
+
+
+@pytest.mark.parametrize("seed", [1, 5])
+def test_cpu_burst_matches_scalar_loop(seed):
+    scalar = _cpu_workload(True, seed, use_burst=False)
+    burst = _cpu_workload(True, seed, use_burst=True)
+    slow = _cpu_workload(False, seed, use_burst=True)
+    assert burst[0] == scalar[0]
+    assert burst[1] == scalar[1]
+    _assert_equivalent(burst, slow)
+
+
+def _gpu_workload(fast, seed, use_burst):
+    with fastpath.forced(fast):
+        soc = SoC(kaby_lake_model(seed=seed, scale=16))
+        program = CpuProgram(soc, 0)  # allocation convenience only
+        lines = program.alloc_lines(64)
+        wg = WorkGroupCtx(
+            soc, workgroup_id=0, subslice=0,
+            threads=soc.config.gpu.max_threads_per_workgroup,
+        )
+
+        def body():
+            wg.start_timer()
+            cold = yield from wg.parallel_read(lines)
+            hot = yield from wg.parallel_read(lines)
+            if use_burst:
+                serial = yield from soc.gpu_access_burst(lines)
+            else:
+                serial = []
+                for paddr in lines:
+                    latency = yield from soc.gpu_access(paddr)
+                    serial.append(latency)
+            ticks = yield from wg.timed_parallel_read(lines[:16])
+            yield from wg.barrier()
+            return cold, hot, serial, ticks
+
+        result = _run(soc, body())
+        snapshot, events = _snapshot_without_event_count(soc)
+        return (result, soc.engine.now), snapshot, events
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_gpu_workload_equivalence(seed):
+    slow = _gpu_workload(False, seed, use_burst=False)
+    fast = _gpu_workload(True, seed, use_burst=False)
+    _assert_equivalent(fast, slow)
+
+
+def test_gpu_burst_matches_scalar_loop():
+    scalar = _gpu_workload(True, 4, use_burst=False)
+    burst = _gpu_workload(True, 4, use_burst=True)
+    slow = _gpu_workload(False, 4, use_burst=True)
+    assert burst[0] == scalar[0]
+    assert burst[1] == scalar[1]
+    _assert_equivalent(burst, slow)
+
+
+def _contended_workload(fast, seed):
+    """CPU core and GPU streaming through the ring at the same time."""
+    with fastpath.forced(fast):
+        soc = SoC(kaby_lake_model(seed=seed, scale=16))
+        program = CpuProgram(soc, 0)
+        cpu_lines = program.alloc_lines(48)
+        gpu_lines = program.alloc_lines(48)
+        wg = WorkGroupCtx(soc, 0, 0, threads=soc.config.gpu.max_threads_per_workgroup)
+        soc.start_system_effects()
+
+        def gpu_side():
+            total = []
+            for _ in range(4):
+                lats = yield from wg.parallel_read(gpu_lines)
+                total.extend(lats)
+            return total
+
+        def cpu_side():
+            total = []
+            for _ in range(4):
+                lats = yield from program.read_series(cpu_lines)
+                total.extend(lats)
+            return total
+
+        gpu_process = soc.engine.process(gpu_side())
+        cpu_result = _run(soc, cpu_side())
+        gpu_result = soc.engine.run_until_complete(gpu_process)
+        soc.stop_noise()
+        soc.stop_os_ticks()
+        snapshot, events = _snapshot_without_event_count(soc)
+        return (cpu_result, gpu_result, soc.engine.now), snapshot, events
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_ring_contention_equivalence(seed):
+    slow = _contended_workload(False, seed)
+    fast = _contended_workload(True, seed)
+    _assert_equivalent(fast, slow)
+
+
+# ----------------------------------------------------------------------
+# Full channel transmissions
+
+
+def _llc_trial(fast, seed, direction, mitigation=None, intensity=None,
+               armed=False, n_bits=16):
+    with fastpath.forced(fast):
+        soc_config = kaby_lake_model(scale=16)
+        if intensity is not None:
+            soc_config = soc_config.replace(faults=FaultsConfig().scaled(intensity))
+        channel = LLCChannel(
+            LLCChannelConfig(direction=direction, mitigation=mitigation),
+            soc_config=soc_config,
+        )
+        trace = None
+        if armed:
+            sink = MemorySink()
+            with recorder.recording(sink, DEFAULT_EVENT_ALLOWLIST):
+                result = channel.transmit(n_bits=n_bits, seed=seed)
+            trace = _sorted_trace(sink.events)
+        else:
+            result = channel.transmit(n_bits=n_bits, seed=seed)
+        metrics = result.meta.pop("metrics", None)
+        outcome = (result.sent, result.received, result.elapsed_fs, result.meta)
+        events = None
+        if metrics is not None:
+            engine_metrics = dict(metrics["engine"])
+            events = engine_metrics.pop("events_executed")
+            metrics = dict(metrics)
+            metrics["engine"] = engine_metrics
+        return outcome, metrics, events, trace
+
+
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_llc_gpu_to_cpu_equivalence(seed):
+    slow = _llc_trial(False, seed, ChannelDirection.GPU_TO_CPU)
+    fast = _llc_trial(True, seed, ChannelDirection.GPU_TO_CPU)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", [21, 24])
+def test_llc_cpu_to_gpu_equivalence(seed):
+    slow = _llc_trial(False, seed, ChannelDirection.CPU_TO_GPU)
+    fast = _llc_trial(True, seed, ChannelDirection.CPU_TO_GPU)
+    assert fast == slow
+
+
+def test_llc_mitigated_equivalence():
+    slow = _llc_trial(False, 31, ChannelDirection.GPU_TO_CPU,
+                      mitigation=llc_way_partition())
+    fast = _llc_trial(True, 31, ChannelDirection.GPU_TO_CPU,
+                      mitigation=llc_way_partition())
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", [41, 42])
+def test_llc_faulted_equivalence(seed):
+    slow = _llc_trial(False, seed, ChannelDirection.GPU_TO_CPU, intensity=1.0)
+    fast = _llc_trial(True, seed, ChannelDirection.GPU_TO_CPU, intensity=1.0)
+    assert fast == slow
+
+
+def test_llc_armed_trace_equivalence():
+    slow = _llc_trial(False, 51, ChannelDirection.GPU_TO_CPU, armed=True,
+                      n_bits=8)
+    fast = _llc_trial(True, 51, ChannelDirection.GPU_TO_CPU, armed=True,
+                      n_bits=8)
+    assert fast[0] == slow[0]
+    assert fast[1] == slow[1]          # metrics incl. histograms
+    assert fast[2] <= slow[2]          # events_executed may only shrink
+    assert fast[3] == slow[3]          # the sorted trace streams
+    assert len(fast[3]) > 0
+
+
+def _contention_trial(fast, seed, mitigation=None, intensity=None, n_bits=16):
+    with fastpath.forced(fast):
+        soc_config = kaby_lake_model(scale=16)
+        if intensity is not None:
+            soc_config = soc_config.replace(faults=FaultsConfig().scaled(intensity))
+        channel = ContentionChannel(
+            ContentionChannelConfig(mitigation=mitigation)
+            if mitigation is not None
+            else ContentionChannelConfig(),
+            soc_config=soc_config,
+        )
+        calibration = channel.calibrate(seed=2)
+        result = channel.transmit(n_bits=n_bits, seed=seed,
+                                  calibration=calibration)
+        return (
+            calibration.iteration_factor,
+            result.sent,
+            result.received,
+            result.elapsed_fs,
+        )
+
+
+@pytest.mark.parametrize("seed", [61, 62, 63])
+def test_contention_channel_equivalence(seed):
+    slow = _contention_trial(False, seed)
+    fast = _contention_trial(True, seed)
+    assert fast == slow
+
+
+def test_contention_tdm_mitigated_equivalence():
+    slow = _contention_trial(False, 71, mitigation=ring_tdm(period_us=1.0),
+                             n_bits=8)
+    fast = _contention_trial(True, 71, mitigation=ring_tdm(period_us=1.0),
+                             n_bits=8)
+    assert fast == slow
+
+
+def test_contention_faulted_equivalence():
+    slow = _contention_trial(False, 81, intensity=0.5, n_bits=8)
+    fast = _contention_trial(True, 81, intensity=0.5, n_bits=8)
+    assert fast == slow
+
+
+# ----------------------------------------------------------------------
+# The reservation ledger against the event-mode FIFO
+
+
+ARRIVALS = [(0, 50), (10, 30), (10, 40), (95, 25), (200, 60), (205, 5)]
+
+
+def test_fifo_ledger_matches_event_mode():
+    # Event mode: one process per requester, arriving on schedule.
+    engine = Engine()
+    resource = FifoResource(engine, name="ring")
+    waits = []
+
+    def requester(at, hold):
+        if at:
+            yield at
+        waited = yield from resource.occupy(hold)
+        waits.append((at, waited))
+
+    for at, hold in ARRIVALS:
+        engine.process(requester(at, hold))
+    engine.run()
+
+    # Ledger mode: pure arithmetic, no events at all.
+    ledger_engine = Engine()
+    ledger = FifoResource(ledger_engine, name="ring")
+    ledger_waits = [
+        (at, ledger.reserve(hold, at_fs=at)) for at, hold in ARRIVALS
+    ]
+
+    assert sorted(waits) == sorted(ledger_waits)
+    assert ledger.total_grants == resource.total_grants
+    assert ledger.total_wait_fs == resource.total_wait_fs
+    assert ledger.total_hold_fs == resource.total_hold_fs
+    # The ledger's server frees up exactly when the last event-mode
+    # holder released.
+    assert ledger._busy_until == engine.now
+
+
+def test_ledger_utilization_excludes_unexpired_overhang():
+    engine = Engine()
+    resource = FifoResource(engine)
+    assert resource.reserve(100, at_fs=0) == 0
+    engine.schedule(50, lambda: None)
+    engine.run()
+    assert resource.busy
+    assert resource.utilization() == pytest.approx(1.0)
+    engine.schedule(150, lambda: None)
+    engine.run()
+    assert not resource.busy
+    assert resource.utilization() == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Construction-time sampling
+
+
+def test_flag_is_sampled_at_construction():
+    with fastpath.forced(False):
+        soc = SoC(kaby_lake_model(seed=1, scale=16))
+    assert not soc._fastpath
+    assert not soc.ring._fast
+    with fastpath.forced(True):
+        soc = SoC(kaby_lake_model(seed=1, scale=16))
+    assert soc._fastpath
+    assert soc.ring._fast

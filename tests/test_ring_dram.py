@@ -65,6 +65,33 @@ def test_ring_reset_stats(ring):
     assert ring.transfers == {"cpu": 0, "gpu": 0}
 
 
+def test_ring_reset_stats_keeps_auxiliary_domains(ring):
+    """Regression: resetting must zero — not drop — auxiliary domains.
+
+    The fault back-pressure injector transfers under the ``"fault"``
+    domain; a measurement-window reset used to reinstate only the wired
+    cpu/gpu keys, so ``stats_dict()`` silently stopped reporting the
+    injector's traffic after the first window.
+    """
+    engine = ring.engine
+
+    def one(domain):
+        yield from ring.transfer(1, domain)
+
+    engine.process(one("cpu"))
+    engine.process(one("fault"))
+    engine.run()
+    assert ring.transfers["fault"] == 1
+    ring.reset_stats()
+    assert ring.transfers == {"cpu": 0, "gpu": 0, "fault": 0}
+    assert ring.waited_fs == {"cpu": 0, "gpu": 0, "fault": 0}
+    assert ring.stats_dict()["fault"] == {
+        "transfers": 0,
+        "waited_fs": 0,
+        "mean_wait_ns": 0.0,
+    }
+
+
 def test_tdm_schedule_windows():
     tdm = TdmSchedule(period_fs=1000, cpu_share=0.5)
     assert tdm.wait_fs("cpu", 100) == 0

@@ -194,11 +194,69 @@ def test_process_non_event_yield_raises():
     engine = Engine()
 
     def body():
-        yield 42
+        yield 4.2
 
     engine.process(body())
     with pytest.raises(SimulationError):
         engine.run()
+
+
+def test_process_string_yield_raises():
+    engine = Engine()
+
+    def body():
+        yield "later"
+
+    engine.process(body())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_process_negative_int_yield_raises():
+    engine = Engine()
+
+    def body():
+        yield -1
+
+    engine.process(body())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_process_int_yield_is_timed_wait():
+    engine = Engine()
+    seen = []
+
+    def body():
+        yield 25
+        seen.append(engine.now)
+        yield 0
+        seen.append(engine.now)
+        return "done"
+
+    assert engine.run_until_complete(engine.process(body())) == "done"
+    assert seen == [25, 25]
+    assert engine.now == 25
+
+
+def test_int_yield_orders_like_timeout():
+    # An int yield and a Timeout yield scheduled at the same instant must
+    # interleave in spawn order, exactly as two Timeout yields would.
+    engine = Engine()
+    order = []
+
+    def int_waiter():
+        yield 10
+        order.append("int")
+
+    def timeout_waiter():
+        yield Timeout(engine, 10)
+        order.append("timeout")
+
+    engine.process(int_waiter())
+    engine.process(timeout_waiter())
+    engine.run()
+    assert order == ["int", "timeout"]
 
 
 def test_process_requires_generator():
@@ -309,3 +367,123 @@ def test_determinism_same_seedless_schedule():
         return log
 
     assert build() == build()
+
+
+# ----------------------------------------------------------------------
+# Interrupts vs. the integer-delay fast path
+
+
+def test_interrupt_during_timed_wait_stale_wakeup_noop():
+    engine = Engine()
+    log = []
+
+    def body():
+        try:
+            yield 100
+            log.append("timed-done")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, engine.now))
+        yield 100
+        log.append(("resumed", engine.now))
+
+    process = engine.process(body())
+    engine.schedule(50, lambda: process.interrupt("preempt"))
+    engine.run()
+    # The abandoned resume at t=100 must not fire into the new wait.
+    assert log == [("interrupted", "preempt", 50), ("resumed", 150)]
+
+
+def test_equal_time_stale_and_live_timed_wakeups():
+    # Interrupted at t=0, the process immediately re-enters a wait that
+    # lands at the *same* instant the orphaned resume fires (t=100); the
+    # orphan carries the lower sequence number, fires first, and must be
+    # swallowed without consuming the live resume.
+    engine = Engine()
+    log = []
+
+    def body():
+        try:
+            yield 100
+        except Interrupt:
+            pass
+        yield 100 - engine.now
+        log.append(engine.now)
+
+    process = engine.process(body())
+    engine.schedule(0, lambda: process.interrupt(None))
+    engine.run()
+    assert log == [100]
+
+
+def test_queued_interrupts_deliver_fifo_without_double_resume():
+    # Two interrupts issued back-to-back: the first handler re-enters a
+    # timed wait, which the second delivery abandons in turn.  Both
+    # orphaned resumes must stay no-ops.
+    engine = Engine()
+
+    def body():
+        causes = []
+        for _ in range(2):
+            try:
+                yield 1000
+            except Interrupt as exc:
+                causes.append(exc.cause)
+        yield 1000
+        causes.append(engine.now)
+        return causes
+
+    process = engine.process(body())
+
+    def both():
+        process.interrupt("a")
+        process.interrupt("b")
+
+    engine.schedule(1, both)
+    assert engine.run_until_complete(process) == ["a", "b", 1001]
+    assert engine.now == 1001
+
+
+def test_interrupted_shared_event_wakeup_is_noop():
+    # A process parked on a shared Event is interrupted, then enters a
+    # timed wait; the shared event firing afterwards must not resume it
+    # (the wakeup is stale) and must still reach other subscribers.
+    engine = Engine()
+    shared = Event(engine)
+    log = []
+
+    def victim():
+        try:
+            value = yield shared
+            log.append(("value", value))
+        except Interrupt:
+            log.append(("interrupted", engine.now))
+        yield 10
+        log.append(("after", engine.now))
+
+    def bystander():
+        value = yield shared
+        log.append(("bystander", value, engine.now))
+
+    process = engine.process(victim())
+    engine.process(bystander())
+    engine.schedule(5, lambda: process.interrupt(None))
+    engine.schedule(7, lambda: shared.succeed("payload"))
+    engine.run()
+    assert log == [
+        ("interrupted", 5),
+        ("bystander", "payload", 7),
+        ("after", 15),
+    ]
+
+
+def test_interrupt_of_dead_process_is_noop():
+    engine = Engine()
+
+    def body():
+        yield 5
+
+    process = engine.process(body())
+    engine.run()
+    assert not process.alive
+    process.interrupt("late")  # must not raise or schedule anything
+    engine.run()
