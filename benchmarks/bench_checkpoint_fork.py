@@ -1,0 +1,92 @@
+"""Checkpoint forking — cold sweep vs warm prefix-forked sweep.
+
+The slot-length sweep (:mod:`repro.analysis.checkpoint_sweep`) is the
+checkpoint subsystem's headline workload: every operating point shares
+one prepared machine and one joint calibration measurement.  This bench
+runs the sweep twice — once with checkpointing forced off (every point
+cold-starts and re-measures) and once forced on (every point forks the
+shared prefix) — asserts the rows are bit-identical, and records the
+wall-time ratio as ``speedup_vs_cold`` in ``BENCH_checkpoint_fork.json``.
+"""
+
+import time
+
+from conftest import BENCH_WORKERS, record_bench_json, report
+
+from repro import checkpoint
+from repro.analysis.checkpoint_sweep import slot_length_sweep
+from repro.analysis.render import format_table
+from repro.exec import TrialExecutor
+from repro.obs import EngineCensus
+
+
+def test_checkpoint_fork_speedup(benchmark):
+    def run():
+        with EngineCensus() as census:
+            t0 = time.perf_counter()
+            with checkpoint.forced(False):
+                cold = slot_length_sweep(
+                    seed=1, executor=TrialExecutor(workers=BENCH_WORKERS)
+                )
+            t_cold = time.perf_counter() - t0
+            warm_executor = TrialExecutor(workers=BENCH_WORKERS)
+            t1 = time.perf_counter()
+            with checkpoint.forced(True):
+                warm = slot_length_sweep(seed=1, executor=warm_executor)
+            t_warm = time.perf_counter() - t1
+        return cold, warm, t_cold, t_warm, warm_executor, census
+
+    cold, warm, t_cold, t_warm, warm_executor, census = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # The whole point: forking is a scheduling decision, not a result
+    # change.  Cold and warm sweeps must agree bit for bit.
+    assert cold.rows() == warm.rows()
+
+    speedup = t_cold / t_warm
+    table = format_table(
+        ["slot us", "iteration factor", "kbps", "error %"],
+        warm.rows(),
+    )
+    stats_lines = [
+        f"cold: {t_cold:.3f}s   warm-forked: {t_warm:.3f}s   "
+        f"speedup: {speedup:.2f}x",
+        warm.report.cache.summary() if warm.report else "cache: disabled",
+    ]
+    store = warm_executor._checkpoints
+    if store is not None:
+        stats_lines.append(store.stats.summary())
+    report(
+        "checkpoint_fork",
+        "Checkpoint forking: slot-length sweep, cold vs warm-forked "
+        "(rows bit-identical)",
+        table,
+        footer="\n".join(stats_lines) + "\n" + census.footer(),
+    )
+    record_bench_json(
+        "checkpoint_fork",
+        {
+            "workers": BENCH_WORKERS,
+            "wall_s": round(t_warm, 4),
+            "cold_wall_s": round(t_cold, 4),
+            "speedup_vs_cold": round(speedup, 3),
+            "engines": census.engines_created,
+            "events_executed": census.events_executed,
+            "events_per_sec": round(census.events_executed / (t_cold + t_warm), 1),
+            "cache": warm.report.cache.as_dict() if warm.report else {},
+            "checkpoints": (
+                dict(
+                    hits=store.stats.hits,
+                    misses=store.stats.misses,
+                    stores=store.stats.stores,
+                    evictions=store.stats.evictions,
+                )
+                if store is not None
+                else {}
+            ),
+        },
+    )
+    assert speedup >= 2.0, (
+        f"prefix forking bought only {speedup:.2f}x over cold starts"
+    )

@@ -1,90 +1,210 @@
-"""Benchmark regression guard for the simulator core.
+"""Benchmark regression guard for the committed performance artifacts.
 
-Compares the just-measured ``engine_events_per_sec`` (written by
-``bench_simulator_core.py`` into ``benchmarks/results/``) against the
-figure committed at HEAD — the benchmark run overwrites the working-tree
-file, so the committed baseline has to come out of git — and fails when
-throughput regresses more than the allowed fraction (default 20%).
+Three families of checks, all against the figures committed at HEAD (the
+benchmark run overwrites the working-tree files, so the baseline has to
+come out of git):
+
+* ``engine_events_per_sec`` from ``BENCH_simulator_core.json`` — the
+  core scheduler throughput metric (higher is better);
+* the headline wall time from ``BENCH_headline.json`` (lower is better,
+  with a wider tolerance — wall clocks on shared runners are noisy);
+* ``events_per_sec`` of every per-figure ``BENCH_*.json`` that records
+  one (higher is better).
+
+A metric present in the working tree but absent from the committed
+baseline — a brand-new benchmark, or an old artifact that predates a
+field — is reported and *skipped*, not failed: first runs must be able
+to establish their own baseline.
 
 Usage (CI runs exactly this)::
 
     python -m pytest benchmarks/bench_simulator_core.py -q
     python benchmarks/check_bench_regression.py
 
-Exit status 0 on pass, 1 on regression, 2 when the baseline cannot be
-resolved (not a git checkout and no ``--baseline`` given).
+Exit status 0 on pass, 1 on any regression, 2 when nothing could be
+checked at all (no results, or not a git checkout and no ``--baseline``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import subprocess
 import sys
+import typing
 
-RESULT_RELPATH = "benchmarks/results/BENCH_simulator_core.json"
-METRIC = "engine_events_per_sec"
+RESULTS_RELDIR = "benchmarks/results"
+CORE_RESULT = "BENCH_simulator_core.json"
+HEADLINE_RESULT = "BENCH_headline.json"
+CORE_METRIC = "engine_events_per_sec"
 DEFAULT_TOLERANCE = 0.20
+DEFAULT_WALL_TOLERANCE = 0.50
 
 
 def _repo_root() -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parent.parent
 
 
-def _rate(doc: dict) -> float:
-    return float(doc["metrics"][METRIC])
+@dataclasses.dataclass(frozen=True)
+class Check:
+    """One guarded scalar: where it lives and which direction is worse."""
+
+    name: str
+    relpath: str
+    extract: typing.Callable[[dict], typing.Optional[float]]
+    tolerance: float
+    higher_is_better: bool = True
 
 
-def committed_baseline(rev: str = "HEAD") -> float:
-    """The metric as committed at ``rev`` (the run overwrites the file)."""
-    blob = subprocess.check_output(
-        ["git", "show", f"{rev}:{RESULT_RELPATH}"],
-        cwd=_repo_root(),
-        stderr=subprocess.STDOUT,
+def _metric(doc: dict, *path: str) -> typing.Optional[float]:
+    """Walk nested dict keys; ``None`` (not KeyError) when any is absent."""
+    node: object = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    try:
+        return float(typing.cast(float, node))
+    except (TypeError, ValueError):
+        return None
+
+
+def committed_doc(relpath: str, rev: str) -> typing.Optional[dict]:
+    """The artifact as committed at ``rev``, or ``None`` if absent there."""
+    try:
+        blob = subprocess.check_output(
+            ["git", "show", f"{rev}:{relpath}"],
+            cwd=_repo_root(),
+            stderr=subprocess.DEVNULL,
+        )
+    except (subprocess.CalledProcessError, FileNotFoundError, OSError):
+        return None
+    try:
+        return json.loads(blob)
+    except ValueError:
+        return None
+
+
+def build_checks(
+    results_dir: pathlib.Path, tolerance: float, wall_tolerance: float
+) -> typing.List[Check]:
+    checks = [
+        Check(
+            name=f"simulator_core {CORE_METRIC}",
+            relpath=f"{RESULTS_RELDIR}/{CORE_RESULT}",
+            extract=lambda doc: _metric(doc, "metrics", CORE_METRIC),
+            tolerance=tolerance,
+        ),
+        Check(
+            name="headline wall_s",
+            relpath=f"{RESULTS_RELDIR}/{HEADLINE_RESULT}",
+            extract=lambda doc: _metric(doc, "runs", "0", "wall_s"),
+            tolerance=wall_tolerance,
+            higher_is_better=False,
+        ),
+    ]
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        checks.append(
+            Check(
+                name=f"{path.stem.removeprefix('BENCH_')} events_per_sec",
+                relpath=f"{RESULTS_RELDIR}/{path.name}",
+                extract=lambda doc: _metric(doc, "runs", "0", "events_per_sec"),
+                tolerance=tolerance,
+            )
+        )
+    return checks
+
+
+def run_check(
+    check: Check, rev: str, override_baseline: typing.Optional[float] = None
+) -> typing.Tuple[str, str]:
+    """Returns ``(status, message)``; status is ok/regression/skip."""
+    current_path = _repo_root() / check.relpath
+    if not current_path.exists():
+        return "skip", f"{check.name}: no current result; run the benchmark first"
+    try:
+        current = check.extract(json.loads(current_path.read_text()))
+    except ValueError:
+        return "skip", f"{check.name}: current artifact is not valid JSON"
+    if current is None:
+        return "skip", f"{check.name}: metric absent from current artifact"
+
+    if override_baseline is not None:
+        baseline: typing.Optional[float] = override_baseline
+    else:
+        doc = committed_doc(check.relpath, rev)
+        baseline = check.extract(doc) if doc is not None else None
+    if baseline is None or baseline <= 0:
+        return "skip", (
+            f"{check.name}: no committed baseline at {rev} "
+            f"(first run); current={current:,.4g} recorded"
+        )
+
+    if check.higher_is_better:
+        floor = baseline * (1.0 - check.tolerance)
+        bad = current < floor
+        bound = f"floor={floor:,.4g}"
+    else:
+        ceiling = baseline * (1.0 + check.tolerance)
+        bad = current > ceiling
+        bound = f"ceiling={ceiling:,.4g}"
+    status = "regression" if bad else "ok"
+    return status, (
+        f"{check.name}: current={current:,.4g} baseline={baseline:,.4g} "
+        f"{bound} ({current / baseline:.2f}x, tolerance {check.tolerance:.0%})"
     )
-    return _rate(json.loads(blob))
 
 
-def main(argv: list | None = None) -> int:
+def main(argv: typing.Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
-        help="allowed fractional regression (default 0.20 = 20%%)",
+        help="allowed fractional regression for throughput metrics "
+             "(default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=DEFAULT_WALL_TOLERANCE,
+        help="allowed fractional increase of the headline wall time "
+             "(default 0.50 = 50%%)",
     )
     parser.add_argument(
         "--baseline", type=float, default=None,
-        help="explicit baseline events/sec (default: the figure at HEAD)",
+        help=f"explicit baseline for the simulator-core {CORE_METRIC} "
+             "check (default: the figure at HEAD)",
     )
     parser.add_argument(
         "--rev", default="HEAD",
-        help="git revision to read the baseline from (default HEAD)",
+        help="git revision to read baselines from (default HEAD)",
     )
     args = parser.parse_args(argv)
 
-    current_path = _repo_root() / RESULT_RELPATH
-    if not current_path.exists():
-        print(f"no current result at {current_path}; run the benchmark first")
+    results_dir = _repo_root() / RESULTS_RELDIR
+    checks = build_checks(results_dir, args.tolerance, args.wall_tolerance)
+
+    regressions = 0
+    checked = 0
+    for check in checks:
+        override = (
+            args.baseline
+            if args.baseline is not None and CORE_METRIC in check.name
+            else None
+        )
+        status, message = run_check(check, args.rev, override)
+        label = {"ok": "ok", "regression": "REGRESSION", "skip": "skip"}[status]
+        print(f"[{label}] {message}")
+        if status == "regression":
+            regressions += 1
+        elif status == "ok":
+            checked += 1
+
+    if regressions:
+        return 1
+    if checked == 0:
+        print("nothing could be checked; pass --baseline or commit a baseline")
         return 2
-    current = _rate(json.loads(current_path.read_text()))
-
-    if args.baseline is not None:
-        baseline = args.baseline
-    else:
-        try:
-            baseline = committed_baseline(args.rev)
-        except (subprocess.CalledProcessError, FileNotFoundError) as exc:
-            print(f"cannot read committed baseline ({exc}); pass --baseline")
-            return 2
-
-    floor = baseline * (1.0 - args.tolerance)
-    verdict = "ok" if current >= floor else "REGRESSION"
-    print(
-        f"{verdict}: {METRIC} current={current:,.0f}/s "
-        f"baseline={baseline:,.0f}/s floor={floor:,.0f}/s "
-        f"({current / baseline:.2f}x of baseline, tolerance -{args.tolerance:.0%})"
-    )
-    return 0 if current >= floor else 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,172 @@
+"""Slot-length sweep of the contention channel, forked from one prefix.
+
+The sweep answers a question the paper's Fig. 9/10 leave implicit: how
+does the pre-agreed slot length trade bandwidth against error on one
+machine?  Every point shares the identical expensive prefix — the wired
+machine at the t=0 barrier and the 0.5 s joint calibration measurement —
+because the slot length only binds in the *derivation* step
+(``slot_fs = slot_us * 1e9``; the measurement itself never reads it).
+
+That makes the sweep the checkpoint subsystem's showcase workload:
+
+* the prepared machine is captured once per ``(config, seed)`` group by
+  :func:`repro.core.contention_channel.fork.prepare_doc` and forked into
+  every slot point through the executor's :class:`~repro.exec.PrefixSpec`
+  scheduling;
+* the joint measurement is shared through the calibration memo
+  (:mod:`repro.core.contention_channel.calibration`).
+
+Both layers are gated on ``REPRO_CHECKPOINT``; with the gate off every
+point cold-starts and re-measures.  The rows are bit-identical either
+way — ``benchmarks/bench_checkpoint_fork.py`` asserts exactly that while
+recording the wall-time ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro import checkpoint as _checkpoint
+from repro.config import SoCConfig, kaby_lake_model
+from repro.core.channel import ChannelResult
+from repro.core.contention_channel import (
+    ContentionChannel,
+    ContentionChannelConfig,
+)
+from repro.core.contention_channel import fork as contention_fork
+from repro.core.contention_channel.calibration import CalibrationResult
+from repro.errors import ChannelProtocolError
+
+if typing.TYPE_CHECKING:
+    from repro.exec import ExecutionReport, TrialExecutor
+
+Params = typing.Dict[str, object]
+
+#: Slot lengths (µs) swept by default: the paper's 2.6 µs operating point
+#: bracketed on both sides.
+DEFAULT_SLOT_LENGTHS_US = (1.8, 2.2, 2.6, 3.0, 3.4, 3.8, 4.2, 4.6)
+
+
+def _channel_for(params: Params, slot_us: typing.Optional[float] = None) -> ContentionChannel:
+    config = ContentionChannelConfig(
+        n_workgroups=typing.cast(int, params.get("n_workgroups", 2)),
+    )
+    if slot_us is not None:
+        config = dataclasses.replace(config, slot_us=slot_us)
+    return ContentionChannel(
+        config, soc_config=typing.cast(SoCConfig, params["soc_config"])
+    )
+
+
+def _slot_prefix(params: Params, seed: int) -> typing.Dict[str, object]:
+    """Shared prefix: the wired machine at t=0 (slot-length independent)."""
+    return contention_fork.prepare_doc(_channel_for(params), seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotPoint:
+    """One slot-length operating point of the sweep."""
+
+    slot_us: float
+    iteration_factor: float
+    bandwidth_kbps: float
+    error_percent: float
+    n_bits: int
+
+
+def _slot_pilot_trial(params: Params, seed: int) -> SlotPoint:
+    """One pilot transmission at one slot length.
+
+    Forks the prepared machine from the injected checkpoint doc when one
+    is present; cold-starts otherwise.  Both paths produce bit-identical
+    results — the doc only removes the shared prefix from the wall time.
+    """
+    slot_us = typing.cast(float, params["slot_us"])
+    n_bits = typing.cast(int, params["n_bits"])
+    channel = _channel_for(params, slot_us=slot_us)
+    # Every operating point rests on one joint measurement, so the sweep
+    # buys a higher-fidelity median than a single transmission would;
+    # warm runs pay for it exactly once through the calibration memo.
+    calibration: CalibrationResult = channel.calibrate(
+        seed=seed + 10_000, n_passes=typing.cast(int, params["cal_passes"])
+    )
+    doc = _checkpoint.resolve_state(params)
+    if doc is not None:
+        result: ChannelResult = contention_fork.transmit_from_doc(
+            channel, doc, n_bits=n_bits, seed=seed, calibration=calibration
+        )
+    else:
+        result = channel.transmit(n_bits=n_bits, seed=seed, calibration=calibration)
+    return SlotPoint(
+        slot_us=slot_us,
+        iteration_factor=calibration.iteration_factor,
+        bandwidth_kbps=round(result.bandwidth_kbps, 3),
+        error_percent=round(result.error_percent, 3),
+        n_bits=n_bits,
+    )
+
+
+@dataclasses.dataclass
+class SlotSweepData:
+    """Sweep rows plus the execution report they came from."""
+
+    points: typing.List[SlotPoint]
+    report: typing.Optional["ExecutionReport"] = None
+
+    def rows(self) -> typing.List[typing.Tuple[object, ...]]:
+        return [
+            (
+                p.slot_us,
+                p.iteration_factor,
+                round(p.bandwidth_kbps, 1),
+                round(p.error_percent, 2),
+            )
+            for p in self.points
+        ]
+
+
+def slot_length_sweep(
+    slot_lengths_us: typing.Sequence[float] = DEFAULT_SLOT_LENGTHS_US,
+    n_bits: int = 8,
+    cal_passes: int = 24,
+    seed: int = 1,
+    soc_config: typing.Optional[SoCConfig] = None,
+    workers: int = 0,
+    executor: typing.Optional["TrialExecutor"] = None,
+) -> SlotSweepData:
+    """Sweep the slot length; all points fork one shared warm prefix.
+
+    Every trial uses the *same* machine seed on purpose: the points
+    differ only in the derived slot, so they form one prefix group and
+    the prepared machine plus the joint measurement are paid for once.
+    """
+    from repro.exec import PrefixSpec, TrialExecutor, TrialSpec
+
+    soc_config = soc_config or kaby_lake_model(scale=16)
+    base: Params = {"soc_config": soc_config, "n_workgroups": 2}
+    prefix = PrefixSpec(
+        fn=_slot_prefix, params=base, seed=seed, label="contention-slot-sweep"
+    )
+    specs = [
+        TrialSpec(
+            fn=_slot_pilot_trial,
+            params={**base, "slot_us": slot_us, "n_bits": n_bits,
+                    "cal_passes": cal_passes},
+            seed=seed,
+            tag=slot_us,
+            prefix=prefix,
+        )
+        for slot_us in slot_lengths_us
+    ]
+    if executor is None:
+        executor = TrialExecutor(workers=workers)
+    report = executor.run(specs)
+    points: typing.List[SlotPoint] = []
+    for slot_us, outcome in zip(slot_lengths_us, report.outcomes):
+        if not outcome.ok:
+            raise ChannelProtocolError(
+                f"slot sweep failed at {slot_us} us: {outcome.error}"
+            )
+        points.append(typing.cast(SlotPoint, outcome.result))
+    return SlotSweepData(points=points, report=report)

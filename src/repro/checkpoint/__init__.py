@@ -1,0 +1,55 @@
+"""Explicit, pickle-free checkpointing of the simulated SoC.
+
+The package has three layers:
+
+* :mod:`repro.checkpoint.snapshot` — the versioned envelope around
+  :meth:`SoC.state_dict`/:meth:`SoC.load_state`, taken only at quiescent
+  points (empty event queue, no live background processes);
+* :mod:`repro.checkpoint.store` — a content-addressed blob store keyed by
+  ``(config digest, code fingerprint, prefix label, seed)``, sharing the
+  atomic-write discipline of :class:`repro.exec.cache.ResultCache`;
+* :mod:`repro.checkpoint.gate` — the ``REPRO_CHECKPOINT`` switch sweeps
+  consult before sharing warm prefixes; off means every trial cold-starts.
+
+The contract (DESIGN §12): a restored machine is bit-identical to the one
+that produced the snapshot — continuing either produces the same event
+stream, payloads, error rates and metrics.
+"""
+
+from repro.checkpoint import gate
+from repro.checkpoint.gate import enabled, forced, set_enabled
+from repro.checkpoint.snapshot import (
+    SCHEMA_VERSION,
+    Snapshot,
+    check_snapshot,
+    restore_soc,
+    snapshot_bytes,
+    snapshot_from_bytes,
+    snapshot_soc,
+)
+from repro.checkpoint.store import (
+    PREFIX_PARAM_KEYS,
+    CheckpointStore,
+    StoreStats,
+    resolve_state,
+    strip_prefix_params,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "PREFIX_PARAM_KEYS",
+    "SCHEMA_VERSION",
+    "Snapshot",
+    "StoreStats",
+    "check_snapshot",
+    "enabled",
+    "forced",
+    "gate",
+    "resolve_state",
+    "restore_soc",
+    "set_enabled",
+    "snapshot_bytes",
+    "snapshot_from_bytes",
+    "snapshot_soc",
+    "strip_prefix_params",
+]

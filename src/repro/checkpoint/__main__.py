@@ -1,0 +1,113 @@
+"""``python -m repro.checkpoint`` — cold-vs-forked equivalence smoke.
+
+The checkpoint contract (DESIGN §12) promises that forking a trial from
+a restored snapshot is a *scheduling* decision: the forked run must be
+byte-identical to a cold start.  This CLI checks that promise end to end
+on one figure per channel family:
+
+* an LLC PRIME+PROBE transmission (GPU→CPU), forked from the
+  post-session-build barrier, and
+* a contention-channel transmission, forked from the prepared machine.
+
+Each check runs the transmission cold, then again from a snapshot doc
+that round-trips through canonical JSON bytes (exactly what a
+:class:`~repro.checkpoint.CheckpointStore` blob holds), and compares the
+full results — payloads, received bits, elapsed simulated time, and
+metadata — as canonical byte strings.  Exit code 0 when every check
+matches, 1 otherwise, so CI can gate on it directly::
+
+    python -m repro.checkpoint --bits 16 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.checkpoint.snapshot import snapshot_bytes, snapshot_from_bytes
+from repro.core.channel import ChannelResult
+from repro.exec.seeds import canonical_repr
+
+
+def _result_bytes(result: ChannelResult) -> bytes:
+    """The full observable outcome of a transmission, canonicalized."""
+    doc = {
+        "direction": result.direction.name,
+        "sent": result.sent,
+        "received": result.received,
+        "elapsed_fs": result.elapsed_fs,
+        "meta": result.meta,
+    }
+    return canonical_repr(doc).encode("utf-8")
+
+
+def check_contention(n_bits: int, seed: int) -> typing.Tuple[bool, str]:
+    from repro.core.contention_channel import (
+        ContentionChannel,
+        ContentionChannelConfig,
+    )
+    from repro.core.contention_channel import fork
+
+    channel = ContentionChannel(ContentionChannelConfig())
+    cold = channel.transmit(n_bits=n_bits, seed=seed)
+    doc = snapshot_from_bytes(
+        snapshot_bytes(fork.prepare_doc(channel, seed))
+    )
+    forked = fork.transmit_from_doc(channel, doc, n_bits=n_bits, seed=seed)
+    same = _result_bytes(cold) == _result_bytes(forked)
+    return same, f"contention: {cold.summary()}"
+
+
+def check_llc(n_bits: int, seed: int) -> typing.Tuple[bool, str]:
+    from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+    from repro.core.llc_channel import fork
+
+    channel = LLCChannel(LLCChannelConfig())
+    cold = channel.transmit(n_bits=n_bits, seed=seed)
+    doc = snapshot_from_bytes(
+        snapshot_bytes(fork.prepare_doc(channel, seed))
+    )
+    forked = fork.transmit_from_doc(channel, doc, n_bits=n_bits, seed=seed)
+    same = _result_bytes(cold) == _result_bytes(forked)
+    return same, f"llc: {cold.summary()}"
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checkpoint",
+        description="Byte-compare cold runs against checkpoint-forked runs.",
+    )
+    parser.add_argument(
+        "--bits", type=int, default=16, metavar="N",
+        help="payload bits per transmission (default: 16)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, metavar="SEED",
+        help="machine/payload seed (default: 3)",
+    )
+    parser.add_argument(
+        "--only", choices=("llc", "contention"), default=None,
+        help="run a single check instead of both",
+    )
+    args = parser.parse_args(argv)
+
+    checks = {"llc": check_llc, "contention": check_contention}
+    if args.only:
+        checks = {args.only: checks[args.only]}
+
+    failures = 0
+    for name, check in checks.items():
+        same, summary = check(args.bits, args.seed)
+        verdict = "identical" if same else "MISMATCH"
+        print(f"[{verdict}] cold vs forked — {summary}")
+        if not same:
+            failures += 1
+    if failures:
+        print(f"{failures} check(s) diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Global switch for checkpoint/fork sweep execution.
+
+Mirrors :mod:`repro.sim.fastpath`: the flag is read by the sweep
+harnesses and the executor when they *decide* whether to share a warm
+prefix across trials.  It is a scheduling decision, not a simulation
+semantic — forked trials are pinned bit-identical to cold starts by the
+equivalence suite (``tests/test_checkpoint.py``) — so flipping it changes
+wall time only.  Default is on; set ``REPRO_CHECKPOINT=0`` in the
+environment to run every trial from a cold start.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import typing
+
+_ENABLED = os.environ.get("REPRO_CHECKPOINT", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+    "no",
+)
+
+
+def enabled() -> bool:
+    """Whether sweeps may fork trials from shared warm checkpoints."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Set the process-wide default for subsequent sweeps."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextlib.contextmanager
+def forced(flag: bool) -> typing.Iterator[None]:
+    """Temporarily force the flag (the equivalence suite's lever)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

@@ -1,0 +1,180 @@
+"""Content-addressed on-disk store of quiescent-machine snapshots.
+
+A warm prefix is a deterministic function of ``(code, config, prefix
+seed)``, exactly like a cached trial outcome, so its snapshot is
+addressed the same way :class:`~repro.exec.cache.ResultCache` addresses
+results:
+
+    SHA-256(config digest || code fingerprint || prefix label || seed)
+
+Any code change invalidates every blob; any config or seed change
+addresses a different one.  Blobs are the canonical JSON bytes of a
+:mod:`repro.checkpoint.snapshot` envelope — no pickle — written with the
+same temp-file + atomic-rename discipline as the result cache so
+concurrent sweep processes sharing one store directory never read a torn
+entry.  Unreadable, unparsable or schema-stale blobs are evicted and
+counted, then treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pathlib
+import tempfile
+import typing
+
+from repro.checkpoint.snapshot import (
+    SCHEMA_VERSION,
+    Snapshot,
+    snapshot_bytes,
+    snapshot_from_bytes,
+)
+from repro.errors import CheckpointError
+from repro.exec.seeds import stable_digest
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Hit/miss/evict accounting for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def summary(self) -> str:
+        if self.lookups == 0 and self.stores == 0:
+            return "checkpoints: unused"
+        return (
+            f"checkpoints: {self.hits} hits / {self.misses} misses, "
+            f"{self.stores} stored, {self.evictions} evicted"
+        )
+
+
+class CheckpointStore:
+    """Filesystem-backed, content-addressed store of snapshot blobs."""
+
+    def __init__(
+        self,
+        root: typing.Union[str, os.PathLike],
+        fingerprint: typing.Optional[str] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self._fingerprint = fingerprint
+        self.stats = StoreStats()
+
+    @property
+    def fingerprint(self) -> str:
+        # Lazy: workers that only ever get() by a precomputed key never
+        # pay for hashing the whole source tree.
+        if self._fingerprint is None:
+            from repro.exec.fingerprint import code_fingerprint
+
+            self._fingerprint = code_fingerprint()
+        return self._fingerprint
+
+    def key_for(self, config: object, label: str, seed: int) -> str:
+        """The content address of one warm prefix."""
+        material = f"{stable_digest(config)}|{self.fingerprint}|{label}|{seed}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> typing.Optional[Snapshot]:
+        """Return the stored snapshot or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            snapshot = snapshot_from_bytes(blob)
+            # Blobs are either bare envelopes or fork docs wrapping one
+            # under "snapshot"; both carry the schema version.
+            envelope = snapshot.get("snapshot", snapshot)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+            ):
+                raise CheckpointError("stale snapshot schema")
+        except CheckpointError:
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return snapshot
+
+    def put(self, key: str, snapshot: typing.Mapping[str, object]) -> None:
+        """Store one snapshot; atomic against concurrent writers."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(snapshot_bytes(snapshot))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every blob; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+
+def resolve_state(
+    params: typing.Mapping[str, object],
+) -> typing.Optional[Snapshot]:
+    """Fetch the prefix snapshot a sweep harness injected into ``params``.
+
+    The executor's serial path injects the snapshot inline under
+    ``_ckpt_state``; the parallel path injects a store root and key
+    (``_ckpt_store``/``_ckpt_key``) so worker processes read the blob
+    from disk.  Returns ``None`` when neither is present — the trial then
+    runs from a cold start.
+    """
+    inline = params.get("_ckpt_state")
+    if inline is not None:
+        return typing.cast(Snapshot, inline)
+    root = params.get("_ckpt_store")
+    key = params.get("_ckpt_key")
+    if root is None or key is None:
+        return None
+    return CheckpointStore(typing.cast(str, root)).get(str(key))
+
+
+#: Params keys the prefix machinery owns; stripped before a trial's real
+#: parameters are digested for the result cache.
+PREFIX_PARAM_KEYS = ("_ckpt_state", "_ckpt_store", "_ckpt_key", "_ckpt_label")
+
+
+def strip_prefix_params(params: typing.Mapping[str, object]) -> typing.Dict[str, object]:
+    """``params`` minus the executor-injected checkpoint plumbing."""
+    return {k: v for k, v in params.items() if k not in PREFIX_PARAM_KEYS}

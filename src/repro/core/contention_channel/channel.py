@@ -76,6 +76,28 @@ class ContentionChannelConfig:
     max_pace_spins: int = 100_000
 
 
+@dataclasses.dataclass
+class PreparedContention:
+    """A wired contention-channel machine at the t=0 quiescent barrier.
+
+    Everything host-side is done — machine built, buffers allocated, lines
+    split by set index, stripes assigned, the pointer chase threaded — but
+    no simulated event has executed yet.  This is the contention channel's
+    checkpoint fork point: a machine restored from a snapshot of this
+    state is indistinguishable from a freshly prepared one (see
+    :mod:`repro.core.contention_channel.fork`).
+    """
+
+    soc: SoC
+    device: GpuDevice
+    spy: CpuProgram
+    cl: OpenClContext
+    cpu_lines: typing.List[int]
+    gpu_lines: typing.List[int]
+    stripes: typing.List[typing.List[int]]
+    chase: PointerChaseBuffer
+
+
 class ContentionChannel:
     """Run ring-contention covert transmissions (GPU → CPU)."""
 
@@ -98,9 +120,11 @@ class ContentionChannel:
             iteration_factor=self.config.iteration_factor,
         ).validate(self.soc_config)
 
-    def calibrate(self, seed: int = 0) -> CalibrationResult:
+    def calibrate(self, seed: int = 0, n_passes: int = 6) -> CalibrationResult:
         """Run (or re-run) the Fig. 9 iteration-factor calibration."""
-        return calibrate_iteration_factor(self.soc_config, self.params(), seed=seed)
+        return calibrate_iteration_factor(
+            self.soc_config, self.params(), seed=seed, n_passes=n_passes
+        )
 
     def transmit(
         self,
@@ -163,22 +187,21 @@ class ContentionChannel:
         best.meta["frame_attempts"] = attempts
         return best
 
-    def _transmit_once(
-        self,
-        params: ContentionParams,
-        payload: typing.List[int],
-        seed: int,
-        calibration: CalibrationResult,
-        record_margin: float,
-    ) -> ChannelResult:
+    def prepare(self, params: ContentionParams, seed: int) -> PreparedContention:
+        """Build a wired machine up to the t=0 barrier (no events run).
+
+        Everything here is host-side and deterministic in ``seed``: machine
+        construction, buffer allocation (drawing the ``mmu`` stream), line
+        splitting and the pointer-chase permutation (the ``chase`` stream).
+        The transmission suffix — system effects, warm-up, modulation —
+        runs in :meth:`_modulate`.
+        """
         soc = SoC(self.soc_config.replace(seed=seed))
         device = GpuDevice(soc)
         spy_space = soc.new_process("spy")
         trojan_space = soc.new_process("trojan")
         spy = CpuProgram(soc, self.config.spy_core, spy_space, name="spy")
         cl = OpenClContext(soc, device, trojan_space)
-
-        frame = frame_bits(payload)
 
         cpu_buffer = spy_space.mmap_huge(4 * params.cpu_buffer_bytes)
         cpu_lines = split_lines_by_set_index(
@@ -190,11 +213,52 @@ class ContentionChannel:
         )
         stripes = build_gpu_stripes(gpu_lines, params.n_workgroups)
         chase = PointerChaseBuffer.from_lines(cpu_lines, soc.rng.stream("chase"))
+        return PreparedContention(
+            soc=soc,
+            device=device,
+            spy=spy,
+            cl=cl,
+            cpu_lines=cpu_lines,
+            gpu_lines=gpu_lines,
+            stripes=stripes,
+            chase=chase,
+        )
+
+    def _transmit_once(
+        self,
+        params: ContentionParams,
+        payload: typing.List[int],
+        seed: int,
+        calibration: CalibrationResult,
+        record_margin: float,
+    ) -> ChannelResult:
+        return self._modulate(
+            self.prepare(params, seed), params, payload, seed, calibration,
+            record_margin,
+        )
+
+    def _modulate(
+        self,
+        prepared: PreparedContention,
+        params: ContentionParams,
+        payload: typing.List[int],
+        seed: int,
+        calibration: CalibrationResult,
+        record_margin: float,
+    ) -> ChannelResult:
+        soc = prepared.soc
+        cl = prepared.cl
+        spy = prepared.spy
+        cpu_lines = prepared.cpu_lines
+        stripes = prepared.stripes
+        chase = prepared.chase
+
+        frame = frame_bits(payload)
 
         if self.config.system_effects:
             soc.start_system_effects()
         if self.config.mitigation is not None:
-            self.config.mitigation(soc, device)
+            self.config.mitigation(soc, prepared.device)
 
         slot_fs = calibration.slot_fs
         expected_fs = (

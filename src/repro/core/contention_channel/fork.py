@@ -1,0 +1,155 @@
+"""Checkpoint fork point for the contention channel.
+
+The channel's expensive work splits cleanly at the t=0 barrier captured
+by :class:`~repro.core.contention_channel.channel.PreparedContention`:
+machine wiring, buffer allocation, line splitting and the pointer-chase
+permutation are identical for every trial sharing a ``(config, seed)``
+pair, while everything that depends on the payload, the slot length or
+the mitigation runs afterwards.  :func:`prepare_doc` runs the shared part
+once and captures it — a machine snapshot plus the host-side artifacts
+(line lists, stripes, the chase cycle, the GPU dispatch counter) that
+live outside the machine; :func:`transmit_from_doc` restores the capture
+into a fresh machine and runs only the divergent suffix.
+
+Equivalence contract: for any payload/calibration/margin, a transmission
+forked from a doc is **bit-identical** to a cold
+:meth:`ContentionChannel.transmit` with the same arguments — same
+received bits, same elapsed clock, same metrics.  Retries (attempt > 0)
+use a derived machine seed, so they fall back to cold preparation in
+both modes and stay identical too.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.checkpoint import restore_soc, snapshot_soc
+from repro.core.channel import ChannelResult
+from repro.core.contention_channel.calibration import (
+    CalibrationResult,
+    calibrate_iteration_factor,
+)
+from repro.core.contention_channel.channel import (
+    ContentionChannel,
+    PreparedContention,
+)
+from repro.core.encoding import random_bits
+from repro.cpu.core import CpuProgram
+from repro.cpu.pointer_chase import PointerChaseBuffer
+from repro.errors import ChannelProtocolError
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.sim import RngStreams
+
+ForkDoc = typing.Dict[str, object]
+
+
+def prepare_doc(channel: ContentionChannel, seed: int = 0) -> ForkDoc:
+    """Run the shared prefix once and capture it as a JSON-able doc."""
+    params = channel.params()
+    prepared = channel.prepare(params, seed)
+    soc = prepared.soc
+    soc.quiesce()  # a no-op at t=0, but pins the invariant explicitly
+    return {
+        "snapshot": snapshot_soc(soc),
+        "aux": {
+            "seed": seed,
+            "cpu_lines": list(prepared.cpu_lines),
+            "gpu_lines": list(prepared.gpu_lines),
+            "stripes": [list(s) for s in prepared.stripes],
+            "chase": prepared.chase.state_dict(),
+            "dispatch_counter": prepared.device._dispatch_counter,
+        },
+    }
+
+
+def restore_prepared(
+    channel: ContentionChannel, doc: typing.Mapping[str, object], seed: int
+) -> PreparedContention:
+    """Rebuild the :class:`PreparedContention` a doc captured."""
+    aux = typing.cast(dict, doc["aux"])
+    if aux["seed"] != seed:
+        raise ChannelProtocolError(
+            f"fork doc was prepared for seed {aux['seed']}, not {seed}"
+        )
+    soc_config = channel.soc_config.replace(seed=seed)
+    soc = restore_soc(soc_config, typing.cast(dict, doc["snapshot"]))
+    device = GpuDevice(soc)
+    device._dispatch_counter = int(aux["dispatch_counter"])
+    spy_space = soc.new_process("spy")
+    trojan_space = soc.new_process("trojan")
+    spy = CpuProgram(soc, channel.config.spy_core, spy_space, name="spy")
+    cl = OpenClContext(soc, device, trojan_space)
+    return PreparedContention(
+        soc=soc,
+        device=device,
+        spy=spy,
+        cl=cl,
+        cpu_lines=[int(p) for p in aux["cpu_lines"]],
+        gpu_lines=[int(p) for p in aux["gpu_lines"]],
+        stripes=[[int(p) for p in stripe] for stripe in aux["stripes"]],
+        chase=PointerChaseBuffer.from_state(typing.cast(dict, aux["chase"])),
+    )
+
+
+def transmit_from_doc(
+    channel: ContentionChannel,
+    doc: typing.Mapping[str, object],
+    bits: typing.Optional[typing.Sequence[int]] = None,
+    n_bits: int = 128,
+    seed: int = 0,
+    calibration: typing.Optional[CalibrationResult] = None,
+) -> ChannelResult:
+    """:meth:`ContentionChannel.transmit`, forking attempt 0 from ``doc``.
+
+    Mirrors the cold path exactly: same calibration fallback, same payload
+    stream, same retry schedule.  Only the *first* attempt restores from
+    the doc; retry attempts use derived machine seeds, which address
+    different prepared states, so they cold-start — as they do in the
+    cold path.
+    """
+    params = channel.params()
+    if calibration is None:
+        calibration = calibrate_iteration_factor(
+            channel.soc_config, params, seed=seed + 10_000
+        )
+    if bits is None:
+        bits = random_bits(n_bits, RngStreams(seed).stream("payload"))
+    payload = [int(b) & 1 for b in bits]
+    retries = channel.config.frame_retries or (
+        2 if channel.soc_config.faults.enabled else 0
+    )
+    margin = channel.config.record_margin
+    best: typing.Optional[ChannelResult] = None
+    failure: typing.Optional[ChannelProtocolError] = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt + 1
+        attempt_seed = seed if attempt == 0 else seed + 104_729 * attempt
+        try:
+            if attempt == 0:
+                prepared = restore_prepared(channel, doc, attempt_seed)
+                result = channel._modulate(
+                    prepared, params, payload, attempt_seed, calibration, margin
+                )
+            else:
+                result = channel._transmit_once(
+                    params, payload, attempt_seed, calibration, margin
+                )
+        except ChannelProtocolError as exc:
+            if retries == 0:
+                raise
+            failure = exc
+            result = None
+        if result is not None:
+            if best is None or len(result.received) > len(best.received):
+                best = result
+            if len(result.received) >= len(payload):
+                break
+        margin = min(margin * 1.4, channel.config.retry_margin_cap)
+    if best is None:
+        if failure is not None:
+            raise failure
+        raise ChannelProtocolError("no transmission attempt produced a frame")
+    best.meta["frame_attempts"] = attempts
+    return best

@@ -168,7 +168,21 @@ class LLCChannel:
         seed: int = 0,
     ) -> ChannelResult:
         """Send a payload through a fresh session; returns the result."""
-        session = self.build_session(seed)
+        return self._transmit_session(self.build_session(seed), bits, n_bits, seed)
+
+    def _transmit_session(
+        self,
+        session: _Session,
+        bits: typing.Optional[typing.Sequence[int]],
+        n_bits: int,
+        seed: int,
+    ) -> ChannelResult:
+        """Run one transmission on an already wired session.
+
+        The session may come from :meth:`build_session` (cold start) or
+        from a restored checkpoint (:mod:`repro.core.llc_channel.fork`);
+        both take the identical path from here on.
+        """
         soc = session.soc
         if bits is None:
             bits = random_bits(n_bits, soc.rng.stream("payload"))

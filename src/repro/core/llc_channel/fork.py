@@ -1,0 +1,212 @@
+"""Checkpoint fork point for the LLC PRIME+PROBE channel.
+
+The LLC protocol runs endpoint calibration *inside* the concurrent
+sender/receiver loops, so no mid-stream quiescent barrier exists; the
+fork point is the post-session-build t=0 barrier instead.  Session
+construction is the expensive shared prefix — pool allocation, eviction
+set planning, cost estimation and tuning derivation are identical for
+every trial sharing a ``(config, seed)`` pair — and everything
+payload-dependent runs after it.
+
+:func:`prepare_doc` builds a session once and captures the machine
+snapshot plus the host-side session artifacts: the serialized
+:class:`~repro.core.llc_channel.plan.ChannelPlan`, the derived
+:class:`~repro.core.llc_channel.protocol.ProtocolTuning`, ``t_data_fs``
+and the GPU dispatch counter.  :func:`transmit_from_doc` rebuilds the
+session around a restored machine and runs the identical transmission
+suffix, bit-for-bit equal to a cold :meth:`LLCChannel.transmit`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.checkpoint import restore_soc, snapshot_soc
+from repro.core.channel import ChannelResult
+from repro.core.llc_channel.channel import LLCChannel, _Session
+from repro.core.llc_channel.plan import (
+    CalibrationAddresses,
+    ChannelPlan,
+    EndpointPlan,
+    EvictionStrategy,
+    Role,
+    RolePlan,
+)
+from repro.core.llc_channel.protocol import ProtocolTuning
+from repro.cpu.core import CpuProgram
+from repro.errors import ChannelProtocolError
+from repro.gpu.device import GpuDevice
+from repro.gpu.opencl import OpenClContext
+from repro.soc.llc import LlcLocation
+
+ForkDoc = typing.Dict[str, object]
+
+
+# -- plan (de)serialization -------------------------------------------------
+#
+# LlcLocation is a frozen (slice, set) pair; dict keys become "slice:set"
+# strings so the whole plan is plain JSON.
+
+
+def _loc_key(location: LlcLocation) -> str:
+    return f"{location.slice_index}:{location.set_index}"
+
+
+def _loc_from_key(key: str) -> LlcLocation:
+    slice_index, set_index = key.split(":")
+    return LlcLocation(int(slice_index), int(set_index))
+
+
+def _role_plan_to_doc(plan: RolePlan) -> typing.Dict[str, object]:
+    return {
+        "locations": [[loc.slice_index, loc.set_index] for loc in plan.locations],
+        "prime": {_loc_key(loc): list(lines) for loc, lines in plan.prime.items()},
+        "pollute": {
+            _loc_key(loc): list(lines) for loc, lines in plan.pollute.items()
+        },
+    }
+
+
+def _role_plan_from_doc(doc: typing.Mapping[str, object]) -> RolePlan:
+    return RolePlan(
+        locations=[
+            LlcLocation(int(s), int(i))
+            for s, i in typing.cast(list, doc["locations"])
+        ],
+        prime={
+            _loc_from_key(key): [int(p) for p in lines]
+            for key, lines in typing.cast(dict, doc["prime"]).items()
+        },
+        pollute={
+            _loc_from_key(key): [int(p) for p in lines]
+            for key, lines in typing.cast(dict, doc["pollute"]).items()
+        },
+    )
+
+
+def _endpoint_plan_to_doc(plan: EndpointPlan) -> typing.Dict[str, object]:
+    return {
+        "roles": {
+            role.name: _role_plan_to_doc(role_plan)
+            for role, role_plan in plan.roles.items()
+        },
+        "pollute_rounds": plan.pollute_rounds,
+        "strategy": plan.strategy.value,
+        "calibration": {
+            "scratch": list(plan.calibration.scratch),
+            "scratch_pollute": list(plan.calibration.scratch_pollute),
+            "cold": list(plan.calibration.cold),
+        },
+    }
+
+
+def _endpoint_plan_from_doc(doc: typing.Mapping[str, object]) -> EndpointPlan:
+    calibration = typing.cast(dict, doc["calibration"])
+    return EndpointPlan(
+        roles={
+            Role[name]: _role_plan_from_doc(role_doc)
+            for name, role_doc in typing.cast(dict, doc["roles"]).items()
+        },
+        pollute_rounds=int(typing.cast(int, doc["pollute_rounds"])),
+        strategy=EvictionStrategy(doc["strategy"]),
+        calibration=CalibrationAddresses(
+            scratch=[int(p) for p in calibration["scratch"]],
+            scratch_pollute=[int(p) for p in calibration["scratch_pollute"]],
+            cold=[int(p) for p in calibration["cold"]],
+        ),
+    )
+
+
+def plan_to_doc(plan: ChannelPlan) -> typing.Dict[str, object]:
+    """Serialize a :class:`ChannelPlan` to plain JSON-able structures."""
+    return {
+        "locations": {
+            role.name: [[loc.slice_index, loc.set_index] for loc in locations]
+            for role, locations in plan.locations.items()
+        },
+        "cpu": _endpoint_plan_to_doc(plan.cpu),
+        "gpu": _endpoint_plan_to_doc(plan.gpu),
+        "n_sets_per_role": plan.n_sets_per_role,
+        "strategy": plan.strategy.value,
+    }
+
+
+def plan_from_doc(doc: typing.Mapping[str, object]) -> ChannelPlan:
+    """Rebuild a :class:`ChannelPlan` serialized by :func:`plan_to_doc`."""
+    return ChannelPlan(
+        locations={
+            Role[name]: [LlcLocation(int(s), int(i)) for s, i in locations]
+            for name, locations in typing.cast(dict, doc["locations"]).items()
+        },
+        cpu=_endpoint_plan_from_doc(typing.cast(dict, doc["cpu"])),
+        gpu=_endpoint_plan_from_doc(typing.cast(dict, doc["gpu"])),
+        n_sets_per_role=int(typing.cast(int, doc["n_sets_per_role"])),
+        strategy=EvictionStrategy(doc["strategy"]),
+    )
+
+
+# -- session capture/restore ------------------------------------------------
+
+
+def prepare_doc(channel: LLCChannel, seed: int = 0) -> ForkDoc:
+    """Build a session once and capture it as a JSON-able doc."""
+    session = channel.build_session(seed)
+    soc = session.soc
+    soc.quiesce()  # a no-op at t=0, but pins the invariant explicitly
+    return {
+        "snapshot": snapshot_soc(soc),
+        "aux": {
+            "seed": seed,
+            "plan": plan_to_doc(session.plan),
+            "tuning": dataclasses.asdict(session.tuning),
+            "t_data_fs": session.t_data_fs,
+            "dispatch_counter": session.device._dispatch_counter,
+        },
+    }
+
+
+def restore_session(
+    channel: LLCChannel, doc: typing.Mapping[str, object], seed: int
+) -> _Session:
+    """Rebuild the :class:`_Session` a doc captured around a restored SoC."""
+    aux = typing.cast(dict, doc["aux"])
+    if aux["seed"] != seed:
+        raise ChannelProtocolError(
+            f"fork doc was prepared for seed {aux['seed']}, not {seed}"
+        )
+    soc_config = channel.soc_config.replace(seed=seed)
+    soc = restore_soc(soc_config, typing.cast(dict, doc["snapshot"]))
+    session = _Session.__new__(_Session)
+    session.config = channel.config
+    session.soc = soc
+    session.device = GpuDevice(soc)
+    session.device._dispatch_counter = int(aux["dispatch_counter"])
+    spy_space = soc.new_process("spy")
+    trojan_space = soc.new_process("trojan")
+    session.spy = CpuProgram(soc, channel.config.spy_core, spy_space, name="spy")
+    session.trojan = CpuProgram(
+        soc, channel.config.trojan_core, trojan_space, name="trojan"
+    )
+    session.cl = OpenClContext(soc, session.device, trojan_space)
+    session.plan = plan_from_doc(typing.cast(dict, aux["plan"]))
+    session.tuning = ProtocolTuning(**typing.cast(dict, aux["tuning"]))
+    session.t_data_fs = int(aux["t_data_fs"])
+    return session
+
+
+def transmit_from_doc(
+    channel: LLCChannel,
+    doc: typing.Mapping[str, object],
+    bits: typing.Optional[typing.Sequence[int]] = None,
+    n_bits: int = 128,
+    seed: int = 0,
+) -> ChannelResult:
+    """:meth:`LLCChannel.transmit`, with the session forked from ``doc``.
+
+    Takes the identical suffix path as a cold transmit — same payload
+    stream (``soc.rng.stream("payload")`` continues from its restored
+    position), same system effects, same mitigation hook.
+    """
+    session = restore_session(channel, doc, seed)
+    return channel._transmit_session(session, bits, n_bits, seed)

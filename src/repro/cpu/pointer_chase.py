@@ -55,6 +55,28 @@ class PointerChaseBuffer:
         instance._cursor = 0
         return instance
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """The threaded cycle and walk position (checkpoint contract).
+
+        The backing :class:`Buffer` is not captured — a chase restored
+        from state walks the recorded physical addresses directly, which
+        is all :meth:`next_paddrs` ever consults.
+        """
+        return {"chain": list(self._chain), "cursor": self._cursor}
+
+    @classmethod
+    def from_state(cls, state: typing.Mapping[str, object]) -> "PointerChaseBuffer":
+        """Rebuild a chase captured by :meth:`state_dict`."""
+        chain = [int(p) for p in typing.cast(typing.List[int], state["chain"])]
+        if len(chain) < 2:
+            raise MemoryModelError("pointer chase needs at least two lines")
+        instance = cls.__new__(cls)
+        instance.buffer = None  # type: ignore[assignment]
+        instance.line_bytes = 0
+        instance._chain = chain
+        instance._cursor = int(typing.cast(int, state["cursor"]))
+        return instance
+
     @property
     def n_lines(self) -> int:
         return len(self._chain)

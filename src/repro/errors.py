@@ -25,6 +25,10 @@ class ObservabilityError(ReproError):
     """Invalid use of the tracing/metrics layer (double install, ...)."""
 
 
+class CheckpointError(ReproError):
+    """A snapshot/restore operation is invalid (schema, config, quiescence)."""
+
+
 class MemoryModelError(ReproError):
     """An address, page, or buffer operation is invalid."""
 

@@ -25,6 +25,7 @@ from repro.exec.executor import (
     OK,
     TIMEOUT,
     ExecutionReport,
+    PrefixSpec,
     TrialExecutor,
     TrialOutcome,
     TrialSpec,
@@ -45,6 +46,7 @@ __all__ = [
     "DEAD",
     "ExecutionReport",
     "OK",
+    "PrefixSpec",
     "ResultCache",
     "TIMEOUT",
     "TrialExecutor",

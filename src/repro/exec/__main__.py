@@ -112,11 +112,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             "wall_s": report.wall_s,
             "events_executed": report.sim.get("events_executed", 0),
             "events_per_sec": report.events_per_sec,
-            "cache": {
-                "hits": report.cache.hits,
-                "misses": report.cache.misses,
-                "stores": report.cache.stores,
-            },
+            "cache": report.cache.as_dict(),
             "outcomes": {
                 kind: sum(1 for o in report.outcomes if o.kind == kind)
                 for kind in ("ok", "dead", "crash", "timeout")

@@ -42,18 +42,31 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Entries dropped because they were unreadable, truncated or written
+    #: by a different format version; each eviction also counts as a miss.
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    def as_dict(self) -> typing.Dict[str, int]:
+        """Counter view for JSON footers (bench artifacts, reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
     def summary(self) -> str:
         if self.lookups == 0:
             return "cache: disabled"
         rate = 100.0 * self.hits / self.lookups
+        evicted = f", {self.evictions} evicted" if self.evictions else ""
         return (
             f"cache: {self.hits} hits / {self.misses} misses "
-            f"({rate:.0f}% hit rate), {self.stores} new entries"
+            f"({rate:.0f}% hit rate), {self.stores} new entries{evicted}"
         )
 
 
@@ -95,10 +108,12 @@ class ResultCache:
         except Exception:
             # Truncated/corrupt/unpicklable entry: drop it, treat as miss.
             path.unlink(missing_ok=True)
+            self.stats.evictions += 1
             self.stats.misses += 1
             return None
         if not isinstance(entry, dict) or entry.get("v") != _FORMAT_VERSION:
             path.unlink(missing_ok=True)
+            self.stats.evictions += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1

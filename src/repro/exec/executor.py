@@ -35,6 +35,12 @@ import time
 import traceback
 import typing
 
+import tempfile
+
+# Imported lazily inside methods: repro.checkpoint imports this module's
+# package for stable_digest, so a top-level import would be circular.
+if typing.TYPE_CHECKING:
+    from repro.checkpoint import CheckpointStore
 from repro.errors import ChannelProtocolError
 from repro.exec.cache import CacheStats, ResultCache
 from repro.obs.census import EngineCensus, note_external_sim
@@ -47,6 +53,30 @@ OK, DEAD, CRASH, TIMEOUT = "ok", "dead", "crash", "timeout"
 
 
 @dataclasses.dataclass(frozen=True)
+class PrefixSpec:
+    """A shared warm prefix several trials fork from.
+
+    ``fn(dict(params), seed)`` must return a JSON-able checkpoint doc
+    (e.g. :func:`repro.core.contention_channel.fork.prepare_doc` output).
+    Trials carrying the same (equal) prefix spec form one group: the
+    executor runs the prefix **once** per group and hands the doc to each
+    trial — inline for serial runs, via a
+    :class:`~repro.checkpoint.CheckpointStore` blob for parallel runs.
+    With ``REPRO_CHECKPOINT=0`` prefixes are ignored and every trial
+    cold-starts; either way the outcomes are bit-identical.
+    """
+
+    fn: TrialFn
+    params: Params
+    seed: int
+    label: str = "prefix"
+
+    def identity(self) -> object:
+        """The value that defines prefix-group membership."""
+        return (self.fn, tuple(sorted(self.params.items())), self.seed, self.label)
+
+
+@dataclasses.dataclass(frozen=True)
 class TrialSpec:
     """One independent unit of work: ``fn(dict(params), seed)``."""
 
@@ -56,6 +86,12 @@ class TrialSpec:
     #: Free-form grouping label (e.g. the sweep point the trial belongs
     #: to); carried through to the outcome untouched.
     tag: object = None
+    #: Optional shared warm prefix (see :class:`PrefixSpec`).  The trial
+    #: function receives the checkpoint doc through the ``_ckpt_*`` keys
+    #: :func:`repro.checkpoint.resolve_state` reads; result-cache keys are
+    #: computed on the *bare* params, so warm and cold runs address the
+    #: same cache entries (their results are bit-identical).
+    prefix: typing.Optional[PrefixSpec] = None
 
 
 @dataclasses.dataclass
@@ -127,6 +163,14 @@ def _empty_sim() -> typing.Dict[str, int]:
     return {"engines_created": 0, "events_executed": 0, "final_now_fs": 0}
 
 
+def _census_dict(census: EngineCensus) -> typing.Dict[str, int]:
+    return {
+        "engines_created": census.engines_created,
+        "events_executed": census.events_executed,
+        "final_now_fs": census.final_now_fs,
+    }
+
+
 def _merge_sim(total: typing.Dict[str, int], part: typing.Mapping[str, int]) -> None:
     total["engines_created"] += part.get("engines_created", 0)
     total["events_executed"] += part.get("events_executed", 0)
@@ -175,6 +219,7 @@ class TrialExecutor:
         trial_timeout_s: float = 300.0,
         retries: int = 1,
         mp_context: typing.Optional[str] = None,
+        checkpoints: typing.Union[CheckpointStore, str, os.PathLike, None] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -193,6 +238,82 @@ class TrialExecutor:
             # fork is the cheap, closure-tolerant default where it exists.
             mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         self._mp_context = mp_context
+        from repro.checkpoint import CheckpointStore
+
+        if checkpoints is None or isinstance(checkpoints, CheckpointStore):
+            self._checkpoints = checkpoints
+        else:
+            self._checkpoints = CheckpointStore(checkpoints)
+
+    def _checkpoint_store(self) -> CheckpointStore:
+        """The blob store parallel prefix groups ship their docs through."""
+        from repro.checkpoint import CheckpointStore
+
+        if self._checkpoints is None:
+            self._checkpoints = CheckpointStore(
+                tempfile.mkdtemp(prefix="repro-ckpt-")
+            )
+        return self._checkpoints
+
+    # -- shared warm prefixes -------------------------------------------
+
+    def _prepare_prefixes(
+        self,
+        specs: typing.Sequence[TrialSpec],
+        pending: typing.Sequence[int],
+        sim: typing.Dict[str, int],
+    ) -> typing.Dict[int, Params]:
+        """Run each distinct prefix once; map trial index -> params+doc.
+
+        Serial runs get the doc inline (``_ckpt_state``); parallel runs
+        get a store root + key (``_ckpt_store``/``_ckpt_key``) because the
+        doc must cross a process boundary.  A prefix that fails to build
+        is dropped silently — its trials simply cold-start, which is
+        always correct.
+        """
+        from repro.checkpoint import gate as _checkpoint_gate
+
+        if not _checkpoint_gate.enabled():
+            return {}
+        groups: typing.Dict[object, typing.List[int]] = {}
+        for index in pending:
+            prefix = specs[index].prefix
+            if prefix is not None:
+                groups.setdefault(prefix.identity(), []).append(index)
+        effective: typing.Dict[int, Params] = {}
+        for indices in groups.values():
+            prefix = specs[indices[0]].prefix
+            assert prefix is not None
+            inject: typing.Optional[Params] = None
+            if self.workers == 0:
+                try:
+                    with EngineCensus() as census:
+                        doc = prefix.fn(dict(prefix.params), prefix.seed)
+                except Exception:
+                    continue
+                _merge_sim(sim, _census_dict(census))
+                inject = {"_ckpt_state": doc, "_ckpt_label": prefix.label}
+            else:
+                store = self._checkpoint_store()
+                key = store.key_for(
+                    (prefix.fn, dict(prefix.params)), prefix.label, prefix.seed
+                )
+                if store.get(key) is None:
+                    try:
+                        with EngineCensus() as census:
+                            doc = prefix.fn(dict(prefix.params), prefix.seed)
+                    except Exception:
+                        continue
+                    _merge_sim(sim, _census_dict(census))
+                    store.put(key, typing.cast(typing.Dict[str, object], doc))
+                inject = {
+                    "_ckpt_store": str(store.root),
+                    "_ckpt_key": key,
+                    "_ckpt_label": prefix.label,
+                }
+            for index in indices:
+                effective[index] = {**specs[index].params, **inject}
+        return effective
 
     # -- cache plumbing -------------------------------------------------
 
@@ -243,10 +364,11 @@ class TrialExecutor:
                 pending.append(index)
 
         if pending:
+            effective = self._prepare_prefixes(specs, pending, sim)
             if self.workers == 0:
-                self._run_serial(specs, pending, outcomes, sim)
+                self._run_serial(specs, pending, outcomes, sim, effective)
             else:
-                self._run_parallel(specs, pending, outcomes, sim)
+                self._run_parallel(specs, pending, outcomes, sim, effective)
 
         ordered = [outcomes[i] for i in range(len(specs))]
         return ExecutionReport(
@@ -286,10 +408,12 @@ class TrialExecutor:
         pending: typing.Sequence[int],
         outcomes: typing.Dict[int, TrialOutcome],
         sim: typing.Dict[str, int],
+        effective: typing.Dict[int, Params],
     ) -> None:
         for index in pending:
             spec = specs[index]
-            kind, value, trial_sim = run_one_trial((spec.fn, spec.params, spec.seed))
+            params = effective.get(index, spec.params)
+            kind, value, trial_sim = run_one_trial((spec.fn, params, spec.seed))
             _merge_sim(sim, trial_sim)
             self._record(specs, outcomes, index, kind, value, attempts=1)
 
@@ -299,6 +423,7 @@ class TrialExecutor:
         pending: typing.Sequence[int],
         outcomes: typing.Dict[int, TrialOutcome],
         sim: typing.Dict[str, int],
+        effective: typing.Dict[int, Params],
     ) -> None:
         context = (
             multiprocessing.get_context(self._mp_context)
@@ -319,7 +444,11 @@ class TrialExecutor:
                         index,
                         pool.apply_async(
                             run_one_trial,
-                            ((specs[index].fn, specs[index].params, specs[index].seed),),
+                            ((
+                                specs[index].fn,
+                                effective.get(index, specs[index].params),
+                                specs[index].seed,
+                            ),),
                         ),
                     )
                     for index in remaining

@@ -85,6 +85,24 @@ class Histogram:
         summary["p99"] = self.percentile(99)
         return summary
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Exact accumulator + reservoir state (checkpoint contract)."""
+        return {
+            "reservoir": self._reservoir,
+            "stats": self.stats.state_dict(),
+            "samples": list(self._samples),
+            "stride": self._stride,
+            "seen": self._seen,
+        }
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._reservoir = int(typing.cast(int, state["reservoir"]))
+        self.stats.load_state(typing.cast(dict, state["stats"]))
+        self._samples = [float(v) for v in typing.cast(list, state["samples"])]
+        self._stride = int(typing.cast(int, state["stride"]))
+        self._seen = int(typing.cast(int, state["seen"]))
+
 
 class MetricsRegistry:
     """Get-or-create store of named counters and histograms."""
@@ -124,6 +142,27 @@ class MetricsRegistry:
     def counters(self) -> typing.Dict[str, Number]:
         """Flat ``name -> value`` view of every counter."""
         return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Every counter value and full histogram state, JSON-able."""
+        return {
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "histograms": {
+                name: h.state_dict() for name, h in self._histograms.items()
+            },
+        }
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Metrics are restored *in place*: existing objects keep their
+        identity (the SoC holds direct references to its histograms), and
+        names present only in the snapshot are created.
+        """
+        for name, value in typing.cast(dict, state["counters"]).items():
+            self.counter(name).value = value
+        for name, hist_state in typing.cast(dict, state["histograms"]).items():
+            self.histogram(name).load_state(hist_state)
 
     def as_dict(self) -> typing.Dict[str, object]:
         """Nested dict keyed by the dotted-name components.

@@ -49,6 +49,38 @@ class Engine:
         """Total number of scheduled actions executed so far."""
         return self._events_executed
 
+    @property
+    def quiescent(self) -> bool:
+        """True when no actions are scheduled (a checkpointable barrier)."""
+        return not self._queue
+
+    def state_dict(self) -> dict:
+        """Serializable scheduler state; only valid at a quiescent point.
+
+        The queue holds bound callbacks into live generator frames, which
+        cannot be serialized — snapshotting is only defined when it is
+        empty (see :mod:`repro.checkpoint`).
+        """
+        if self._queue:
+            raise SimulationError(
+                f"engine is not quiescent: {len(self._queue)} actions pending"
+            )
+        return {
+            "now": self._now,
+            "sequence": self._sequence,
+            "events_executed": self._events_executed,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore scheduler state captured by :meth:`state_dict`."""
+        if self._queue:
+            raise SimulationError(
+                f"cannot load state into a busy engine: {len(self._queue)} pending"
+            )
+        self._now = int(state["now"])
+        self._sequence = int(state["sequence"])
+        self._events_executed = int(state["events_executed"])
+
     def schedule(self, delay_fs: int, action: Action) -> None:
         """Run ``action`` after ``delay_fs`` femtoseconds."""
         if delay_fs < 0:

@@ -116,6 +116,38 @@ class FifoResource:
         self.total_hold_fs += hold_fs
         return waited
 
+    def state_dict(self) -> dict:
+        """Serializable ledger + accounting state; requires an idle server.
+
+        Waiter events reference live process frames, so snapshotting is
+        only defined when the grant queue is empty and no event-mode hold
+        is outstanding (the :mod:`repro.checkpoint` quiescence contract).
+        """
+        if self._busy or self._waiters:
+            raise SimulationError(
+                f"resource {self.name!r} is not quiescent "
+                f"(busy={self._busy}, waiters={len(self._waiters)})"
+            )
+        return {
+            "total_grants": self.total_grants,
+            "total_wait_fs": self.total_wait_fs,
+            "total_hold_fs": self.total_hold_fs,
+            "granted_at": self._granted_at,
+            "busy_until": self._busy_until,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if self._busy or self._waiters:
+            raise SimulationError(
+                f"cannot load state into busy resource {self.name!r}"
+            )
+        self.total_grants = int(state["total_grants"])
+        self.total_wait_fs = int(state["total_wait_fs"])
+        self.total_hold_fs = int(state["total_hold_fs"])
+        self._granted_at = int(state["granted_at"])
+        self._busy_until = int(state["busy_until"])
+
     def utilization(self) -> float:
         """Fraction of elapsed simulation time the resource was held."""
         if self.engine.now == 0:

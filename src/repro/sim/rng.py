@@ -73,6 +73,37 @@ class RngStreams:
             self._streams[name] = np.random.default_rng(seq)
         return self._streams[name]
 
+    def state_dict(self) -> dict:
+        """Positions of every stream created so far (pickle-free).
+
+        numpy's PCG64 exposes its state as a plain dict of ints and
+        strings, so the whole family serializes to JSON.  Streams not yet
+        created need no entry: they are a pure function of
+        ``(root_seed, fork_path, name)`` and a restored family creates
+        them at position zero exactly like the original would have.
+        """
+        return {
+            "root_seed": self.root_seed,
+            "fork_path": list(self.fork_path),
+            "streams": {
+                name: generator.bit_generator.state
+                for name, generator in self._streams.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore stream positions captured by :meth:`state_dict`."""
+        if int(state["root_seed"]) != self.root_seed or tuple(
+            int(w) for w in state["fork_path"]
+        ) != self.fork_path:
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                "RNG state belongs to a different (root_seed, fork_path) family"
+            )
+        for name, generator_state in state["streams"].items():
+            self.stream(name).bit_generator.state = generator_state
+
     def fork(self, salt: int) -> "RngStreams":
         """Derive a new independent stream family (e.g. per repeated run).
 

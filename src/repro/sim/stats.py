@@ -78,6 +78,28 @@ class OnlineStats:
         merged._maximum = max(self._maximum, other._maximum)
         return merged
 
+    def state_dict(self) -> typing.Dict[str, typing.Optional[float]]:
+        """Exact accumulator state as a JSON-able dict.
+
+        The empty accumulator's ``±inf`` min/max sentinels are encoded as
+        ``None`` (JSON has no infinities).
+        """
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": None if self.count == 0 else self._minimum,
+            "max": None if self.count == 0 else self._maximum,
+        }
+
+    def load_state(self, state: typing.Dict[str, typing.Optional[float]]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.count = int(state["count"])  # type: ignore[arg-type]
+        self._mean = float(state["mean"])  # type: ignore[arg-type]
+        self._m2 = float(state["m2"])  # type: ignore[arg-type]
+        self._minimum = math.inf if state["min"] is None else float(state["min"])
+        self._maximum = -math.inf if state["max"] is None else float(state["max"])
+
     def snapshot(self) -> typing.Dict[str, float]:
         """The accumulator as a plain dict (metrics-registry export)."""
         return {

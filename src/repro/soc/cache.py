@@ -171,6 +171,43 @@ class SetAssocCache:
         """Iterate over every resident line address."""
         return iter(self._where)
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Full line + replacement + counter state, JSON-able.
+
+        The reverse map is derivable from the tag arrays, so only tags,
+        per-set policy metadata and the counters are captured.
+        """
+        return {
+            "tags": [list(ways) for ways in self._tags],
+            "meta": [self.policy.export_set_state(meta) for meta in self._meta],
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict` (geometry must match)."""
+        tags = typing.cast(typing.List[typing.List[typing.Optional[int]]], state["tags"])
+        meta = typing.cast(typing.List[object], state["meta"])
+        if len(tags) != self.n_sets or any(len(ways) != self.ways for ways in tags):
+            raise CacheGeometryError(
+                f"{self.name}: snapshot geometry does not match "
+                f"({len(tags)} sets vs {self.n_sets})"
+            )
+        self._tags = [
+            [None if tag is None else int(tag) for tag in ways] for ways in tags
+        ]
+        self._meta = [self.policy.import_set_state(entry) for entry in meta]
+        self._where = {
+            line: (set_index, way)
+            for set_index, ways in enumerate(self._tags)
+            for way, line in enumerate(ways)
+            if line is not None
+        }
+        self.hits = int(typing.cast(int, state["hits"]))
+        self.misses = int(typing.cast(int, state["misses"]))
+        self.evictions = int(typing.cast(int, state["evictions"]))
+
     def stats_dict(self) -> typing.Dict[str, object]:
         """Hit/miss/eviction/occupancy counters for the metrics registry."""
         capacity_lines = self.n_sets * self.ways

@@ -56,6 +56,15 @@ class CpuCoreCaches:
         """Both private levels' counters for the metrics registry."""
         return {"l1": self.l1.stats_dict(), "l2": self.l2.stats_dict()}
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Both private levels' full state (checkpoint contract)."""
+        return {"l1": self.l1.state_dict(), "l2": self.l2.state_dict()}
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.l1.load_state(typing.cast(dict, state["l1"]))
+        self.l2.load_state(typing.cast(dict, state["l2"]))
+
     def fill_after_llc(self, paddr: int) -> typing.Optional[int]:
         """Install a line returning from the LLC into L2 then L1.
 

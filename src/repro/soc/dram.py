@@ -46,6 +46,21 @@ class Dram:
         self.total_latency_fs += latency
         return latency
 
+    def state_dict(self) -> typing.Dict[str, int]:
+        """Access counters (the latency stream position lives in RngStreams;
+        ``fault_hook`` is re-armed by the owning fault suite, not captured)."""
+        return {
+            "accesses": self.accesses,
+            "row_misses": self.row_misses,
+            "total_latency_fs": self.total_latency_fs,
+        }
+
+    def load_state(self, state: typing.Dict[str, int]) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+        self.accesses = int(state["accesses"])
+        self.row_misses = int(state["row_misses"])
+        self.total_latency_fs = int(state["total_latency_fs"])
+
     def stats_dict(self) -> typing.Dict[str, object]:
         """Access/row-miss counters for the metrics registry."""
         mean_ns = (

@@ -115,5 +115,13 @@ class GpuL3:
         """The backing array's counters for the metrics registry."""
         return self._cache.stats_dict()
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """The backing array's full state (checkpoint contract)."""
+        return self._cache.state_dict()
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._cache.load_state(state)
+
     def __len__(self) -> int:
         return len(self._cache)

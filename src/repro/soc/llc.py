@@ -109,6 +109,21 @@ class SlicedLlc:
         """Line-align a physical address using the LLC line size."""
         return line_address(paddr, self.config.line_bytes)
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Every slice's line + replacement state (checkpoint contract)."""
+        return {"slices": [s.state_dict() for s in self._slices]}
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        slices = typing.cast(list, state["slices"])
+        if len(slices) != len(self._slices):
+            raise CacheGeometryError(
+                f"snapshot has {len(slices)} LLC slices, machine has "
+                f"{len(self._slices)}"
+            )
+        for slice_cache, slice_state in zip(self._slices, slices):
+            slice_cache.load_state(slice_state)
+
     def stats_dict(self) -> typing.Dict[str, object]:
         """Aggregate plus per-slice counters for the metrics registry."""
         stats: typing.Dict[str, object] = {

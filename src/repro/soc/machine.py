@@ -751,6 +751,108 @@ class SoC:
         return self._fault_suite
 
     # ------------------------------------------------------------------
+    # Checkpointing (see repro.checkpoint for the envelope + contract)
+
+    def quiesce(self) -> None:
+        """Drive the machine to a quiescent point: stop the background
+        processes (noise, OS ticks, fault injectors) and drain the event
+        queue so no live generator frame remains.
+
+        Interrupted background loops terminate cleanly (an unhandled
+        :class:`~repro.sim.process.Interrupt` ends the process); their RNG
+        stream positions survive in :attr:`rng`, so restarting them after
+        a restore continues the exact cold-start draw sequence.
+        """
+        self.stop_noise()
+        self.stop_os_ticks()
+        self.stop_faults()
+        self.engine.run()
+
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Full machine state at a quiescent point, JSON-able.
+
+        Captures every stateful component plus the machine-local fields a
+        restart would otherwise re-derive differently (noise working set,
+        preemption windows, the LLC way partition).  Raises
+        :class:`~repro.errors.SimulationError` when the machine is not
+        quiescent (pending events, busy ring, live background processes).
+        """
+        if self._noise_process is not None or self._tick_process is not None:
+            raise SimulationError(
+                "machine is not quiescent: background processes running"
+            )
+        if self._fault_suite is not None:
+            raise SimulationError("machine is not quiescent: fault suite running")
+        return {
+            "fastpath": self._fastpath,
+            "engine": self.engine.state_dict(),
+            "rng": self.rng.state_dict(),
+            "mmu": self.mmu.state_dict(),
+            "dram": self.dram.state_dict(),
+            "ring": self.ring.state_dict(),
+            "llc": self.llc.state_dict(),
+            "cpu_caches": [caches.state_dict() for caches in self.cpu_caches],
+            "gpu_l3": self.gpu_l3.state_dict(),
+            "slm": [slm.state_dict() for slm in self.slm],
+            "metrics": self.metrics.state_dict(),
+            "noise_lines": list(self._noise_lines),
+            "core_stall_until": list(self._core_stall_until),
+            "llc_partition": (
+                None
+                if self.llc_partition is None
+                else {
+                    domain: list(ways)
+                    for domain, ways in self.llc_partition.items()
+                }
+            ),
+        }
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict` into this machine.
+
+        The machine must be freshly constructed (or itself quiescent) with
+        the same config; the staging mode must match, since fast and
+        staged paths execute different event counts.
+        """
+        if bool(state["fastpath"]) != self._fastpath:
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                "snapshot was taken with REPRO_FASTPATH="
+                f"{'1' if state['fastpath'] else '0'}; this machine runs the "
+                f"{'fast' if self._fastpath else 'staged'} path"
+            )
+        self.engine.load_state(typing.cast(dict, state["engine"]))
+        self.rng.load_state(typing.cast(dict, state["rng"]))
+        self.mmu.load_state(typing.cast(dict, state["mmu"]))
+        self.dram.load_state(typing.cast(dict, state["dram"]))
+        self.ring.load_state(typing.cast(dict, state["ring"]))
+        self.llc.load_state(typing.cast(dict, state["llc"]))
+        for caches, caches_state in zip(
+            self.cpu_caches, typing.cast(list, state["cpu_caches"])
+        ):
+            caches.load_state(caches_state)
+        self.gpu_l3.load_state(typing.cast(dict, state["gpu_l3"]))
+        for slm, slm_state in zip(self.slm, typing.cast(list, state["slm"])):
+            slm.load_state(slm_state)
+        self.metrics.load_state(typing.cast(dict, state["metrics"]))
+        self._noise_lines = [int(p) for p in typing.cast(list, state["noise_lines"])]
+        self._core_stall_until = [
+            int(t) for t in typing.cast(list, state["core_stall_until"])
+        ]
+        partition = typing.cast(
+            typing.Optional[dict], state["llc_partition"]
+        )
+        self.llc_partition = (
+            None
+            if partition is None
+            else {
+                str(domain): tuple(int(way) for way in ways)
+                for domain, ways in partition.items()
+            }
+        )
+
+    # ------------------------------------------------------------------
     # Introspection used by tests and the analysis layer
 
     def metrics_snapshot(self) -> typing.Dict[str, object]:

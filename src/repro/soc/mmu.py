@@ -83,6 +83,24 @@ class Mmu:
             frames.append(self.allocate_block(frame_bytes, frame_bytes).base)
         return frames
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """The allocated-region ledger as ``[base, size]`` pairs.
+
+        Frame placement randomness lives in the MMU's named RNG stream
+        (restored via :class:`repro.sim.rng.RngStreams`), so the ledger
+        plus the stream position fully reproduce future allocations.
+        """
+        return {
+            "allocated": [[region.base, region.size] for region in self._allocated],
+        }
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore the region ledger captured by :meth:`state_dict`."""
+        self._allocated = [
+            AddressRegion(int(base), int(size))
+            for base, size in typing.cast(list, state["allocated"])
+        ]
+
     def free(self, region: AddressRegion) -> None:
         """Return a region to the allocator."""
         try:

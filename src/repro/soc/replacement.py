@@ -42,6 +42,20 @@ class ReplacementPolicy:
         """Pick the way to evict from a full set (no state change)."""
         raise NotImplementedError
 
+    def export_set_state(self, state: object) -> object:
+        """Per-set metadata as a JSON-able value (checkpoint contract).
+
+        The default covers list-of-int metadata (true LRU stacks, pLRU bit
+        vectors) and ``None`` (stateless policies).
+        """
+        return list(typing.cast(list, state)) if state is not None else None
+
+    def import_set_state(self, exported: object) -> object:
+        """Rebuild per-set metadata from :meth:`export_set_state` output."""
+        if exported is None:
+            return None
+        return [int(entry) for entry in typing.cast(list, exported)]
+
 
 class TrueLru(ReplacementPolicy):
     """Exact least-recently-used ordering."""

@@ -189,6 +189,26 @@ class Ring:
             }
         return stats
 
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Ledger + accounting state (the TDM schedule is config-derived)."""
+        return {
+            "resource": self._resource.state_dict(),
+            "transfers": dict(self.transfers),
+            "waited_fs": dict(self.waited_fs),
+        }
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._resource.load_state(typing.cast(dict, state["resource"]))
+        self.transfers = {
+            str(domain): int(count)
+            for domain, count in typing.cast(dict, state["transfers"]).items()
+        }
+        self.waited_fs = {
+            str(domain): int(waited)
+            for domain, waited in typing.cast(dict, state["waited_fs"]).items()
+        }
+
     def reset_stats(self) -> None:
         """Zero the per-domain accounting (between measurement windows).
 

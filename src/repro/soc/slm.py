@@ -57,3 +57,18 @@ class SharedLocalMemory:
     def access_cycles(self) -> int:
         """GPU cycles for one SLM access (separate path from L3)."""
         return self.config.access_cycles
+
+    def state_dict(self) -> typing.Dict[str, object]:
+        """Allocation watermark + word contents (JSON string keys)."""
+        return {
+            "allocated": self._allocated,
+            "words": {str(offset): value for offset, value in self._words.items()},
+        }
+
+    def load_state(self, state: typing.Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._allocated = int(typing.cast(int, state["allocated"]))
+        self._words = {
+            int(offset): int(value)
+            for offset, value in typing.cast(dict, state["words"]).items()
+        }

@@ -1,0 +1,691 @@
+"""Tests for repro.checkpoint: pickle-free snapshot/restore of the SoC.
+
+Three layers of the contract (DESIGN §12):
+
+* every stateful component's ``state_dict()``/``load_state()`` pair
+  round-trips exactly, through the same canonical JSON bytes a
+  :class:`~repro.checkpoint.CheckpointStore` blob holds (Hypothesis
+  property tests);
+* stale or mismatched snapshots are rejected loudly — schema version,
+  config digest, fastpath flag, RNG family, cache geometry;
+* forking a transmission from a restored snapshot is bit-identical to a
+  cold start, for both channel families, across seeds, with mitigations
+  and fault injection in the mix, and through the executor's prefix
+  scheduling in both serial and worker-pool modes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import checkpoint
+from repro.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointStore,
+    check_snapshot,
+    restore_soc,
+    snapshot_bytes,
+    snapshot_from_bytes,
+    snapshot_soc,
+)
+from repro.config import kaby_lake_model
+from repro.cpu.pointer_chase import PointerChaseBuffer
+from repro.errors import (
+    CacheGeometryError,
+    CheckpointError,
+    SimulationError,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim import RngStreams
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource
+from repro.sim.stats import OnlineStats
+from repro.soc.cache import SetAssocCache
+from repro.soc.machine import SoC
+from repro.soc.replacement import make_policy
+
+CONFIG = kaby_lake_model(scale=16)
+
+
+def roundtrip(state):
+    """Push component state through the exact on-disk representation."""
+    return json.loads(json.dumps(state))
+
+
+# -- leaf component round-trips ---------------------------------------------
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000), max_size=20))
+def test_engine_roundtrip(delays):
+    engine = Engine()
+    for delay in delays:
+        engine.schedule(delay, lambda: None)
+    engine.run()
+    state = roundtrip(engine.state_dict())
+    clone = Engine()
+    clone.load_state(state)
+    assert clone.state_dict() == engine.state_dict()
+    assert clone.now == engine.now
+    assert clone.events_executed == engine.events_executed
+
+
+def test_engine_rejects_non_quiescent_snapshot():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    with pytest.raises(SimulationError, match="not quiescent"):
+        engine.state_dict()
+    busy = Engine()
+    busy.schedule(5, lambda: None)
+    with pytest.raises(SimulationError, match="busy engine"):
+        busy.load_state({"now": 0, "sequence": 0, "events_executed": 0})
+
+
+@given(
+    holds=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=1000),
+            st.integers(min_value=0, max_value=100),
+        ),
+        max_size=20,
+    )
+)
+def test_fifo_resource_ledger_roundtrip(holds):
+    engine = Engine()
+    resource = FifoResource(engine, "rt")
+    at = 0
+    for hold, gap in holds:
+        at += gap
+        resource.reserve(hold, at_fs=at)
+    state = roundtrip(resource.state_dict())
+    clone = FifoResource(Engine(), "rt-clone")
+    clone.load_state(state)
+    assert clone.state_dict() == resource.state_dict()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    draws=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "payload"]),
+                  st.integers(min_value=1, max_value=16)),
+        max_size=12,
+    ),
+)
+@settings(max_examples=25)
+def test_rng_streams_roundtrip_and_continuation(seed, draws):
+    rng = RngStreams(seed)
+    for name, n in draws:
+        rng.stream(name).random(n)
+    state = roundtrip(rng.state_dict())
+    clone = RngStreams(seed)
+    clone.load_state(state)
+    assert clone.state_dict() == rng.state_dict()
+    # The restored family continues the exact draw sequence — including
+    # streams the snapshot never mentioned (position-zero recreation).
+    for name in ("a", "b", "payload", "never-touched"):
+        assert list(clone.stream(name).random(4)) == list(rng.stream(name).random(4))
+
+
+def test_rng_streams_rejects_foreign_family():
+    state = RngStreams(1).state_dict()
+    with pytest.raises(CheckpointError, match="different"):
+        RngStreams(2).load_state(state)
+
+
+@given(values=st.lists(st.floats(min_value=-1e9, max_value=1e9), max_size=30))
+def test_online_stats_roundtrip(values):
+    stats = OnlineStats()
+    for value in values:
+        stats.add(value)
+    state = roundtrip(stats.state_dict())
+    clone = OnlineStats()
+    clone.load_state(state)
+    assert clone.state_dict() == stats.state_dict()
+    assert clone.snapshot() == stats.snapshot()
+
+
+def test_online_stats_empty_roundtrip_keeps_sentinels():
+    state = roundtrip(OnlineStats().state_dict())
+    assert state["min"] is None and state["max"] is None
+    clone = OnlineStats()
+    clone.load_state(state)
+    clone.add(3.0)  # sentinels must still behave as ±inf
+    assert clone.minimum == clone.maximum == 3.0
+
+
+@given(
+    paddrs=st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=60),
+    policy_name=st.sampled_from(["lru", "tree-plru"]),
+)
+@settings(max_examples=50)
+def test_set_assoc_cache_roundtrip(paddrs, policy_name):
+    def build():
+        return SetAssocCache("rt", n_sets=8, ways=4, line_bytes=64,
+                             policy=make_policy(policy_name, 4))
+
+    cache = build()
+    for paddr in paddrs:
+        cache.access(paddr)
+    state = roundtrip(cache.state_dict())
+    clone = build()
+    clone.load_state(state)
+    assert clone.state_dict() == cache.state_dict()
+    # Replacement metadata must survive: identical future evictions.
+    for paddr in paddrs[:10]:
+        a, b = cache.access(paddr ^ (1 << 19)), clone.access(paddr ^ (1 << 19))
+        assert (a.hit, a.set_index, a.way, a.evicted) == (b.hit, b.set_index, b.way, b.evicted)
+
+
+def test_set_assoc_cache_rejects_geometry_mismatch():
+    small = SetAssocCache("s", n_sets=4, ways=2, line_bytes=64, policy=make_policy("lru", 2))
+    big = SetAssocCache("b", n_sets=8, ways=2, line_bytes=64, policy=make_policy("lru", 2))
+    with pytest.raises(CacheGeometryError, match="geometry"):
+        big.load_state(small.state_dict())
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6), max_size=40))
+def test_histogram_roundtrip(values):
+    hist = Histogram("rt", reservoir=16)
+    for value in values:
+        hist.add(value)
+    state = roundtrip(hist.state_dict())
+    clone = Histogram("rt", reservoir=16)
+    clone.load_state(state)
+    assert clone.state_dict() == hist.state_dict()
+    assert clone.snapshot() == hist.snapshot()
+
+
+@given(
+    counters=st.dictionaries(
+        st.sampled_from(["a.hits", "b.misses", "c"]),
+        st.integers(min_value=0, max_value=1 << 40),
+        max_size=3,
+    ),
+    samples=st.lists(st.floats(min_value=0, max_value=1e6), max_size=10),
+)
+def test_metrics_registry_roundtrip(counters, samples):
+    registry = MetricsRegistry(reservoir=16)
+    for name, value in counters.items():
+        registry.counter(name).set(value)
+    for value in samples:
+        registry.histogram("lat").add(value)
+    state = roundtrip(registry.state_dict())
+    clone = MetricsRegistry(reservoir=16)
+    clone.load_state(state)
+    assert clone.state_dict() == registry.state_dict()
+    # In-place restore: object identity of existing metrics survives.
+    existing = registry.counter("a.hits")
+    registry.load_state(state)
+    assert registry.counter("a.hits") is existing
+
+
+@given(
+    n_lines=st.integers(min_value=2, max_value=32),
+    walk=st.integers(min_value=0, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25)
+def test_pointer_chase_roundtrip(n_lines, walk, seed):
+    lines = [index * 64 for index in range(n_lines)]
+    chase = PointerChaseBuffer.from_lines(lines, np.random.default_rng(seed))
+    chase.next_paddrs(walk)
+    state = roundtrip(chase.state_dict())
+    clone = PointerChaseBuffer.from_state(state)
+    assert clone.state_dict() == chase.state_dict()
+    assert clone.next_paddrs(2 * n_lines) == chase.next_paddrs(2 * n_lines)
+
+
+@given(
+    accesses=st.integers(min_value=0, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25)
+def test_dram_roundtrip(accesses, seed):
+    from repro.soc.dram import Dram
+
+    dram = Dram(CONFIG.dram, np.random.default_rng(seed))
+    for _ in range(accesses):
+        dram.latency_fs()
+    state = roundtrip(dram.state_dict())
+    clone = Dram(CONFIG.dram, np.random.default_rng(seed))
+    clone.load_state(state)
+    assert clone.state_dict() == dram.state_dict()
+
+
+@given(
+    transfers=st.lists(
+        st.tuples(st.sampled_from(["cpu", "gpu"]), st.integers(1, 8)),
+        max_size=20,
+    )
+)
+@settings(max_examples=25)
+def test_ring_roundtrip(transfers):
+    from repro.soc.ring import Ring
+
+    def build():
+        return Ring(Engine(), CONFIG.ring, CONFIG.cpu_clock)
+
+    ring = build()
+    for domain, slots in transfers:
+        ring.reserve(slots, domain)
+    state = roundtrip(ring.state_dict())
+    clone = build()
+    clone.load_state(state)
+    assert clone.state_dict() == ring.state_dict()
+
+
+@given(blocks=st.lists(st.integers(min_value=0, max_value=12), max_size=8))
+@settings(max_examples=25)
+def test_mmu_roundtrip(blocks):
+    from repro.soc.mmu import Mmu
+
+    mmu = Mmu(CONFIG.mmu, np.random.default_rng(7))
+    for exponent in blocks:
+        mmu.allocate_block(4096 << exponent, 4096)
+    state = roundtrip(mmu.state_dict())
+    clone = Mmu(CONFIG.mmu, np.random.default_rng(7))
+    clone.load_state(state)
+    assert clone.state_dict() == mmu.state_dict()
+
+
+@given(stores=st.lists(st.integers(min_value=-1000, max_value=1000), max_size=10))
+@settings(max_examples=25)
+def test_slm_roundtrip(stores):
+    from repro.soc.slm import SharedLocalMemory
+
+    slm = SharedLocalMemory(CONFIG.slm, subslice=0)
+    offsets = [slm.alloc_word() for _ in stores]
+    for offset, value in zip(offsets, stores):
+        slm.store(offset, value)
+    state = roundtrip(slm.state_dict())
+    clone = SharedLocalMemory(CONFIG.slm, subslice=0)
+    clone.load_state(state)
+    assert clone.state_dict() == slm.state_dict()
+
+
+@given(paddrs=st.lists(st.integers(min_value=0, max_value=1 << 24), max_size=40))
+@settings(max_examples=25)
+def test_sliced_llc_roundtrip(paddrs):
+    from repro.soc.llc import SlicedLlc
+
+    llc = SlicedLlc(CONFIG.llc)
+    for paddr in paddrs:
+        llc.access(paddr)
+    state = roundtrip(llc.state_dict())
+    clone = SlicedLlc(CONFIG.llc)
+    clone.load_state(state)
+    assert clone.state_dict() == llc.state_dict()
+
+
+def test_sliced_llc_rejects_slice_count_mismatch():
+    import dataclasses
+
+    from repro.soc.llc import SlicedLlc
+
+    llc = SlicedLlc(CONFIG.llc)
+    fewer = SlicedLlc(dataclasses.replace(CONFIG.llc, slices=CONFIG.llc.slices // 2))
+    with pytest.raises(CacheGeometryError, match="slices"):
+        fewer.load_state(llc.state_dict())
+
+
+@given(paddrs=st.lists(st.integers(min_value=0, max_value=1 << 24), max_size=40))
+@settings(max_examples=25)
+def test_gpu_l3_roundtrip(paddrs):
+    from repro.soc.gpu_l3 import GpuL3
+
+    l3 = GpuL3(CONFIG.gpu_l3)
+    for paddr in paddrs:
+        l3.access(paddr)
+    state = roundtrip(l3.state_dict())
+    clone = GpuL3(CONFIG.gpu_l3)
+    clone.load_state(state)
+    assert clone.state_dict() == l3.state_dict()
+
+
+@given(paddrs=st.lists(st.integers(min_value=0, max_value=1 << 24), max_size=40))
+@settings(max_examples=25)
+def test_cpu_core_caches_roundtrip(paddrs):
+    from repro.soc.cpu_cache import CpuCoreCaches
+
+    caches = CpuCoreCaches(CONFIG.cpu_cache, core_id=0)
+    for paddr in paddrs:
+        caches.fill_after_llc(paddr)
+    state = roundtrip(caches.state_dict())
+    clone = CpuCoreCaches(CONFIG.cpu_cache, core_id=0)
+    clone.load_state(state)
+    assert clone.state_dict() == caches.state_dict()
+
+
+# -- envelope validation ----------------------------------------------------
+
+
+def _quiescent_soc(seed=0):
+    soc = SoC(CONFIG.replace(seed=seed))
+    soc.quiesce()
+    return soc
+
+
+def test_snapshot_rejects_schema_version_mismatch():
+    snapshot = snapshot_soc(_quiescent_soc())
+    stale = dict(snapshot, schema=SCHEMA_VERSION + 1)
+    with pytest.raises(CheckpointError, match="schema"):
+        check_snapshot(stale, CONFIG.replace(seed=0))
+
+
+def test_snapshot_rejects_config_mismatch():
+    snapshot = snapshot_soc(_quiescent_soc(seed=0))
+    with pytest.raises(CheckpointError, match="config"):
+        restore_soc(CONFIG.replace(seed=1), snapshot)
+
+
+def test_snapshot_rejects_fastpath_mismatch():
+    from repro.sim import fastpath
+
+    snapshot = snapshot_soc(_quiescent_soc())
+    flipped = dict(snapshot)
+    flipped["state"] = dict(snapshot["state"], fastpath=not fastpath.enabled())
+    with pytest.raises(CheckpointError, match="FASTPATH"):
+        restore_soc(CONFIG.replace(seed=0), flipped)
+
+
+def test_snapshot_rejects_corrupt_bytes():
+    with pytest.raises(CheckpointError, match="corrupt"):
+        snapshot_from_bytes(b"{not json")
+
+
+def test_snapshot_rejects_live_background_processes():
+    soc = SoC(CONFIG.replace(seed=0))
+    soc.start_os_ticks()
+    with pytest.raises(SimulationError, match="background"):
+        soc.state_dict()
+    soc.quiesce()
+    soc.state_dict()  # quiescing makes it capturable
+
+
+def test_soc_warm_roundtrip_continues_identically():
+    """Snapshot mid-experiment; the restored SoC continues bit-exactly."""
+    from repro.cpu.core import CpuProgram
+
+    def warm(soc):
+        space = soc.new_process("warm")
+        buffer = space.mmap_huge(1 << 16)
+        program = CpuProgram(soc, 0, space, name="warm")
+        lines = buffer.line_paddrs(soc.config.llc.line_bytes)[:64]
+
+        def body(lines):
+            yield from program.read_batch(lines)
+
+        soc.start_os_ticks()
+        soc.engine.run_until_complete(soc.engine.process(body(lines)))
+        soc.quiesce()
+        return lines
+
+    soc = SoC(CONFIG.replace(seed=5))
+    lines = warm(soc)
+    blob = snapshot_bytes(snapshot_soc(soc))
+    clone = restore_soc(CONFIG.replace(seed=5), snapshot_from_bytes(blob))
+    assert clone.engine.now == soc.engine.now
+    assert clone.metrics_snapshot() == soc.metrics_snapshot()
+    # Continuation: the same suffix on both machines stays in lockstep,
+    # including RNG stream positions (DRAM latency jitter).
+    for machine in (soc, clone):
+        space = machine.new_process("suffix")
+
+        def suffix(machine, space):
+            from repro.cpu.core import CpuProgram
+
+            program = CpuProgram(machine, 1, space, name="suffix")
+            buffer = space.mmap_huge(1 << 14)
+            yield from program.read_batch(
+                buffer.line_paddrs(machine.config.llc.line_bytes)[:32]
+            )
+
+        machine.engine.run_until_complete(
+            machine.engine.process(suffix(machine, space))
+        )
+    assert clone.engine.now == soc.engine.now
+    assert clone.metrics_snapshot() == soc.metrics_snapshot()
+    assert [int(v) for v in clone.rng.stream("check").integers(0, 1 << 30, 4)] == [
+        int(v) for v in soc.rng.stream("check").integers(0, 1 << 30, 4)
+    ]
+
+
+# -- checkpoint store -------------------------------------------------------
+
+
+def test_store_roundtrip_and_stats(tmp_path):
+    store = CheckpointStore(tmp_path, fingerprint="f1")
+    snapshot = snapshot_soc(_quiescent_soc())
+    key = store.key_for(CONFIG, "prefix", 3)
+    assert store.get(key) is None
+    store.put(key, snapshot)
+    assert store.get(key) == snapshot
+    assert len(store) == 1
+    assert (store.stats.hits, store.stats.misses, store.stats.stores) == (1, 1, 1)
+    assert "1 hits / 1 misses" in store.stats.summary()
+
+
+def test_store_key_sensitivity(tmp_path):
+    store = CheckpointStore(tmp_path, fingerprint="f1")
+    other_code = CheckpointStore(tmp_path, fingerprint="f2")
+    base = store.key_for(CONFIG, "prefix", 3)
+    assert store.key_for(CONFIG, "prefix", 4) != base
+    assert store.key_for(CONFIG, "other", 3) != base
+    assert store.key_for(CONFIG.replace(seed=9), "prefix", 3) != base
+    assert other_code.key_for(CONFIG, "prefix", 3) != base
+
+
+def test_store_evicts_stale_schema(tmp_path):
+    store = CheckpointStore(tmp_path, fingerprint="f1")
+    key = store.key_for(CONFIG, "prefix", 0)
+    store.put(key, {"schema": SCHEMA_VERSION + 1, "state": {}})
+    assert store.get(key) is None
+    assert store.stats.evictions == 1
+    assert len(store) == 0
+
+
+def test_store_evicts_corrupt_blob(tmp_path):
+    store = CheckpointStore(tmp_path, fingerprint="f1")
+    key = store.key_for(CONFIG, "prefix", 0)
+    path = store._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"garbage")
+    assert store.get(key) is None
+    assert store.stats.evictions == 1
+
+
+def test_gate_forced_and_env_spelling():
+    assert checkpoint.enabled()  # default on
+    with checkpoint.forced(False):
+        assert not checkpoint.enabled()
+        with checkpoint.forced(True):
+            assert checkpoint.enabled()
+        assert not checkpoint.enabled()
+    assert checkpoint.enabled()
+
+
+# -- cold vs forked bit-identity -------------------------------------------
+
+
+def _result_tuple(result):
+    return (result.sent, result.received, result.elapsed_fs,
+            json.dumps(result.meta, sort_keys=True))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_contention_fork_bit_identical(seed):
+    from repro.core.contention_channel import (
+        ContentionChannel,
+        ContentionChannelConfig,
+    )
+    from repro.core.contention_channel import fork
+
+    channel = ContentionChannel(ContentionChannelConfig(), soc_config=CONFIG)
+    cold = channel.transmit(n_bits=10, seed=seed)
+    doc = snapshot_from_bytes(snapshot_bytes(fork.prepare_doc(channel, seed)))
+    forked = fork.transmit_from_doc(channel, doc, n_bits=10, seed=seed)
+    assert _result_tuple(forked) == _result_tuple(cold)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_llc_fork_bit_identical(seed):
+    from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+    from repro.core.llc_channel import fork
+
+    channel = LLCChannel(LLCChannelConfig(), soc_config=CONFIG)
+    cold = channel.transmit(n_bits=10, seed=seed)
+    doc = snapshot_from_bytes(snapshot_bytes(fork.prepare_doc(channel, seed)))
+    forked = fork.transmit_from_doc(channel, doc, n_bits=10, seed=seed)
+    assert _result_tuple(forked) == _result_tuple(cold)
+
+
+def test_llc_fork_bit_identical_cpu_to_gpu():
+    from repro.core.channel import ChannelDirection
+    from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+    from repro.core.llc_channel import fork
+
+    channel = LLCChannel(
+        LLCChannelConfig(direction=ChannelDirection.CPU_TO_GPU),
+        soc_config=CONFIG,
+    )
+    cold = channel.transmit(n_bits=10, seed=1)
+    doc = fork.prepare_doc(channel, 1)
+    forked = fork.transmit_from_doc(channel, doc, n_bits=10, seed=1)
+    assert _result_tuple(forked) == _result_tuple(cold)
+
+
+def test_fork_bit_identical_under_mitigation():
+    from repro.core.llc_channel import LLCChannel, LLCChannelConfig
+    from repro.core.llc_channel import fork
+    from repro.mitigations import llc_way_partition
+
+    channel = LLCChannel(
+        LLCChannelConfig(mitigation=llc_way_partition()), soc_config=CONFIG
+    )
+    cold = channel.transmit(n_bits=10, seed=1)
+    doc = fork.prepare_doc(channel, 1)
+    forked = fork.transmit_from_doc(channel, doc, n_bits=10, seed=1)
+    assert _result_tuple(forked) == _result_tuple(cold)
+
+
+def test_fork_bit_identical_under_faults():
+    import dataclasses
+
+    from repro.core.contention_channel import (
+        ContentionChannel,
+        ContentionChannelConfig,
+    )
+    from repro.core.contention_channel import fork
+
+    faulted = CONFIG.replace(
+        faults=dataclasses.replace(CONFIG.faults, enabled=True)
+    )
+    channel = ContentionChannel(ContentionChannelConfig(), soc_config=faulted)
+    cold = channel.transmit(n_bits=10, seed=2)
+    doc = fork.prepare_doc(channel, 2)
+    forked = fork.transmit_from_doc(channel, doc, n_bits=10, seed=2)
+    assert _result_tuple(forked) == _result_tuple(cold)
+
+
+def test_fork_doc_rejects_wrong_seed():
+    from repro.core.contention_channel import (
+        ContentionChannel,
+        ContentionChannelConfig,
+    )
+    from repro.core.contention_channel import fork
+    from repro.errors import ChannelProtocolError
+
+    channel = ContentionChannel(ContentionChannelConfig(), soc_config=CONFIG)
+    doc = fork.prepare_doc(channel, 1)
+    with pytest.raises(ChannelProtocolError, match="seed"):
+        fork.restore_prepared(channel, doc, 2)
+
+
+# -- executor prefix scheduling ---------------------------------------------
+
+
+def _sweep_prefix(params, seed):
+    """Shared prefix: a warmed machine captured as a fork-style doc."""
+    soc = SoC(CONFIG.replace(seed=seed))
+    soc.rng.stream("shared").random(int(params["warm_draws"]))
+    soc.quiesce()
+    return {"snapshot": snapshot_soc(soc)}
+
+
+def _sweep_trial(params, seed):
+    """Divergent suffix: continue the shared stream, fold in a knob."""
+    doc = checkpoint.resolve_state(params)
+    if doc is not None:
+        soc = restore_soc(CONFIG.replace(seed=seed), doc["snapshot"])
+    else:
+        soc = SoC(CONFIG.replace(seed=seed))
+        soc.rng.stream("shared").random(int(params["warm_draws"]))
+        soc.quiesce()
+    draw = float(soc.rng.stream("shared").random())
+    return round(draw * float(params["knob"]), 12)
+
+
+def _prefix_sweep(workers):
+    from repro.exec import PrefixSpec, TrialExecutor, TrialSpec
+
+    base = {"warm_draws": 5}
+    prefix = PrefixSpec(fn=_sweep_prefix, params=base, seed=11, label="t")
+    specs = [
+        TrialSpec(fn=_sweep_trial, params={**base, "knob": knob},
+                  seed=11, prefix=prefix)
+        for knob in (1.0, 2.0, 3.0)
+    ]
+    return TrialExecutor(workers=workers).run(specs).results()
+
+
+def test_executor_prefix_serial_matches_cold():
+    with checkpoint.forced(False):
+        cold = _prefix_sweep(workers=0)
+    with checkpoint.forced(True):
+        warm = _prefix_sweep(workers=0)
+    assert warm == cold
+    assert len(warm) == 3
+
+
+def test_executor_prefix_parallel_matches_cold():
+    with checkpoint.forced(False):
+        cold = _prefix_sweep(workers=2)
+    with checkpoint.forced(True):
+        warm = _prefix_sweep(workers=2)
+    assert warm == cold
+
+
+def test_executor_parallel_prefix_hits_store(tmp_path):
+    from repro.exec import PrefixSpec, TrialExecutor, TrialSpec
+
+    store = CheckpointStore(tmp_path)
+    base = {"warm_draws": 5}
+    prefix = PrefixSpec(fn=_sweep_prefix, params=base, seed=11, label="t")
+    specs = [
+        TrialSpec(fn=_sweep_trial, params={**base, "knob": knob},
+                  seed=11, prefix=prefix)
+        for knob in (1.0, 2.0)
+    ]
+    executor = TrialExecutor(workers=2, checkpoints=store)
+    first = executor.run(specs).results()
+    assert store.stats.stores == 1  # one group -> one blob
+    # A second executor sharing the store forks without re-running the prefix.
+    again = TrialExecutor(workers=2, checkpoints=store)
+    second = again.run(specs).results()
+    assert second == first
+    assert store.stats.hits >= 1
+    assert store.stats.stores == 1  # still the original blob, no re-run
+
+
+def test_slot_sweep_cold_equals_warm():
+    from repro.analysis.checkpoint_sweep import slot_length_sweep
+
+    kwargs = dict(slot_lengths_us=(2.2, 3.0), n_bits=6, cal_passes=4, seed=1)
+    with checkpoint.forced(False):
+        cold = slot_length_sweep(**kwargs)
+    with checkpoint.forced(True):
+        warm = slot_length_sweep(**kwargs)
+    assert cold.rows() == warm.rows()
+    assert len(warm.points) == 2

@@ -297,3 +297,72 @@ def test_cli_json_and_cache(tmp_path, capsys):
     assert warm["cache"]["hits"] == doc["cache"]["misses"]
     assert warm["cache"]["misses"] == 0
     assert "100% hit rate" in capsys.readouterr().out
+
+
+def _race_writer(root, key, payload, barrier, rounds):
+    cache = ResultCache(root, fingerprint="race")
+    for _ in range(rounds):
+        barrier.wait()
+        cache.put(key, "ok", payload)
+
+
+def test_cache_concurrent_writers_keep_one_valid_entry(tmp_path):
+    """Two writers racing on one key: atomic rename, never a torn entry."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    cache = ResultCache(tmp_path, fingerprint="race")
+    key = cache.key_for(_fast_trial, {"x": 1}, 7)
+    rounds = 25
+    barrier = ctx.Barrier(2)
+    writers = [
+        ctx.Process(target=_race_writer,
+                    args=(tmp_path, key, payload, barrier, rounds))
+        for payload in ("from-a", "from-b")
+    ]
+    for w in writers:
+        w.start()
+    for w in writers:
+        w.join(timeout=60)
+        assert w.exitcode == 0
+    # Exactly one entry survives, readable, holding one racer's payload.
+    assert len(cache) == 1
+    hit = cache.get(key)
+    assert hit is not None
+    kind, payload = hit
+    assert kind == "ok" and payload in ("from-a", "from-b")
+    assert cache.stats.evictions == 0
+    # No stray .tmp files left behind by either racer.
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_checkpoint_store_concurrent_writers(tmp_path):
+    """Same discipline for checkpoint blobs: one valid JSON entry."""
+    import multiprocessing
+
+    from repro.checkpoint import CheckpointStore
+
+    def writer(root, key, label, barrier):
+        store = CheckpointStore(root, fingerprint="race")
+        for _ in range(25):
+            barrier.wait()
+            store.put(key, {"schema": 1, "config_digest": label, "state": {}})
+
+    ctx = multiprocessing.get_context("fork")
+    store = CheckpointStore(tmp_path, fingerprint="race")
+    key = store.key_for({"cfg": 1}, "prefix", 0)
+    barrier = ctx.Barrier(2)
+    writers = [
+        ctx.Process(target=writer, args=(tmp_path, key, label, barrier))
+        for label in ("a", "b")
+    ]
+    for w in writers:
+        w.start()
+    for w in writers:
+        w.join(timeout=60)
+        assert w.exitcode == 0
+    assert len(store) == 1
+    blob = store.get(key)
+    assert blob is not None and blob["config_digest"] in ("a", "b")
+    assert store.stats.evictions == 0
+    assert not list(tmp_path.rglob("*.tmp"))
