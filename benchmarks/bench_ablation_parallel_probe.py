@@ -80,5 +80,14 @@ def test_parallel_probe_ablation(benchmark, figure_report, bench_workers):
         "ablation_parallel",
         "§III-E ablation: GPU probe parallelism vs the 4x clock disparity",
         table,
+        channels={
+            "parallel_probe": {
+                "bandwidth_kbps": round(parallel.bandwidth_kbps, 4),
+                "error_percent": round(parallel.error_percent, 4),
+            },
+            "serial_probe": {
+                "bandwidth_kbps": round(float(serial_bw), 4),
+            },
+        },
     )
     assert parallel.bandwidth_kbps > 1.5 * serial_bw

@@ -11,13 +11,18 @@ wall-time ratio as ``speedup_vs_cold`` in ``BENCH_checkpoint_fork.json``.
 
 import time
 
-from conftest import BENCH_WORKERS, record_bench_json, report
+from conftest import (
+    BENCH_WORKERS,
+    append_ledger_record,
+    record_bench_json,
+    report,
+)
 
 from repro import checkpoint
 from repro.analysis.checkpoint_sweep import slot_length_sweep
 from repro.analysis.render import format_table
 from repro.exec import TrialExecutor
-from repro.obs import EngineCensus
+from repro.obs import EngineCensus, bench_run_record
 
 
 def test_checkpoint_fork_speedup(benchmark):
@@ -64,29 +69,22 @@ def test_checkpoint_fork_speedup(benchmark):
         table,
         footer="\n".join(stats_lines) + "\n" + census.footer(),
     )
-    record_bench_json(
-        "checkpoint_fork",
-        {
-            "workers": BENCH_WORKERS,
-            "wall_s": round(t_warm, 4),
+    run = bench_run_record(
+        workers=BENCH_WORKERS,
+        wall_s=t_warm,
+        census=census,
+        cache=warm.report.cache if warm.report else {},
+        checkpoints=store.stats if store is not None else {},
+        extra={
             "cold_wall_s": round(t_cold, 4),
             "speedup_vs_cold": round(speedup, 3),
-            "engines": census.engines_created,
-            "events_executed": census.events_executed,
-            "events_per_sec": round(census.events_executed / (t_cold + t_warm), 1),
-            "cache": warm.report.cache.as_dict() if warm.report else {},
-            "checkpoints": (
-                dict(
-                    hits=store.stats.hits,
-                    misses=store.stats.misses,
-                    stores=store.stats.stores,
-                    evictions=store.stats.evictions,
-                )
-                if store is not None
-                else {}
+            "events_per_sec": round(
+                census.events_executed / (t_cold + t_warm), 1
             ),
         },
     )
+    record_bench_json("checkpoint_fork", run)
+    append_ledger_record("checkpoint_fork", "bench", run)
     assert speedup >= 2.0, (
         f"prefix forking bought only {speedup:.2f}x over cold starts"
     )

@@ -28,6 +28,13 @@ def test_fig04_timer_characterization(benchmark, figure_report, bench_workers):
         "Fig. 4: timer ticks per hierarchy level "
         "(paper: three clearly separated bands)",
         table + "\n" + separation,
+        channels={
+            f"timer{char.counter_threads}": {
+                "memory_mean_ticks": round(char.memory.mean, 2),
+                "levels_separated": int(char.levels_separated),
+            }
+            for char in [data.main] + data.sweep
+        },
     )
     assert data.main.levels_separated
     # Full work-group timer resolves far better than a single wavefront.

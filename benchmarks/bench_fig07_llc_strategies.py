@@ -20,7 +20,15 @@ def test_fig07_llc_strategies(benchmark, figure_report, bench_workers):
         ["strategy", "direction", "kb/s", "err %"], data.rows()
     )
     paper = "\n".join(f"paper {k}: {v}" for k, v in data.paper.items())
-    figure_report("fig07", "Fig. 7: bandwidth by L3 eviction strategy", table + "\n" + paper)
+    figure_report(
+        "fig07",
+        "Fig. 7: bandwidth by L3 eviction strategy",
+        table + "\n" + paper,
+        channels={
+            f"{p.strategy.value}:{p.direction.value}": p.aggregate.as_dict()
+            for p in data.points
+        },
+    )
 
     by_strategy = {}
     for point in data.points:

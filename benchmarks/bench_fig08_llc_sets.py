@@ -20,7 +20,15 @@ def test_fig08_llc_sets(benchmark, figure_report, bench_workers):
     )
     table = format_table(["sets", "direction", "kb/s", "err %"], data.rows())
     paper = "\n".join(f"paper {k}: {v}" for k, v in data.paper.items())
-    figure_report("fig08", "Fig. 8: error and bandwidth vs LLC sets", table + "\n" + paper)
+    figure_report(
+        "fig08",
+        "Fig. 8: error and bandwidth vs LLC sets",
+        table + "\n" + paper,
+        channels={
+            f"sets{p.n_sets}:{p.direction.value}": p.aggregate.as_dict()
+            for p in data.points
+        },
+    )
 
     def err(n_sets, direction):
         for point in data.points:

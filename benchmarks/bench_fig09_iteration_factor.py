@@ -33,6 +33,13 @@ def test_fig09_iteration_factor(benchmark, figure_report, bench_workers):
         "Fig. 9: iteration factor vs GPU buffer size "
         "(paper: factor falls as the buffer grows)",
         table,
+        channels={
+            f"gpu{p.gpu_buffer_paper_bytes // KB}KB": {
+                "iteration_factor": p.iteration_factor,
+                "slot_us": round(p.slot_us, 4),
+            }
+            for p in data.points
+        },
     )
     factors = [p.iteration_factor for p in data.points]
     assert factors == sorted(factors, reverse=True)
@@ -56,5 +63,15 @@ def test_fig09_ablation_uncalibrated_slots(benchmark, figure_report):
         "fig09_ablation",
         "Fig. 9 ablation: calibrated vs forced iteration factor",
         f"calibrated: {result_a.summary()}\nforced I_F=4: {result_b.summary()}",
+        channels={
+            "calibrated": {
+                "bandwidth_kbps": round(result_a.bandwidth_kbps, 4),
+                "error_percent": round(result_a.error_percent, 4),
+            },
+            "forced_if4": {
+                "bandwidth_kbps": round(result_b.bandwidth_kbps, 4),
+                "error_percent": round(result_b.error_percent, 4),
+            },
+        },
     )
     assert result_a.bandwidth_kbps > 2 * result_b.bandwidth_kbps

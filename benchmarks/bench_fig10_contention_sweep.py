@@ -29,7 +29,16 @@ def test_fig10_contention_sweep(benchmark, figure_report, bench_workers):
         ["WGs", "gpu buffer", "kb/s", "err %", "err ±95%", "I_F"], data.rows()
     )
     paper = "\n".join(f"paper {k}: {v}" for k, v in data.paper.items())
-    figure_report("fig10", "Fig. 10: contention channel sweep", table + "\n" + paper)
+    figure_report(
+        "fig10",
+        "Fig. 10: contention channel sweep",
+        table + "\n" + paper,
+        channels={
+            f"wg{p.n_workgroups}:gpu{p.gpu_buffer_paper_bytes // MB}MB":
+                p.aggregate.as_dict()
+            for p in data.points
+        },
+    )
 
     best = data.best()
     # The error minimum sits in the small-work-group region (paper: 2 WGs).

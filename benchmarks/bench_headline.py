@@ -21,7 +21,15 @@ def test_headline_numbers(benchmark, figure_report, bench_workers):
             for row in data.rows()
         ],
     )
-    figure_report("headline", "§V headline: channel bandwidth and error", table)
+    figure_report(
+        "headline",
+        "§V headline: channel bandwidth and error",
+        table,
+        channels={
+            "llc": data.llc.as_dict(),
+            "contention": data.contention.as_dict(),
+        },
+    )
     assert data.llc.bandwidth_kbps > 50
     assert data.llc.error_percent < 10
     assert data.contention.bandwidth_kbps > 200

@@ -107,7 +107,19 @@ def test_mitigation_ablations(benchmark, figure_report, bench_workers):
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     table = format_table(["configuration", "kb/s", "err %"], rows)
-    figure_report("mitigations", "§VI mitigation ablations", table)
+    figure_report(
+        "mitigations",
+        "§VI mitigation ablations",
+        table,
+        channels={
+            label.replace(", ", ":").replace(" ", "_"): {
+                "bandwidth_kbps": float(kbps),
+                "error_percent": float(err) if err != "dead" else 100.0,
+                "dead": int(err == "dead"),
+            }
+            for label, kbps, err in rows
+        },
+    )
 
     by_label = {row[0]: row for row in rows}
     partitioned = by_label["llc channel, way partition"]

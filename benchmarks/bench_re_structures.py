@@ -74,6 +74,15 @@ def test_re_slice_hash(benchmark, figure_report, bench_workers):
         "re_slice_hash",
         "§III-C: slice-hash recovery (paper: Eq. (1)/(2) over bits 6..37)",
         table,
+        channels={
+            "slice_hash": {
+                "n_slices": int(report.n_slices),
+                "verification_accuracy": round(
+                    float(report.verification_accuracy), 4
+                ),
+                "oracle_queries": int(report.oracle_queries),
+            }
+        },
     )
     truth = SliceHash([SLICE_HASH_S0_MASK, SLICE_HASH_S1_MASK], 4)
     config = kaby_lake()
@@ -105,7 +114,19 @@ def test_re_l3_structures(benchmark, figure_report, bench_workers):
             ("LLC inclusive of L3", inclusiveness.inclusive, "False (paper: non-inclusive)"),
         ],
     )
-    figure_report("re_l3", "§III-D: GPU L3 reverse engineering", table)
+    figure_report(
+        "re_l3",
+        "§III-D: GPU L3 reverse engineering",
+        table,
+        channels={
+            "l3_geometry": {
+                "placement_bits": int(geometry.placement_bits),
+                "ways": int(geometry.ways),
+                "eviction_rounds": int(geometry.eviction_rounds),
+                "llc_inclusive": int(inclusiveness.inclusive),
+            }
+        },
+    )
     assert geometry.placement_bits == config.placement_bits
     assert geometry.ways == config.ways
     assert inclusiveness.inclusive is False

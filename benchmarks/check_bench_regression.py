@@ -1,6 +1,6 @@
 """Benchmark regression guard for the committed performance artifacts.
 
-Three families of checks, all against the figures committed at HEAD (the
+Four families of checks, all against the figures committed at HEAD (the
 benchmark run overwrites the working-tree files, so the baseline has to
 come out of git):
 
@@ -9,7 +9,11 @@ come out of git):
 * the headline wall time from ``BENCH_headline.json`` (lower is better,
   with a wider tolerance — wall clocks on shared runners are noisy);
 * ``events_per_sec`` of every per-figure ``BENCH_*.json`` that records
-  one (higher is better).
+  one (higher is better);
+* channel health: per-channel BER / bandwidth in every artifact that
+  records a ``channels`` block, z-score-checked against the committed
+  baseline via :mod:`repro.obs.drift` — a BER rise or bandwidth drop
+  beyond the committed confidence interval is a regression, not noise.
 
 A metric present in the working tree but absent from the committed
 baseline — a brand-new benchmark, or an old artifact that predates a
@@ -157,6 +161,61 @@ def run_check(
     )
 
 
+def _drift_module():
+    """Import :mod:`repro.obs.drift`, adding ``src/`` if not on the path."""
+    try:
+        from repro.obs import drift
+    except ImportError:
+        sys.path.insert(0, str(_repo_root() / "src"))
+        try:
+            from repro.obs import drift
+        except ImportError:
+            return None
+    return drift
+
+
+def run_drift_checks(
+    results_dir: pathlib.Path, rev: str
+) -> typing.List[typing.Tuple[str, str]]:
+    """Channel-health drift of every working-tree artifact vs ``rev``.
+
+    Returns ``(status, message)`` pairs in the same ok/regression/skip
+    vocabulary as :func:`run_check`.  Artifacts without a ``channels``
+    block on either side are silently fine — recording channel health is
+    opt-in per benchmark.
+    """
+    drift = _drift_module()
+    if drift is None:
+        return [("skip", "channel drift: repro.obs.drift not importable")]
+    results: typing.List[typing.Tuple[str, str]] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        name = path.stem.removeprefix("BENCH_")
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            continue
+        current = drift.channels_of(doc)
+        if not current:
+            continue
+        baseline = drift.channels_of(
+            committed_doc(f"{RESULTS_RELDIR}/{path.name}", rev)
+        )
+        if not baseline:
+            results.append(
+                ("skip", f"{name} channels: no committed baseline at {rev}")
+            )
+            continue
+        warnings = drift.channel_drift_warnings(current, baseline)
+        if warnings:
+            for warning in warnings:
+                results.append(("regression", f"{name} {warning}"))
+        else:
+            results.append(
+                ("ok", f"{name} channels: {len(current)} within baseline CIs")
+            )
+    return results
+
+
 def main(argv: typing.Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -178,6 +237,10 @@ def main(argv: typing.Optional[list] = None) -> int:
         "--rev", default="HEAD",
         help="git revision to read baselines from (default HEAD)",
     )
+    parser.add_argument(
+        "--no-drift", action="store_true",
+        help="skip the per-channel BER/bandwidth drift checks",
+    )
     args = parser.parse_args(argv)
 
     results_dir = _repo_root() / RESULTS_RELDIR
@@ -198,6 +261,17 @@ def main(argv: typing.Optional[list] = None) -> int:
             regressions += 1
         elif status == "ok":
             checked += 1
+
+    if not args.no_drift:
+        for status, message in run_drift_checks(results_dir, args.rev):
+            label = {"ok": "ok", "regression": "REGRESSION", "skip": "skip"}[
+                status
+            ]
+            print(f"[{label}] {message}")
+            if status == "regression":
+                regressions += 1
+            elif status == "ok":
+                checked += 1
 
     if regressions:
         return 1

@@ -28,11 +28,60 @@ import typing
 import pytest
 
 from repro.obs import EngineCensus
+from repro.obs.drift import channel_drift_warnings, committed_channels
+from repro.obs.ledger import append_record, default_ledger_path, make_record
+from repro.obs.telemetry import bench_run_record
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Worker-process count for the executor-backed figure harnesses.
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or "0")
+
+#: One code fingerprint per bench session (hashing the tree is ~ms, but
+#: every figure appends a ledger record and they all share it).
+_FINGERPRINT: typing.Optional[str] = None
+
+
+def _session_fingerprint() -> str:
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        from repro.exec.fingerprint import code_fingerprint
+
+        _FINGERPRINT = code_fingerprint()
+    return _FINGERPRINT
+
+
+def _ledger_path() -> typing.Optional[pathlib.Path]:
+    """Bench runs ledger by default, under results/; REPRO_LEDGER overrides."""
+    if os.environ.get("REPRO_LEDGER", "").strip():
+        return default_ledger_path()
+    return RESULTS_DIR / "LEDGER.jsonl"
+
+
+def append_ledger_record(
+    name: str,
+    kind: str,
+    run: typing.Dict[str, object],
+    warnings: typing.Sequence[str] = (),
+) -> None:
+    """Append one provenance record for a bench run (never fails the bench)."""
+    path = _ledger_path()
+    if path is None:
+        return
+    record = make_record(
+        name=name,
+        kind=kind,
+        run=run,
+        channels=typing.cast(
+            typing.Optional[typing.Dict[str, object]], run.get("channels")
+        ),
+        warnings=warnings,
+        fingerprint=_session_fingerprint(),
+    )
+    try:
+        append_record(path, record)
+    except OSError as exc:  # read-only checkout etc.
+        print(f"ledger: skipped ({exc})")
 
 
 @pytest.fixture
@@ -96,28 +145,52 @@ def record_core_metric(bench: str, metric: str, value: float) -> None:
     doc = _load_json(path, {"name": bench, "metrics": {}})
     doc.setdefault("metrics", {})[metric] = round(value, 1)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    append_ledger_record(bench, "core", {metric: round(value, 1)})
 
 
 @pytest.fixture
 def figure_report():
-    """``report`` with the census footer and BENCH_<name>.json appended."""
+    """``report`` + census footer, BENCH_<name>.json, drift check, ledger.
+
+    Pass ``channels={"llc": aggregate.as_dict(), ...}`` to record
+    per-channel health (bandwidth/BER with CIs) in the BENCH artifact;
+    the same dict is z-score drift-checked against the channels in the
+    *committed* BENCH_<name>.json (via ``git show``), and any drift
+    warnings land in the report footer and the run ledger.
+    """
     with EngineCensus() as census:
         start = time.perf_counter()
 
-        def _report(name: str, title: str, body: str) -> None:
+        def _report(
+            name: str,
+            title: str,
+            body: str,
+            channels: typing.Optional[typing.Dict[str, object]] = None,
+        ) -> None:
             wall_s = time.perf_counter() - start
-            report(name, title, body, footer=census.footer())
-            record_bench_json(
-                name,
-                {
-                    "workers": BENCH_WORKERS,
-                    "wall_s": round(wall_s, 4),
-                    "engines": census.engines_created,
-                    "events_executed": census.events_executed,
-                    "events_per_sec": round(census.events_executed / wall_s, 1)
-                    if wall_s > 0
-                    else 0.0,
-                },
+            run = bench_run_record(
+                workers=BENCH_WORKERS,
+                wall_s=wall_s,
+                census=census,
+                channels=channels,
             )
+            warnings: typing.List[str] = []
+            if channels:
+                baseline = committed_channels(
+                    name,
+                    repo_root=RESULTS_DIR.parent.parent,
+                    workers=BENCH_WORKERS,
+                )
+                if baseline:
+                    warnings = channel_drift_warnings(
+                        typing.cast(typing.Dict[str, typing.Dict], channels),
+                        baseline,
+                    )
+            footer = census.footer()
+            if warnings:
+                footer += "\n" + "\n".join(f"DRIFT: {w}" for w in warnings)
+            report(name, title, body, footer=footer)
+            record_bench_json(name, run)
+            append_ledger_record(name, "figure", run, warnings=warnings)
 
         yield _report

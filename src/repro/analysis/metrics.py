@@ -30,6 +30,16 @@ class AggregateResult:
             f"(n={self.n_runs})"
         )
 
+    def as_dict(self) -> typing.Dict[str, float]:
+        """Channel-health dict for BENCH artifacts and drift detection."""
+        return {
+            "n_runs": self.n_runs,
+            "bandwidth_kbps": round(self.bandwidth_kbps, 4),
+            "bandwidth_ci": round(self.bandwidth_ci, 4),
+            "error_percent": round(self.error_percent, 4),
+            "error_ci": round(self.error_ci, 4),
+        }
+
 
 def aggregate_results(results: typing.Sequence[ChannelResult]) -> AggregateResult:
     """Fold repeated transmissions into the paper's reporting format."""

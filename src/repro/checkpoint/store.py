@@ -48,6 +48,20 @@ class StoreStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    def as_dict(self) -> typing.Dict[str, int]:
+        """Counter view for JSON footers and telemetry events."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def publish_to(self, registry, prefix: str = "exec.checkpoint") -> None:
+        """Register the counters as first-class metrics on ``registry``."""
+        for key, value in self.as_dict().items():
+            registry.counter(f"{prefix}.{key}").inc(value)
+
     def summary(self) -> str:
         if self.lookups == 0 and self.stores == 0:
             return "checkpoints: unused"

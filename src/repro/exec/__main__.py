@@ -9,6 +9,11 @@ Examples::
     # (run it twice: the second run is all cache hits):
     python -m repro.exec --sweep llc --workers 4 --cache-dir .exec-cache
 
+    # Watch the sweep live (tail -f watch.jsonl in another terminal)
+    # and append a provenance record to the run ledger:
+    python -m repro.exec --sweep llc --workers 4 \\
+        --watch watch.jsonl --ledger benchmarks/results/LEDGER.jsonl
+
 The exit code is 0 when every trial succeeded or died deterministically
 (a dead channel point is a *result*, not an error) and 1 when any trial
 crashed or timed out.
@@ -18,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import typing
 
@@ -73,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="also write a machine-readable summary to PATH",
     )
+    parser.add_argument(
+        "--watch", default=None, metavar="PATH",
+        help="stream live telemetry events (JSON Lines) to PATH and "
+             "render progress on stderr; tail -f PATH to watch the sweep",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append a provenance record to this run ledger "
+             "(default: REPRO_LEDGER; pass 0 to disable)",
+    )
     return parser
 
 
@@ -88,13 +104,31 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
 
     fn, points = packaged_sweep(args.sweep, n_bits=args.bits)
     seeds = fan_out_seeds(args.root_seed, args.seeds, label=args.sweep)
+    telemetry = None
+    watch_file = None
+    if args.watch:
+        from repro.obs.telemetry import SweepTelemetry
+
+        watch_file = open(args.watch, "a", encoding="utf-8")
+        telemetry = SweepTelemetry(
+            label=args.sweep,
+            stream=watch_file,
+            progress=sys.stderr,
+            prom_path=os.environ.get("REPRO_TELEMETRY_PROM", "").strip()
+            or None,
+        )
     executor = TrialExecutor(
         workers=config.workers,
         cache=config.cache_dir if config.use_cache else None,
         trial_timeout_s=config.trial_timeout_s,
         retries=config.retries,
+        telemetry=telemetry,
     )
-    result = run_sweep(fn, points, seeds=seeds, executor=executor)
+    try:
+        result = run_sweep(fn, points, seeds=seeds, executor=executor)
+    finally:
+        if watch_file is not None:
+            watch_file.close()
     report = result.report
     assert report is not None
 
@@ -102,6 +136,49 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     print(format_table(result.header(), result.rows()))
     print()
     print(report.summary())
+    if executor.telemetry is not None:
+        print(executor.telemetry.summary())
+        for warning in executor.telemetry.warnings:
+            print(f"DRIFT: {warning}", file=sys.stderr)
+
+    # Ledger is opt-in for the CLI: --ledger PATH, or the REPRO_LEDGER env
+    # knob (the bench harness, by contrast, records every figure run).
+    from repro.obs.ledger import default_ledger_path
+
+    ledger_path = None
+    if args.ledger is not None:
+        ledger_path = default_ledger_path({"REPRO_LEDGER": args.ledger})
+    elif os.environ.get("REPRO_LEDGER", "").strip():
+        ledger_path = default_ledger_path()
+    if ledger_path is not None:
+        from repro.exec.seeds import stable_digest
+        from repro.obs.ledger import append_record, make_record
+        from repro.obs.telemetry import bench_run_record
+
+        record = make_record(
+            name=args.sweep,
+            kind="sweep",
+            run=bench_run_record(
+                workers=report.workers,
+                wall_s=report.wall_s,
+                sim=report.sim,
+                cache=report.cache,
+            ),
+            config_digest=stable_digest({
+                "sweep": args.sweep, "bits": args.bits,
+                "points": len(points),
+            }),
+            seeds={"root": args.root_seed, "count": args.seeds},
+            metrics=executor.telemetry.snapshot()
+            if executor.telemetry is not None
+            else None,
+            warnings=executor.telemetry.warnings
+            if executor.telemetry is not None
+            else (),
+            argv=list(sys.argv[1:] if argv is None else argv),
+        )
+        append_record(ledger_path, record)
+        print(f"ledger: appended {args.sweep} record to {ledger_path}")
 
     if args.json:
         doc = {

@@ -59,6 +59,15 @@ class CacheStats:
             "evictions": self.evictions,
         }
 
+    def publish_to(self, registry, prefix: str = "exec.cache") -> None:
+        """Register the counters as first-class metrics on ``registry``.
+
+        ``registry`` is any :class:`~repro.obs.metrics.MetricsRegistry`;
+        duck-typed so this module keeps its import graph obs-free.
+        """
+        for key, value in self.as_dict().items():
+            registry.counter(f"{prefix}.{key}").inc(value)
+
     def summary(self) -> str:
         if self.lookups == 0:
             return "cache: disabled"

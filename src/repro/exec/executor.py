@@ -19,7 +19,14 @@ The contract:
 * **Observability.**  Every trial runs under an armed
   :class:`~repro.obs.EngineCensus`; the per-worker snapshots merge into
   one ``report.sim`` total (engines created, events executed, furthest
-  simulated clock).
+  simulated clock).  Parallel runs always carry a telemetry queue: each
+  worker posts its per-trial census back, so even trials whose pool
+  handle was abandoned during timeout/retry degradation credit their
+  completed simulation work.  Attach a
+  :class:`~repro.obs.telemetry.SweepTelemetry` (or set
+  ``REPRO_TELEMETRY=1``) and the same queue streams live per-trial
+  BER/bandwidth/wall-time events to the parent — without perturbing the
+  trials, so results stay bit-identical with streaming on or off.
 
 Trial functions must be module-level callables and their params/results
 picklable when ``workers > 0``; the serial path has no such restriction,
@@ -31,6 +38,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 import typing
@@ -43,7 +51,11 @@ if typing.TYPE_CHECKING:
     from repro.checkpoint import CheckpointStore
 from repro.errors import ChannelProtocolError
 from repro.exec.cache import CacheStats, ResultCache
+from repro.obs import telemetry as _telemetry
 from repro.obs.census import EngineCensus, note_external_sim
+
+if typing.TYPE_CHECKING:
+    from repro.obs.telemetry import SweepTelemetry
 
 Params = typing.Dict[str, object]
 TrialFn = typing.Callable[[Params, int], object]
@@ -178,16 +190,29 @@ def _merge_sim(total: typing.Dict[str, int], part: typing.Mapping[str, int]) -> 
 
 
 def run_one_trial(
-    payload: typing.Tuple[TrialFn, Params, int],
+    payload: typing.Sequence[object],
 ) -> typing.Tuple[str, object, typing.Dict[str, int]]:
     """Execute one trial under an engine census.
 
-    Module-level so worker processes can unpickle it.  Returns
-    ``(kind, result_or_message, sim_stats)``; exceptions other than
-    :class:`ChannelProtocolError` are folded into a ``CRASH`` record so a
-    worker never dies on an application error.
+    Module-level so worker processes can unpickle it.  ``payload`` is
+    ``(fn, params, seed)`` — parallel dispatch appends a unique
+    ``token`` and the submission ``index``, which key the telemetry
+    events the worker posts back on its installed queue (trial start,
+    then a finish event carrying the census sim and result health).
+    Returns ``(kind, result_or_message, sim_stats)``; exceptions other
+    than :class:`ChannelProtocolError` are folded into a ``CRASH``
+    record so a worker never dies on an application error.
     """
-    fn, params, seed = payload
+    fn = typing.cast(TrialFn, payload[0])
+    params = typing.cast(Params, payload[1])
+    seed = typing.cast(int, payload[2])
+    token = typing.cast(typing.Optional[int], payload[3]) if len(payload) > 3 else None
+    index = typing.cast(typing.Optional[int], payload[4]) if len(payload) > 4 else None
+    if token is not None:
+        _telemetry.emit_from_worker(
+            _telemetry.trial_start_event(token, typing.cast(int, index))
+        )
+        wall_start = time.perf_counter()
     with EngineCensus() as census:
         try:
             result = fn(dict(params), seed)
@@ -201,12 +226,84 @@ def run_one_trial(
         "events_executed": census.events_executed,
         "final_now_fs": census.final_now_fs,
     }
+    if token is not None:
+        _telemetry.emit_from_worker(
+            _telemetry.trial_finish_event(
+                token, index, kind, value, sim,
+                time.perf_counter() - wall_start,
+            )
+        )
     return kind, value, sim
 
 
 def default_workers() -> int:
     """A sensible worker count for "use the whole machine" callers."""
     return max(1, os.cpu_count() or 1)
+
+
+_DRAIN_STOP = {"ev": "__drain_stop__"}
+
+
+class _TelemetryDrainer(threading.Thread):
+    """Drains the workers' telemetry queue in the parent.
+
+    Two jobs: forward every event to the attached
+    :class:`~repro.obs.telemetry.SweepTelemetry` (if any), and keep the
+    per-dispatch-token census sims so the executor can credit trials
+    whose pool handle was abandoned (timeout/retry degradation) but
+    whose worker did finish the simulation — the handle path would
+    silently drop that work (see ``orphan_sims``).
+    """
+
+    def __init__(
+        self,
+        queue: typing.Any,
+        telemetry: typing.Optional["SweepTelemetry"],
+    ) -> None:
+        super().__init__(name="repro-telemetry-drainer", daemon=True)
+        self._queue = queue
+        self._telemetry = telemetry
+        self._sims: typing.Dict[int, typing.Dict[str, int]] = {}
+        self._lock = threading.Lock()
+
+    def run(self) -> None:
+        while True:
+            try:
+                event = self._queue.get()
+            except (EOFError, OSError):  # queue torn down under us
+                return
+            except Exception:  # torn pickle from a terminated worker
+                continue
+            if not isinstance(event, dict):
+                continue
+            if event.get("ev") == _DRAIN_STOP["ev"]:
+                return
+            if event.get("ev") == "trial.finish":
+                token = event.get("token")
+                trial_sim = event.get("sim")
+                if isinstance(token, int) and isinstance(trial_sim, dict):
+                    with self._lock:
+                        self._sims[token] = trial_sim
+            if self._telemetry is not None:
+                self._telemetry.handle(event)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        try:
+            self._queue.put(dict(_DRAIN_STOP))
+        except Exception:
+            pass
+        self.join(timeout=timeout)
+
+    def orphan_sims(
+        self, claimed: typing.AbstractSet[int]
+    ) -> typing.List[typing.Tuple[int, typing.Dict[str, int]]]:
+        """Census sims whose dispatch token the handle path never merged."""
+        with self._lock:
+            return [
+                (token, trial_sim)
+                for token, trial_sim in sorted(self._sims.items())
+                if token not in claimed
+            ]
 
 
 class TrialExecutor:
@@ -220,6 +317,7 @@ class TrialExecutor:
         retries: int = 1,
         mp_context: typing.Optional[str] = None,
         checkpoints: typing.Union[CheckpointStore, str, os.PathLike, None] = None,
+        telemetry: typing.Union["SweepTelemetry", bool, None] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -244,6 +342,16 @@ class TrialExecutor:
             self._checkpoints = checkpoints
         else:
             self._checkpoints = CheckpointStore(checkpoints)
+        # None = honour the REPRO_TELEMETRY env knobs; False = force off;
+        # True = aggregate in-process with no streams attached.
+        if telemetry is None:
+            self.telemetry = _telemetry.telemetry_from_env()
+        elif telemetry is False:
+            self.telemetry = None
+        elif telemetry is True:
+            self.telemetry = _telemetry.SweepTelemetry()
+        else:
+            self.telemetry = telemetry
 
     def _checkpoint_store(self) -> CheckpointStore:
         """The blob store parallel prefix groups ship their docs through."""
@@ -292,6 +400,7 @@ class TrialExecutor:
                 except Exception:
                     continue
                 _merge_sim(sim, _census_dict(census))
+                self._emit_prefix_event(prefix.label, census)
                 inject = {"_ckpt_state": doc, "_ckpt_label": prefix.label}
             else:
                 store = self._checkpoint_store()
@@ -305,6 +414,7 @@ class TrialExecutor:
                     except Exception:
                         continue
                     _merge_sim(sim, _census_dict(census))
+                    self._emit_prefix_event(prefix.label, census)
                     store.put(key, typing.cast(typing.Dict[str, object], doc))
                 inject = {
                     "_ckpt_store": str(store.root),
@@ -314,6 +424,13 @@ class TrialExecutor:
             for index in indices:
                 effective[index] = {**specs[index].params, **inject}
         return effective
+
+    def _emit_prefix_event(self, label: str, census: EngineCensus) -> None:
+        if self.telemetry is not None:
+            self.telemetry.handle({
+                "ev": "prefix.build", "label": label,
+                "sim": _census_dict(census),
+            })
 
     # -- cache plumbing -------------------------------------------------
 
@@ -353,6 +470,12 @@ class TrialExecutor:
         start = time.perf_counter()
         if self.cache is not None:
             self.cache.stats = CacheStats()
+        tel = self.telemetry
+        if tel is not None:
+            tel.handle({
+                "ev": "sweep.start", "trials": len(specs),
+                "workers": self.workers, "label": tel.label,
+            })
         sim = _empty_sim()
         outcomes: typing.Dict[int, TrialOutcome] = {}
         pending: typing.List[int] = []
@@ -360,6 +483,10 @@ class TrialExecutor:
             hit = self._cache_lookup(spec, index)
             if hit is not None:
                 outcomes[index] = hit
+                if tel is not None:
+                    tel.handle({
+                        "ev": "trial.cached", "index": index, "kind": hit.kind,
+                    })
             else:
                 pending.append(index)
 
@@ -371,13 +498,29 @@ class TrialExecutor:
                 self._run_parallel(specs, pending, outcomes, sim, effective)
 
         ordered = [outcomes[i] for i in range(len(specs))]
-        return ExecutionReport(
+        report = ExecutionReport(
             outcomes=ordered,
             workers=self.workers,
             wall_s=time.perf_counter() - start,
             cache=self.cache.stats if self.cache is not None else CacheStats(),
             sim=sim,
         )
+        if tel is not None:
+            finish: typing.Dict[str, object] = {
+                "ev": "sweep.finish",
+                "wall_s": round(report.wall_s, 6),
+                "cached": sum(1 for o in ordered if o.from_cache),
+                "sim": dict(sim),
+            }
+            for kind in (OK, DEAD, CRASH, TIMEOUT):
+                finish[kind] = sum(1 for o in ordered if o.kind == kind)
+            if self.cache is not None:
+                finish["cache"] = self.cache.stats.as_dict()
+            if self._checkpoints is not None:
+                finish["checkpoints"] = self._checkpoints.stats.as_dict()
+            tel.handle(finish)
+            tel.flush()
+        return report
 
     def _record(
         self,
@@ -410,11 +553,20 @@ class TrialExecutor:
         sim: typing.Dict[str, int],
         effective: typing.Dict[int, Params],
     ) -> None:
+        tel = self.telemetry
         for index in pending:
             spec = specs[index]
             params = effective.get(index, spec.params)
+            if tel is not None:
+                tel.handle(_telemetry.trial_start_event(index, index))
+            trial_start = time.perf_counter()
             kind, value, trial_sim = run_one_trial((spec.fn, params, spec.seed))
             _merge_sim(sim, trial_sim)
+            if tel is not None:
+                tel.handle(_telemetry.trial_finish_event(
+                    index, index, kind, value, trial_sim,
+                    time.perf_counter() - trial_start,
+                ))
             self._record(specs, outcomes, index, kind, value, attempts=1)
 
     def _run_parallel(
@@ -433,75 +585,115 @@ class TrialExecutor:
         # Workers' engines never announce to this process's censuses, so
         # collect their merged census and publish it once at the end.
         worker_sim = _empty_sim()
+        # Workers post telemetry (and their per-trial census) back on
+        # this queue; the drainer runs regardless of telemetry so census
+        # totals include trials whose pool handle was abandoned below.
+        queue = context.Queue()
+        drainer = _TelemetryDrainer(queue, self.telemetry)
+        drainer.start()
+        #: dispatch tokens whose census the handle path already merged.
+        claimed: typing.Set[int] = set()
+        next_token = 0
         remaining = list(pending)
         attempts = {index: 0 for index in remaining}
-        while remaining:
-            pool = context.Pool(processes=min(self.workers, len(remaining)))
-            next_round: typing.List[int] = []
-            try:
-                handles = [
-                    (
-                        index,
-                        pool.apply_async(
-                            run_one_trial,
-                            ((
-                                specs[index].fn,
-                                effective.get(index, specs[index].params),
-                                specs[index].seed,
-                            ),),
-                        ),
-                    )
-                    for index in remaining
-                ]
-                aborted = False
-                for index, handle in handles:
-                    attempts[index] += 1
-                    if aborted:
-                        # A wedged worker poisoned this pool.  Harvest
-                        # whatever already finished; everything else goes
-                        # to a fresh pool (without burning an attempt).
-                        if not handle.ready():
-                            attempts[index] -= 1
-                            next_round.append(index)
+        tel = self.telemetry
+        try:
+            while remaining:
+                pool = context.Pool(
+                    processes=min(self.workers, len(remaining)),
+                    initializer=_telemetry.install_worker_queue,
+                    initargs=(queue,),
+                )
+                next_round: typing.List[int] = []
+                try:
+                    handles = []
+                    for index in remaining:
+                        token = next_token
+                        next_token += 1
+                        handles.append((
+                            index,
+                            token,
+                            pool.apply_async(
+                                run_one_trial,
+                                ((
+                                    specs[index].fn,
+                                    effective.get(index, specs[index].params),
+                                    specs[index].seed,
+                                    token,
+                                    index,
+                                ),),
+                            ),
+                        ))
+                    aborted = False
+                    for index, token, handle in handles:
+                        attempts[index] += 1
+                        if aborted:
+                            # A wedged worker poisoned this pool.  Harvest
+                            # whatever already finished; everything else goes
+                            # to a fresh pool (without burning an attempt).
+                            if not handle.ready():
+                                attempts[index] -= 1
+                                next_round.append(index)
+                                continue
+                        try:
+                            kind, value, trial_sim = handle.get(
+                                None if aborted else self.trial_timeout_s
+                            )
+                        except multiprocessing.TimeoutError:
+                            aborted = True
+                            if attempts[index] <= self.retries:
+                                next_round.append(index)
+                            else:
+                                self._record(
+                                    specs, outcomes, index, TIMEOUT,
+                                    f"trial exceeded {self.trial_timeout_s}s "
+                                    f"(worker wedged or overloaded)",
+                                    attempts[index],
+                                )
+                                if tel is not None:
+                                    tel.handle({
+                                        "ev": "trial.finish", "token": token,
+                                        "index": index, "kind": TIMEOUT,
+                                    })
                             continue
-                    try:
-                        kind, value, trial_sim = handle.get(
-                            None if aborted else self.trial_timeout_s
-                        )
-                    except multiprocessing.TimeoutError:
-                        aborted = True
-                        if attempts[index] <= self.retries:
+                        except Exception as exc:
+                            # The worker process died before returning (hard
+                            # crash, OOM kill): retry on a fresh pool.
+                            aborted = True
+                            if attempts[index] <= self.retries:
+                                next_round.append(index)
+                            else:
+                                self._record(
+                                    specs, outcomes, index, CRASH,
+                                    f"worker died: {exc!r}", attempts[index],
+                                )
+                                if tel is not None:
+                                    tel.handle({
+                                        "ev": "trial.finish", "token": token,
+                                        "index": index, "kind": CRASH,
+                                    })
+                            continue
+                        claimed.add(token)
+                        _merge_sim(sim, trial_sim)
+                        _merge_sim(worker_sim, trial_sim)
+                        if kind == CRASH and attempts[index] <= self.retries:
                             next_round.append(index)
                         else:
                             self._record(
-                                specs, outcomes, index, TIMEOUT,
-                                f"trial exceeded {self.trial_timeout_s}s "
-                                f"(worker wedged or overloaded)",
+                                specs, outcomes, index, kind, value,
                                 attempts[index],
                             )
-                        continue
-                    except Exception as exc:
-                        # The worker process died before returning (hard
-                        # crash, OOM kill): retry on a fresh pool.
-                        aborted = True
-                        if attempts[index] <= self.retries:
-                            next_round.append(index)
-                        else:
-                            self._record(
-                                specs, outcomes, index, CRASH,
-                                f"worker died: {exc!r}", attempts[index],
-                            )
-                        continue
-                    _merge_sim(sim, trial_sim)
-                    _merge_sim(worker_sim, trial_sim)
-                    if kind == CRASH and attempts[index] <= self.retries:
-                        next_round.append(index)
-                    else:
-                        self._record(
-                            specs, outcomes, index, kind, value, attempts[index]
-                        )
-            finally:
-                pool.terminate()
-                pool.join()
-            remaining = next_round
+                finally:
+                    pool.terminate()
+                    pool.join()
+                remaining = next_round
+        finally:
+            drainer.stop()
+        # Census-crediting fix: trials that finished in a worker but whose
+        # handle was abandoned (harvest raced a pool abort) still reported
+        # their census on the queue — fold that work in so events/sec
+        # stays honest.  Trials killed mid-run are gone for good.
+        for _token, trial_sim in drainer.orphan_sims(claimed):
+            _merge_sim(sim, trial_sim)
+            _merge_sim(worker_sim, trial_sim)
         note_external_sim(worker_sim)

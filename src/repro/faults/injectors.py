@@ -50,6 +50,10 @@ class FaultInjector:
         self._trace = _recorder.sink_for("fault.inject")
         #: Number of faults injected so far (monotone; never reset).
         self.injected = 0
+        # Created on first emit: a never-firing injector must not change
+        # the registry's shape (metric snapshots are part of checkpoint
+        # state and of traced-run result meta).
+        self._metric: typing.Optional[typing.Any] = None
         self._process: typing.Optional[typing.Any] = None
 
     @property
@@ -68,6 +72,11 @@ class FaultInjector:
 
     def _emit(self, **details: object) -> None:
         self.injected += 1
+        if self._metric is None:
+            self._metric = self.soc.metrics.counter(
+                f"faults.{self.kind}.injected"
+            )
+        self._metric.inc()
         if self._trace is not None:
             payload: typing.Dict[str, object] = {"kind": self.kind}
             payload.update(details)

@@ -45,6 +45,18 @@ _LAZY = {
     "render_report": ("repro.obs.report", "render_report"),
     "event_totals": ("repro.obs.report", "event_totals"),
     "per_track_totals": ("repro.obs.report", "per_track_totals"),
+    "SweepTelemetry": ("repro.obs.telemetry", "SweepTelemetry"),
+    "Cusum": ("repro.obs.telemetry", "Cusum"),
+    "telemetry_from_env": ("repro.obs.telemetry", "telemetry_from_env"),
+    "bench_run_record": ("repro.obs.telemetry", "bench_run_record"),
+    "append_record": ("repro.obs.ledger", "append_record"),
+    "make_record": ("repro.obs.ledger", "make_record"),
+    "read_records": ("repro.obs.ledger", "read_records"),
+    "validate_record": ("repro.obs.ledger", "validate_record"),
+    "default_ledger_path": ("repro.obs.ledger", "default_ledger_path"),
+    "channel_drift_warnings": ("repro.obs.drift", "channel_drift_warnings"),
+    "committed_channels": ("repro.obs.drift", "committed_channels"),
+    "prometheus_text": ("repro.obs.prometheus", "prometheus_text"),
 }
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing aid only
@@ -52,6 +64,24 @@ if typing.TYPE_CHECKING:  # pragma: no cover - typing aid only
         chrome_trace_events,
         export_chrome_trace,
         track_names,
+    )
+    from repro.obs.drift import (  # noqa: F401
+        channel_drift_warnings,
+        committed_channels,
+    )
+    from repro.obs.ledger import (  # noqa: F401
+        append_record,
+        default_ledger_path,
+        make_record,
+        read_records,
+        validate_record,
+    )
+    from repro.obs.prometheus import prometheus_text  # noqa: F401
+    from repro.obs.telemetry import (  # noqa: F401
+        Cusum,
+        SweepTelemetry,
+        bench_run_record,
+        telemetry_from_env,
     )
     from repro.obs.metrics import (  # noqa: F401
         Counter,

@@ -7,6 +7,13 @@ recorder armed and exports what was seen::
     python -m repro.obs --scenario contention --bits 16 --report report.txt
     python -m repro.obs --scenario quickstart --profile
 
+The ``ledger`` subcommand queries the append-only run ledger every
+figure/bench/sweep writes (see :mod:`repro.obs.ledger`)::
+
+    python -m repro.obs ledger                      # table of all runs
+    python -m repro.obs ledger --name fig04 --last 3
+    python -m repro.obs ledger --json --strict      # machine-readable
+
 ``--trace`` writes Chrome ``trace_event`` JSON (open in chrome://tracing
 or https://ui.perfetto.dev), ``--jsonl`` streams the raw events, and the
 plain-text report (stdout, or ``--report FILE``) summarizes event totals
@@ -141,7 +148,63 @@ def _profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_ledger_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs ledger",
+        description="Query the append-only run ledger.",
+    )
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="ledger path (default: REPRO_LEDGER or "
+                             "benchmarks/results/LEDGER.jsonl)")
+    parser.add_argument("--name", help="only records for this run name")
+    parser.add_argument("--kind", help="only records of this kind "
+                                       "(figure, bench, sweep, ...)")
+    parser.add_argument("--last", type=int, metavar="N",
+                        help="only the N most recent matching records")
+    parser.add_argument("--json", action="store_true",
+                        help="print matching records as JSON Lines")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if any ledger line is "
+                             "malformed or schema-invalid")
+    return parser
+
+
+def _ledger_main(argv: typing.Sequence[str]) -> int:
+    import json
+
+    from repro.obs.ledger import (
+        default_ledger_path,
+        format_record,
+        read_records,
+    )
+
+    args = build_ledger_parser().parse_args(argv)
+    path = args.ledger or default_ledger_path()
+    if path is None:
+        print("ledger disabled (REPRO_LEDGER=0)", file=sys.stderr)
+        return 1
+    records, problems = read_records(
+        path, name=args.name, kind=args.kind, last=args.last
+    )
+    for problem in problems:
+        print(f"ledger: {problem}", file=sys.stderr)
+    if args.json:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        if not records:
+            print(f"no matching ledger records in {path}")
+        for record in records:
+            print(format_record(record))
+    if args.strict and problems:
+        return 1
+    return 0
+
+
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "ledger":
+        return _ledger_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.profile:
         return _profile(args)

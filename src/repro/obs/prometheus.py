@@ -1,0 +1,93 @@
+"""Prometheus text-format exporter for metric snapshots.
+
+Renders the nested dicts produced by ``MetricsRegistry.as_dict()`` /
+``merge_snapshots`` / ``SweepTelemetry.snapshot()`` as Prometheus
+`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4), so a node-exporter textfile collector — or the future
+sweep service's ``/metrics`` endpoint — can scrape sweep health without
+any new dependency.  Counter leaves become gauges; histogram-summary
+leaves become ``_count``/``_sum`` pairs plus ``{quantile=...}`` sample
+lines in the classic summary shape.
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILE_KEYS = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}
+_SUMMARY_STAT_KEYS = ("mean", "min", "max", "stdev")
+
+
+def sanitize_metric_name(*parts: str) -> str:
+    """Join dotted/nested name parts into one legal Prometheus name."""
+    joined = "_".join(p for p in parts if p)
+    name = _NAME_OK.sub("_", joined)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _is_summary(value: object) -> bool:
+    return (
+        isinstance(value, dict)
+        and "count" in value
+        and "mean" in value
+        and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in value.values()
+        )
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def _walk(
+    node: typing.Mapping[str, object],
+    prefix: typing.Tuple[str, ...],
+    lines: typing.List[str],
+) -> None:
+    for key in sorted(node):
+        value = node[key]
+        path = prefix + (str(key),)
+        if _is_summary(value):
+            summary = typing.cast(typing.Dict[str, float], value)
+            base = sanitize_metric_name(*path)
+            count = summary.get("count", 0)
+            lines.append(f"# TYPE {base} summary")
+            for raw, quantile in _QUANTILE_KEYS.items():
+                if raw in summary:
+                    lines.append(
+                        f'{base}{{quantile="{quantile}"}} '
+                        f"{_format_value(summary[raw])}"
+                    )
+            lines.append(f"{base}_count {_format_value(count)}")
+            mean = summary.get("mean", 0.0)
+            lines.append(f"{base}_sum {_format_value(mean * count)}")
+            for stat in _SUMMARY_STAT_KEYS:
+                if stat in summary:
+                    stat_name = sanitize_metric_name(*path, stat)
+                    lines.append(
+                        f"# TYPE {stat_name} gauge\n"
+                        f"{stat_name} {_format_value(summary[stat])}"
+                    )
+        elif isinstance(value, typing.Mapping):
+            _walk(value, path, lines)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            name = sanitize_metric_name(*path)
+            lines.append(f"# TYPE {name} gauge\n{name} {_format_value(value)}")
+        # Non-numeric leaves (warning strings, labels) are not samples.
+
+
+def prometheus_text(
+    snapshot: typing.Mapping[str, object], prefix: str = "repro"
+) -> str:
+    """Render one nested metric snapshot as Prometheus exposition text."""
+    lines: typing.List[str] = []
+    _walk(snapshot, (prefix,) if prefix else (), lines)
+    return "\n".join(lines) + ("\n" if lines else "")
