@@ -1,0 +1,141 @@
+"""Lockstep batching — serial oracle vs vectorized multi-trial engine.
+
+One 256-trial probe sweep (32 slots each) runs once through the serial
+engine (``REPRO_BATCH=0`` semantics, the bit-exact oracle) and once per
+lane width through the lockstep batch tier.  The outcomes must agree
+bit for bit at every width — the speedup is a scheduling decision, not
+a result change — and the wall-time ratio is the headline number.
+
+Events/sec is reported as *aggregate* throughput: the serial engine's
+true event count (from an :class:`~repro.obs.EngineCensus`) divided by
+each configuration's wall time.  The batched kernel executes strictly
+fewer bookkeeping events for the same simulated work, so charging both
+sides with the serial census keeps the columns comparable — the ratio
+is exactly the wall-time ratio.
+
+``BENCH_batch.json`` records one run row per width, tagged with the
+``engine``/``batch_width`` fields (satellite of the run-ledger schema),
+plus ``speedup_vs_serial`` on each batched row.  The committed artifact
+is the drift baseline ``check_bench_regression.py`` guards: the widest
+row must stay at or above the 10x acceptance floor.
+"""
+
+import json
+import os
+import time
+
+from conftest import (
+    BENCH_WORKERS,
+    RESULTS_DIR,
+    append_ledger_record,
+    report,
+)
+
+from repro.analysis import probe_sweep
+from repro.analysis.render import format_table
+from repro.exec import TrialExecutor, TrialSpec
+from repro.obs import EngineCensus
+from repro.obs.telemetry import bench_run_record
+from repro.sim.batch import gate as batch_gate
+
+N_TRIALS = 256
+N_SLOTS = 32
+WIDTHS = (4, 16, 64, 256)
+ACCEPTANCE_SPEEDUP = 10.0
+
+
+def _specs():
+    return [
+        TrialSpec(fn=probe_sweep.probe_trial, params={"n_slots": N_SLOTS}, seed=s)
+        for s in range(N_TRIALS)
+    ]
+
+
+def _run(batch: bool, width=None):
+    env_key = "REPRO_BATCH_WIDTH"
+    previous = os.environ.get(env_key)
+    if width is not None:
+        os.environ[env_key] = str(width)
+    try:
+        with batch_gate.forced(batch):
+            with EngineCensus() as census:
+                t0 = time.perf_counter()
+                outcomes = TrialExecutor(workers=BENCH_WORKERS).run(_specs()).outcomes
+                wall = time.perf_counter() - t0
+    finally:
+        if previous is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = previous
+    return [(o.index, o.kind, o.result) for o in outcomes], wall, census
+
+
+def test_batch_lockstep_speedup(benchmark):
+    def run():
+        serial = _run(batch=False)
+        batched = {w: _run(batch=True, width=w) for w in WIDTHS}
+        return serial, batched
+
+    (serial_out, serial_wall, census), batched = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    events = census.events_executed
+
+    # The contract before the speedup: every width reproduces the serial
+    # oracle bit for bit.
+    for width, (out, _wall, _census) in batched.items():
+        assert out == serial_out, f"width {width} diverged from the oracle"
+
+    rows = [["1 (serial)", f"{serial_wall:.3f}", f"{events / serial_wall:,.0f}", "1.00"]]
+    runs = {
+        "serial": bench_run_record(
+            workers=BENCH_WORKERS,
+            wall_s=serial_wall,
+            census=census,
+            engine="serial",
+            batch_width=1,
+        )
+    }
+    for width, (_out, wall, _census) in sorted(batched.items()):
+        speedup = serial_wall / wall
+        rows.append([str(width), f"{wall:.3f}", f"{events / wall:,.0f}", f"{speedup:.2f}"])
+        record = bench_run_record(
+            workers=BENCH_WORKERS,
+            wall_s=wall,
+            sim={"engines_created": 0, "events_executed": events},
+            engine="batched",
+            batch_width=width,
+        )
+        record["speedup_vs_serial"] = round(speedup, 3)
+        runs[f"batched_w{width}"] = record
+
+    table = format_table(["lane width", "wall s", "agg events/s", "speedup"], rows)
+    best_width = max(batched, key=lambda w: serial_wall / batched[w][1])
+    best_speedup = serial_wall / batched[best_width][1]
+    report(
+        "batch_lockstep",
+        f"Lockstep batching: {N_TRIALS}-trial sweep ({N_SLOTS} slots), "
+        "serial oracle vs vectorized lanes (outcomes bit-identical)",
+        table,
+        footer=f"best: width {best_width} at {best_speedup:.2f}x\n"
+        + census.footer(),
+    )
+
+    doc = {
+        "trials": N_TRIALS,
+        "n_slots": N_SLOTS,
+        "events_executed": events,
+        "events_per_sec": runs[f"batched_w{best_width}"]["events_per_sec"],
+        "acceptance_floor_speedup": ACCEPTANCE_SPEEDUP,
+        "runs": runs,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    append_ledger_record("batch_lockstep", "bench", runs[f"batched_w{best_width}"])
+
+    assert best_speedup >= ACCEPTANCE_SPEEDUP, (
+        f"lockstep batching bought only {best_speedup:.2f}x over the serial "
+        f"oracle (acceptance floor {ACCEPTANCE_SPEEDUP}x)"
+    )

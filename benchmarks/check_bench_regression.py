@@ -1,8 +1,8 @@
 """Benchmark regression guard for the committed performance artifacts.
 
-Four families of checks, all against the figures committed at HEAD (the
-benchmark run overwrites the working-tree files, so the baseline has to
-come out of git):
+Five families of checks, all but the last against the figures committed
+at HEAD (the benchmark run overwrites the working-tree files, so the
+baseline has to come out of git):
 
 * ``engine_events_per_sec`` from ``BENCH_simulator_core.json`` — the
   core scheduler throughput metric (higher is better);
@@ -13,7 +13,11 @@ come out of git):
 * channel health: per-channel BER / bandwidth in every artifact that
   records a ``channels`` block, z-score-checked against the committed
   baseline via :mod:`repro.obs.drift` — a BER rise or bandwidth drop
-  beyond the committed confidence interval is a regression, not noise.
+  beyond the committed confidence interval is a regression, not noise;
+* the lockstep-batching floor from ``BENCH_batch.json`` — an *absolute*
+  check, no git baseline involved: the best batched row's aggregate
+  events/sec must stay at or above ``acceptance_floor_speedup`` times
+  the serial row recorded in the same artifact.
 
 A metric present in the working tree but absent from the committed
 baseline — a brand-new benchmark, or an old artifact that predates a
@@ -42,6 +46,7 @@ import typing
 RESULTS_RELDIR = "benchmarks/results"
 CORE_RESULT = "BENCH_simulator_core.json"
 HEADLINE_RESULT = "BENCH_headline.json"
+BATCH_RESULT = "BENCH_batch.json"
 CORE_METRIC = "engine_events_per_sec"
 DEFAULT_TOLERANCE = 0.20
 DEFAULT_WALL_TOLERANCE = 0.50
@@ -109,6 +114,14 @@ def build_checks(
             higher_is_better=False,
         ),
     ]
+    checks.append(
+        Check(
+            name="batch aggregate events_per_sec",
+            relpath=f"{RESULTS_RELDIR}/{BATCH_RESULT}",
+            extract=lambda doc: _metric(doc, "events_per_sec"),
+            tolerance=tolerance,
+        )
+    )
     for path in sorted(results_dir.glob("BENCH_*.json")):
         checks.append(
             Check(
@@ -119,6 +132,45 @@ def build_checks(
             )
         )
     return checks
+
+
+def run_batch_floor_check(results_dir: pathlib.Path) -> typing.Tuple[str, str]:
+    """Absolute lockstep-batching floor, self-contained in the artifact.
+
+    The bench records the serial oracle and every batched width in one
+    file; the widest batched row must keep an aggregate events/sec of at
+    least ``acceptance_floor_speedup`` times the serial row.  Unlike the
+    baseline-relative checks this can never rot by re-committing a slower
+    figure — the floor rides along inside the artifact.
+    """
+    path = results_dir / BATCH_RESULT
+    if not path.exists():
+        return "skip", "batch floor: no BENCH_batch.json; run the benchmark first"
+    try:
+        doc = json.loads(path.read_text())
+    except ValueError:
+        return "skip", "batch floor: artifact is not valid JSON"
+    floor = _metric(doc, "acceptance_floor_speedup")
+    runs = doc.get("runs")
+    if floor is None or not isinstance(runs, dict):
+        return "skip", "batch floor: artifact lacks floor or runs"
+    serial = _metric(typing.cast(dict, runs), "serial", "events_per_sec")
+    batched = max(
+        (
+            _metric(typing.cast(dict, run), "events_per_sec") or 0.0
+            for key, run in runs.items()
+            if isinstance(run, dict) and key != "serial"
+        ),
+        default=0.0,
+    )
+    if serial is None or serial <= 0 or batched <= 0:
+        return "skip", "batch floor: serial or batched rows absent"
+    speedup = batched / serial
+    status = "ok" if speedup >= floor else "regression"
+    return status, (
+        f"batch floor: best batched {batched:,.0f} ev/s vs serial "
+        f"{serial:,.0f} ev/s = {speedup:.2f}x (floor {floor:.0f}x)"
+    )
 
 
 def run_check(
@@ -261,6 +313,14 @@ def main(argv: typing.Optional[list] = None) -> int:
             regressions += 1
         elif status == "ok":
             checked += 1
+
+    status, message = run_batch_floor_check(results_dir)
+    label = {"ok": "ok", "regression": "REGRESSION", "skip": "skip"}[status]
+    print(f"[{label}] {message}")
+    if status == "regression":
+        regressions += 1
+    elif status == "ok":
+        checked += 1
 
     if not args.no_drift:
         for status, message in run_drift_checks(results_dir, args.rev):

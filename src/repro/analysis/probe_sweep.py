@@ -1,0 +1,404 @@
+"""LLC prime+probe sweep trial: the batch engine's reference workload.
+
+One trial is a fixed-schedule covert transmission: a trojan (CPU core or
+GPU) primes a handful of target LLC sets with more lines than the set
+holds whenever its payload bit is 1, and a spy probes its own resident
+lines in those sets once per slot, reading evictions (slow probes) as
+1-bits.  The schedule is *temporally disjoint* — the trojan burst ends
+before the spy probe starts, and the probe ends before the next trojan
+slot — which is exactly the property that lets the vectorized lockstep
+engine (:mod:`repro.sim.batch`) advance many trials without an event
+queue: within one trial the two agents never interleave, so the whole
+slot folds into straight-line state updates.
+
+The trial function is deliberately *pure*: its outcome dict is a
+function of ``(params, seed)`` only, contains nothing but ints and
+lists, and is byte-compared across engines by the equivalence suite.
+``repro.sim.batch.kernels.ProbeSweepKernel`` replays the identical
+logical timeline over numpy arrays; this module stays the bit-exact
+serial oracle (always used under ``REPRO_BATCH=0``).
+
+Checkpoint prefix-forking composes the same way as the slot-length
+sweep: :func:`prepare_probe_prefix` runs the first ``warm_slots`` slots
+once, snapshots the quiescent machine, and every forked trial resumes
+from the snapshot — cold and warm outcomes are bit-identical because
+every wait targets an absolute slot time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+import numpy as np
+
+from repro import checkpoint as _checkpoint
+from repro.config import SoCConfig, kaby_lake_model
+from repro.errors import SimulationError
+from repro.exec.seeds import derive_seed
+from repro.sim import FS_PER_NS
+from repro.soc.machine import SoC
+from repro.soc.mmu import AddressSpace, Mmu
+
+Params = typing.Dict[str, object]
+
+#: Complete parameter surface of one trial; ``probe_trial`` rejects
+#: anything else so batch grouping can reason about the full key space.
+DEFAULTS: Params = {
+    "scale": 8,
+    "n_slots": 8,
+    "target_sets": 2,
+    "trojan_lines_per_set": 10,
+    "spy_lines_per_set": 4,
+    "llc_ways": 8,
+    "slot_ns": 6000.0,
+    "spy_offset_ns": 4000.0,
+    "trojan": "cpu",  # "cpu" (a second core) or "gpu" (L3 path)
+    "trojan_core": 1,
+    "spy_core": 0,
+    "dram_jitter_ns": 0.0,
+    "warm_slots": 0,
+    # Test-only lever: the batch kernel ejects the trial to the serial
+    # engine at this slot.  The serial oracle ignores it entirely, so the
+    # outcome is identical either way -- which is the point of the test.
+    "divergence_slot": None,
+}
+
+#: Params a batch group may vary per trial (everything else must match
+#: for two trials to share one lockstep kernel launch).
+VARIABLE_KEYS = ("n_slots", "divergence_slot")
+
+_HUGE_PAGE = 2 * 1024 * 1024
+
+
+def merged_params(params: Params) -> Params:
+    """Defaults + overrides, with unknown keys rejected."""
+    clean = _checkpoint.strip_prefix_params(dict(params))
+    unknown = set(clean) - set(DEFAULTS)
+    if unknown:
+        raise SimulationError(f"unknown probe_trial params: {sorted(unknown)}")
+    merged = {**DEFAULTS, **clean}
+    if merged["trojan"] not in ("cpu", "gpu"):
+        raise SimulationError("trojan must be 'cpu' or 'gpu'")
+    if not 0 < float(typing.cast(float, merged["spy_offset_ns"])) < float(
+        typing.cast(float, merged["slot_ns"])
+    ):
+        raise SimulationError("spy_offset_ns must fall inside the slot")
+    return merged
+
+
+def soc_config(params: Params, seed: int) -> SoCConfig:
+    """The trial's machine: scaled model, quiet CPU, fixed-mix DRAM."""
+    p = merged_params(params)
+    base = kaby_lake_model(seed, scale=typing.cast(int, p["scale"]))
+    config = dataclasses.replace(
+        base,
+        noise=dataclasses.replace(base.noise, enabled=False),
+        dram=dataclasses.replace(
+            base.dram,
+            jitter_sigma_ns=float(typing.cast(float, p["dram_jitter_ns"])),
+        ),
+        llc=dataclasses.replace(base.llc, ways=typing.cast(int, p["llc_ways"])),
+    )
+    return config.validate()
+
+
+def payload_bits(seed: int, n_slots: int) -> typing.List[int]:
+    """Per-slot payload: pure function of the seed (shared with the kernel).
+
+    Inlines ``derive_seed(seed, "payload", s) & 1``: the hash material is
+    the same canonical tuple rendering, and the low bit of the 63-bit
+    seed is the low bit of byte 7 of the digest (big-endian first eight
+    bytes).  Sweep setup derives one bit per slot per trial, so skipping
+    the per-call ceremony is a measurable share of batch-lane startup.
+    """
+    sha256 = hashlib.sha256
+    prefix = f"({seed!r},'payload',"
+    return [
+        sha256(f"{prefix}{s},)".encode("utf-8")).digest()[7] & 1
+        for s in range(n_slots)
+    ]
+
+
+def decode_threshold_fs(config: SoCConfig) -> int:
+    """Per-probe-line fast/slow decision point, in fs.
+
+    Fast probes are private-cache hits (~l2 cost at worst); slow probes
+    cross the ring and at least hit the LLC.  The midpoint of those two
+    fixed costs separates them with a wide margin.  Derived from config
+    alone so the batch kernel shares it without building a machine.
+    """
+    d2 = config.cpu_clock.cycles_fs(config.cpu_cache.l2_hit_cycles)
+    traverse = config.cpu_clock.cycles_fs(config.ring.traverse_cycles)
+    lookup = config.cpu_clock.cycles_fs(config.llc.lookup_cycles)
+    return (d2 + (d2 + traverse) + (lookup + traverse)) // 2
+
+
+def decode_probe(
+    probe_rows: typing.Sequence[typing.Sequence[int]],
+    spy_lines_per_set: int,
+    threshold_fs: int,
+) -> typing.List[int]:
+    """Per-slot received bits from per-(slot, set) probe latency sums."""
+    bits = []
+    for row in probe_rows:
+        total = sum(row)
+        bits.append(1 if total > len(row) * spy_lines_per_set * threshold_fs else 0)
+    return bits
+
+
+@dataclasses.dataclass
+class ProbePlan:
+    """One trial's machine plus its fully-resolved schedule and lines."""
+
+    soc: SoC
+    params: Params
+    bits: typing.List[int]
+    slot_fs: int
+    spy_offset_fs: int
+    #: Flat trojan prime list, set-major (the burst order).
+    trojan_lines: typing.List[int]
+    #: Per-target-set spy probe lists (probed one burst per set).
+    spy_sets: typing.List[typing.List[int]]
+    #: ``(set_index, slice_index)`` of each target set, for reporting.
+    targets: typing.List[typing.Tuple[int, int]]
+    start_slot: int = 0
+    probe: typing.List[typing.List[int]] = dataclasses.field(default_factory=list)
+    trojan_fs: int = 0
+
+
+def slice_of_lines(config: SoCConfig, paddrs: np.ndarray) -> np.ndarray:
+    """Vectorized LLC slice hash: output bit i = parity(paddr & mask[i]).
+
+    Matches :meth:`repro.soc.slice_hash.SliceHash.slice_of` bit for bit
+    (the equivalence suite cross-checks them on real placements).
+    """
+    out = np.zeros(paddrs.shape, dtype=np.int64)
+    used_bits = max(0, config.llc.slices.bit_length() - 1)
+    masks = (config.llc.hash_s0_mask, config.llc.hash_s1_mask)
+    values = paddrs.astype(np.uint64)
+    for position in range(used_bits):
+        v = values & np.uint64(masks[position])
+        for shift in (32, 16, 8, 4, 2, 1):
+            v = v ^ (v >> np.uint64(shift))
+        out |= (v.astype(np.int64) & 1) << position
+    return out
+
+
+@dataclasses.dataclass
+class ProbeLayout:
+    """Line placement of one trial (a pure function of config + MMU stream)."""
+
+    trojan_lines: typing.List[int]
+    spy_sets: typing.List[typing.List[int]]
+    targets: typing.List[typing.Tuple[int, int]]
+
+
+def resolve_layout(config: SoCConfig, params: Params, mmu: Mmu) -> ProbeLayout:
+    """Allocate both agents' buffers and pick the target-set lines.
+
+    Deliberately SoC-free: the serial oracle passes ``soc.mmu``, while
+    the batch kernel's cold path builds a bare :class:`Mmu` over the
+    trial's own ``"mmu"`` RNG stream — the draws (and therefore the
+    placements) are identical because the stream is a pure function of
+    ``(root seed, stream name)``.
+    """
+    p = merged_params(params)
+    trojan_space = AddressSpace(mmu, "probe-trojan")
+    spy_space = AddressSpace(mmu, "probe-spy")
+    trojan_base = trojan_space.mmap(_HUGE_PAGE, page_bytes=_HUGE_PAGE).paddr_of(0)
+    spy_base = spy_space.mmap(_HUGE_PAGE, page_bytes=_HUGE_PAGE).paddr_of(0)
+    line = config.llc.line_bytes
+    sets_per_slice = config.llc.sets_per_slice
+    n_lines = _HUGE_PAGE // line
+    n_trojan = typing.cast(int, p["trojan_lines_per_set"])
+    n_spy = typing.cast(int, p["spy_lines_per_set"])
+    trojan_lines: typing.List[int] = []
+    spy_sets: typing.List[typing.List[int]] = []
+    targets: typing.List[typing.Tuple[int, int]] = []
+    for set_index in range(typing.cast(int, p["target_sets"])):
+        offsets = np.arange(set_index, n_lines, sets_per_slice, dtype=np.int64)
+        trojan_cand = trojan_base + offsets * line
+        spy_cand = spy_base + offsets * line
+        # The buffers are huge-page backed, so every candidate already has
+        # the right set-index bits; the slice hash thins them further.
+        # One fused hash call covers both agents (elementwise, so the
+        # per-candidate results are unchanged).
+        slices = slice_of_lines(config, np.concatenate((trojan_cand, spy_cand)))
+        t_slices = slices[: len(trojan_cand)]
+        s_slices = slices[len(trojan_cand) :]
+        slice_index = int(t_slices[0])
+        chosen_t = trojan_cand[t_slices == slice_index]
+        chosen_s = spy_cand[s_slices == slice_index]
+        if len(chosen_t) < n_trojan or len(chosen_s) < n_spy:
+            raise SimulationError(
+                f"buffer too small for LLC set ({slice_index}, {set_index}); "
+                "lower target_sets/lines or raise scale"
+            )
+        trojan_lines.extend(int(x) for x in chosen_t[:n_trojan])
+        spy_sets.append([int(x) for x in chosen_s[:n_spy]])
+        targets.append((set_index, slice_index))
+    return ProbeLayout(trojan_lines, spy_sets, targets)
+
+
+def build_plan(params: Params, seed: int) -> ProbePlan:
+    """Cold-start plan: fresh machine, fresh buffers, resolved line sets."""
+    p = merged_params(params)
+    soc = SoC(soc_config(p, seed))
+    layout = resolve_layout(soc.config, p, soc.mmu)
+    n_slots = typing.cast(int, p["n_slots"])
+    return ProbePlan(
+        soc=soc,
+        params=p,
+        bits=payload_bits(seed, n_slots),
+        slot_fs=round(float(typing.cast(float, p["slot_ns"])) * FS_PER_NS),
+        spy_offset_fs=round(
+            float(typing.cast(float, p["spy_offset_ns"])) * FS_PER_NS
+        ),
+        trojan_lines=layout.trojan_lines,
+        spy_sets=layout.spy_sets,
+        targets=layout.targets,
+    )
+
+
+def plan_from_doc(params: Params, seed: int, doc: typing.Mapping) -> ProbePlan:
+    """Warm plan: machine restored from a prefix snapshot, lines from the doc."""
+    p = merged_params(params)
+    soc = _checkpoint.restore_soc(
+        soc_config(p, seed), typing.cast(dict, doc["snapshot"])
+    )
+    n_slots = typing.cast(int, p["n_slots"])
+    warm = int(typing.cast(int, doc["warm_slots"]))
+    if warm > n_slots:
+        raise SimulationError(
+            f"prefix ran {warm} slots but the trial only has {n_slots}"
+        )
+    return ProbePlan(
+        soc=soc,
+        params=p,
+        bits=payload_bits(seed, n_slots),
+        slot_fs=round(float(typing.cast(float, p["slot_ns"])) * FS_PER_NS),
+        spy_offset_fs=round(
+            float(typing.cast(float, p["spy_offset_ns"])) * FS_PER_NS
+        ),
+        trojan_lines=[int(x) for x in doc["trojan_lines"]],
+        spy_sets=[[int(x) for x in group] for group in doc["spy_sets"]],
+        targets=[(int(a), int(b)) for a, b in doc["targets"]],
+        start_slot=warm,
+        probe=[[int(x) for x in row] for row in doc["probe"]],
+        trojan_fs=int(typing.cast(int, doc["trojan_fs"])),
+    )
+
+
+def _trojan_proc(plan: ProbePlan, start: int, end: int) -> typing.Generator:
+    soc = plan.soc
+    core = typing.cast(int, plan.params["trojan_core"])
+    use_gpu = plan.params["trojan"] == "gpu"
+    for s in range(start, end):
+        target = s * plan.slot_fs
+        now = soc.engine.now
+        if target > now:
+            yield target - now
+        if plan.bits[s]:
+            if use_gpu:
+                latencies = yield from soc.gpu_access_burst(plan.trojan_lines)
+            else:
+                latencies = yield from soc.cpu_access_burst(
+                    core, plan.trojan_lines
+                )
+            plan.trojan_fs += sum(latencies)
+
+
+def _spy_proc(plan: ProbePlan, start: int, end: int) -> typing.Generator:
+    soc = plan.soc
+    core = typing.cast(int, plan.params["spy_core"])
+    for s in range(start, end):
+        target = s * plan.slot_fs + plan.spy_offset_fs
+        now = soc.engine.now
+        if target > now:
+            yield target - now
+        row = []
+        for lines in plan.spy_sets:
+            latencies = yield from soc.cpu_access_burst(core, lines)
+            row.append(sum(latencies))
+        plan.probe.append(row)
+
+
+def run_span(plan: ProbePlan, start: int, end: int) -> None:
+    """Advance the plan's machine through slots ``[start, end)``."""
+    if start >= end:
+        return
+    plan.soc.engine.process(_trojan_proc(plan, start, end))
+    plan.soc.engine.process(_spy_proc(plan, start, end))
+    plan.soc.engine.run()
+
+
+def outcome_from_plan(plan: ProbePlan) -> Params:
+    """The trial's pure outcome dict (ints and lists only)."""
+    soc = plan.soc
+    rx_bits = decode_probe(
+        plan.probe,
+        typing.cast(int, plan.params["spy_lines_per_set"]),
+        decode_threshold_fs(soc.config),
+    )
+    evictions = sum(
+        soc.llc.slice_cache(i).evictions for i in range(soc.config.llc.slices)
+    )
+    return {
+        "bits": list(plan.bits),
+        "rx_bits": rx_bits,
+        "probe_fs": [list(row) for row in plan.probe],
+        "trojan_fs": plan.trojan_fs,
+        "final_now_fs": soc.engine.now,
+        "targets": [list(t) for t in plan.targets],
+        "llc": {
+            "hits": soc.llc.hits,
+            "misses": soc.llc.misses,
+            "evictions": evictions,
+        },
+        "dram": soc.dram.state_dict(),
+        "ring": {
+            "transfers": dict(soc.ring.transfers),
+            "waited_fs": dict(soc.ring.waited_fs),
+        },
+    }
+
+
+def probe_trial(params: Params, seed: int) -> Params:
+    """One prime+probe transmission; the batch engine's serial oracle.
+
+    Forks from an injected checkpoint doc when one is present (the
+    executor's prefix scheduling), cold-starts otherwise; both paths
+    produce byte-identical outcomes.
+    """
+    doc = _checkpoint.resolve_state(typing.cast(dict, params))
+    if doc is not None:
+        plan = plan_from_doc(params, seed, doc)
+    else:
+        plan = build_plan(params, seed)
+    run_span(plan, plan.start_slot, typing.cast(int, plan.params["n_slots"]))
+    return outcome_from_plan(plan)
+
+
+def prepare_probe_prefix(params: Params, seed: int) -> typing.Dict[str, object]:
+    """Shared prefix: the first ``warm_slots`` slots, snapshotted quiescent.
+
+    The doc carries the resolved line sets alongside the machine
+    snapshot: re-allocating after a restore would advance the MMU's RNG
+    stream past its captured position and land the lines elsewhere.
+    """
+    p = merged_params(params)
+    warm = typing.cast(int, p["warm_slots"])
+    plan = build_plan(p, seed)
+    run_span(plan, 0, warm)
+    plan.soc.quiesce()
+    return {
+        "snapshot": _checkpoint.snapshot_soc(plan.soc),
+        "warm_slots": warm,
+        "trojan_lines": list(plan.trojan_lines),
+        "spy_sets": [list(group) for group in plan.spy_sets],
+        "targets": [list(t) for t in plan.targets],
+        "probe": [list(row) for row in plan.probe],
+        "trojan_fs": plan.trojan_fs,
+    }

@@ -3,7 +3,7 @@
 A trial is a deterministic function of ``(code, config, seed)``, so its
 outcome can be cached under the key
 
-    SHA-256(config digest || code fingerprint || seed)
+    SHA-256(config digest || code fingerprint || engine knobs || seed)
 
 where the config digest canonicalizes the trial function and its
 parameters (:func:`repro.exec.seeds.stable_digest`) and the code
@@ -29,7 +29,7 @@ import pickle
 import tempfile
 import typing
 
-from repro.exec.fingerprint import code_fingerprint
+from repro.exec.fingerprint import code_fingerprint, engine_knobs
 from repro.exec.seeds import stable_digest
 
 _FORMAT_VERSION = 1
@@ -92,9 +92,15 @@ class ResultCache:
         self.stats = CacheStats()
 
     def key_for(self, fn: typing.Callable, params: typing.Mapping, seed: int) -> str:
-        """The content address of one trial."""
+        """The content address of one trial.
+
+        Besides code and config, the key carries the engine-selection
+        knobs in force right now (:func:`engine_knobs`): outcomes from
+        different engine paths address different entries, so a latent
+        equivalence bug in one path can never poison the others' caches.
+        """
         config_digest = stable_digest((fn, dict(params)))
-        material = f"{config_digest}|{self.fingerprint}|{seed}"
+        material = f"{config_digest}|{self.fingerprint}|{engine_knobs()}|{seed}"
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> pathlib.Path:

@@ -53,6 +53,7 @@ from repro.errors import ChannelProtocolError
 from repro.exec.cache import CacheStats, ResultCache
 from repro.obs import telemetry as _telemetry
 from repro.obs.census import EngineCensus, note_external_sim
+from repro.sim.batch import gate as _batch_gate
 
 if typing.TYPE_CHECKING:
     from repro.obs.telemetry import SweepTelemetry
@@ -492,10 +493,15 @@ class TrialExecutor:
 
         if pending:
             effective = self._prepare_prefixes(specs, pending, sim)
-            if self.workers == 0:
-                self._run_serial(specs, pending, outcomes, sim, effective)
-            else:
-                self._run_parallel(specs, pending, outcomes, sim, effective)
+            if _batch_gate.enabled():
+                pending = self._run_batched(
+                    specs, pending, outcomes, sim, effective
+                )
+            if pending:
+                if self.workers == 0:
+                    self._run_serial(specs, pending, outcomes, sim, effective)
+                else:
+                    self._run_parallel(specs, pending, outcomes, sim, effective)
 
         ordered = [outcomes[i] for i in range(len(specs))]
         report = ExecutionReport(
@@ -544,6 +550,98 @@ class TrialExecutor:
             )
         outcomes[index] = outcome
         self._cache_store(spec, outcome)
+
+    def _run_batched(
+        self,
+        specs: typing.Sequence[TrialSpec],
+        pending: typing.Sequence[int],
+        outcomes: typing.Dict[int, TrialOutcome],
+        sim: typing.Dict[str, int],
+        effective: typing.Dict[int, Params],
+    ) -> typing.List[int]:
+        """Lockstep batch tier: returns the indices it did *not* handle.
+
+        Trials whose function has a registered lockstep kernel are
+        grouped by shape digest and advanced N-at-a-time over numpy
+        arrays (:mod:`repro.sim.batch`); everything else — plus any
+        group that fails wholesale or any trial whose batched outcome
+        was a retryable failure — falls through to the ordinary
+        serial/parallel path.  Parallel executors ship whole groups to
+        pool workers; lanes a kernel ejects re-run serially inside the
+        group task either way, so batching never changes an outcome,
+        only its cost.
+        """
+        from repro.sim.batch.engine import plan_groups, run_batch_group
+
+        groups, leftover = plan_groups(specs, pending, effective)
+        if not groups:
+            return leftover
+        tel = self.telemetry
+        payloads = [
+            (
+                specs[group[0]].fn,
+                [
+                    (i, effective.get(i, specs[i].params), specs[i].seed)
+                    for i in group
+                ],
+            )
+            for group in groups
+        ]
+
+        def apply(entries, value) -> None:
+            results, group_sim = value
+            _merge_sim(sim, group_sim)
+            for index, kind, result, trial_sim, wall_s in results:
+                if kind in (CRASH, TIMEOUT):
+                    # Keep the normal path's retry/degradation semantics.
+                    leftover.append(index)
+                    continue
+                if tel is not None:
+                    tel.handle(_telemetry.trial_start_event(index, index))
+                    tel.handle(_telemetry.trial_finish_event(
+                        index, index, kind, result, trial_sim, wall_s,
+                    ))
+                self._record(specs, outcomes, index, kind, result, attempts=1)
+
+        if self.workers == 0:
+            for payload in payloads:
+                try:
+                    value = run_batch_group(payload)
+                except Exception:
+                    leftover.extend(entry[0] for entry in payload[1])
+                    continue
+                apply(payload[1], value)
+        else:
+            context = (
+                multiprocessing.get_context(self._mp_context)
+                if self._mp_context
+                else multiprocessing.get_context()
+            )
+            external = _empty_sim()
+            pool = context.Pool(processes=min(self.workers, len(payloads)))
+            try:
+                handles = [
+                    (payload, pool.apply_async(run_batch_group, (payload,)))
+                    for payload in payloads
+                ]
+                for payload, handle in handles:
+                    try:
+                        value = handle.get(
+                            self.trial_timeout_s * max(1, len(payload[1]))
+                        )
+                    except Exception:
+                        leftover.extend(entry[0] for entry in payload[1])
+                        continue
+                    _merge_sim(external, value[1])
+                    apply(payload[1], value)
+            finally:
+                pool.terminate()
+                pool.join()
+            # Worker-side engines/kernels never announce to this process's
+            # censuses; publish their merged census once, like _run_parallel.
+            note_external_sim(external)
+        leftover.sort()
+        return leftover
 
     def _run_serial(
         self,

@@ -25,6 +25,28 @@ def _package_root(package: str) -> pathlib.Path:
     return pathlib.Path(file).resolve().parent
 
 
+def engine_knobs() -> str:
+    """Canonical string of the engine-selection switches, sampled live.
+
+    ``REPRO_FASTPATH``, ``REPRO_CHECKPOINT`` and ``REPRO_BATCH`` select
+    *how* a trial executes.  The engines are pinned byte-identical by
+    their equivalence suites, but the cache must not rely on that being
+    true forever: keying entries by the engine path that produced them
+    means a path with a latent divergence bug can never serve its
+    outcomes to the other paths.  Sampled per call (not memoized)
+    because tests flip the gates at runtime via ``forced()``.
+    """
+    from repro.checkpoint import gate as checkpoint_gate
+    from repro.sim import fastpath
+    from repro.sim.batch import gate as batch_gate
+
+    return (
+        f"fastpath={int(fastpath.enabled())}"
+        f",checkpoint={int(checkpoint_gate.enabled())}"
+        f",batch={int(batch_gate.enabled())}"
+    )
+
+
 def code_fingerprint(package: str = "repro", refresh: bool = False) -> str:
     """SHA-256 over all ``.py`` sources of ``package``, hex-encoded.
 

@@ -206,6 +206,11 @@ def format_record(record: typing.Mapping[str, object]) -> str:
         f"wall={run.get('wall_s', '?')}s",
         f"ev/s={run.get('events_per_sec', '?')}",
     ]
+    if "engine" in run:
+        tier = run["engine"]
+        if "batch_width" in run:
+            tier = f"{tier}x{run['batch_width']}"
+        parts.append(f"engine={tier}")
     warnings = record.get("warnings")
     if isinstance(warnings, list) and warnings:
         parts.append(f"drift!={len(warnings)}")

@@ -418,6 +418,8 @@ def bench_run_record(
     checkpoints: typing.Optional[typing.Any] = None,
     channels: typing.Optional[typing.Mapping[str, object]] = None,
     extra: typing.Optional[typing.Mapping[str, object]] = None,
+    engine: typing.Optional[str] = None,
+    batch_width: typing.Optional[int] = None,
 ) -> typing.Dict[str, object]:
     """One benchmark run record, in the ``BENCH_<name>.json`` shape.
 
@@ -427,6 +429,11 @@ def bench_run_record(
     ``as_dict()``, or a plain mapping) and per-channel health metrics.
     The run ledger reuses the same records, so provenance and bench
     artifacts can never drift apart.
+
+    ``engine`` names the execution tier that produced the numbers
+    (``"serial"`` / ``"batched"``; compare like with like when reading
+    the ledger) and ``batch_width`` the lockstep lane count in force —
+    both optional so non-sweep benches stay unchanged.
     """
     engines = events = 0
     if census is not None:
@@ -442,6 +449,10 @@ def bench_run_record(
         "events_executed": events,
         "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
     }
+    if engine is not None:
+        record["engine"] = str(engine)
+    if batch_width is not None:
+        record["batch_width"] = int(batch_width)
     for key, stats in (("cache", cache), ("checkpoints", checkpoints)):
         if stats is None:
             continue

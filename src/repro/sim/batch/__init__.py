@@ -1,0 +1,48 @@
+"""Vectorized lockstep batch engine (see DESIGN §14).
+
+Advances N near-identical trials in lockstep over ``[trial, ...]`` numpy
+arrays instead of running each through its own discrete-event engine.
+The serial engine remains the bit-exact reference oracle: every kernel's
+outcomes are pinned byte-identical to it by the equivalence suite, and
+``REPRO_BATCH=0`` (see :mod:`repro.sim.batch.gate`) routes everything
+back through the serial path.
+
+Only the gate is imported eagerly: the kernels pull in the analysis and
+checkpoint layers, which themselves import :mod:`repro.exec` — so the
+executor (which imports this package for its gate) loads the rest
+lazily, and so does this ``__init__``.
+"""
+
+import typing
+
+from repro.sim.batch.gate import enabled, forced, set_enabled
+
+__all__ = [
+    "REGISTRY",
+    "batch_width",
+    "enabled",
+    "forced",
+    "kernel_for",
+    "kernel_key",
+    "plan_groups",
+    "run_batch_group",
+    "set_enabled",
+]
+
+_LAZY = {
+    "batch_width": "repro.sim.batch.engine",
+    "plan_groups": "repro.sim.batch.engine",
+    "run_batch_group": "repro.sim.batch.engine",
+    "REGISTRY": "repro.sim.batch.kernels",
+    "kernel_for": "repro.sim.batch.kernels",
+    "kernel_key": "repro.sim.batch.kernels",
+}
+
+
+def __getattr__(name: str) -> typing.Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,176 @@
+"""Grouping and dispatch for the lockstep batch tier.
+
+:func:`plan_groups` partitions an executor run's pending trials into
+*batch groups* — trials whose params share one kernel shape digest — and
+a leftover list for everything the kernels cannot take (no registered
+kernel, unsupported params, singleton groups).  :func:`run_batch_group`
+is the module-level unit of dispatch (picklable, so a parallel executor
+can ship whole groups to pool workers): it runs the group's kernel once
+and serially re-runs every lane the kernel ejected, so a group always
+comes back with a definite per-trial answer.
+
+The tier is purely an accelerator: any group or lane it cannot handle
+falls back to the ordinary serial/parallel path, and the outcomes are
+byte-identical either way (``tests/test_batch_lockstep.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import typing
+
+Params = typing.Dict[str, object]
+
+#: Widest lockstep group one kernel launch will take.  Wider groups are
+#: chunked: per-lane state is a few hundred KB of arrays, and chunking
+#: also gives a parallel executor units it can spread across workers.
+DEFAULT_WIDTH = 256
+
+
+def batch_width() -> int:
+    """Per-launch lane cap (``REPRO_BATCH_WIDTH``, default 256, min 2)."""
+    raw = os.environ.get("REPRO_BATCH_WIDTH", "").strip()
+    if not raw:
+        return DEFAULT_WIDTH
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_WIDTH
+    return max(2, value)
+
+
+def plan_groups(
+    specs: typing.Sequence[typing.Any],
+    pending: typing.Sequence[int],
+    effective: typing.Mapping[int, Params],
+) -> typing.Tuple[typing.List[typing.List[int]], typing.List[int]]:
+    """Partition pending trial indices into ``(batch groups, leftovers)``.
+
+    Grouping is by the kernel's shape digest over the trial's *effective*
+    params (prefix-doc injection included, so warm and cold trials of the
+    same shape land in the same group).  Only groups of two or more lanes
+    batch — a lone trial gains nothing from lockstep and the serial path
+    is already optimal for it.
+    """
+    from repro.sim.batch.kernels import kernel_for
+
+    groups: typing.Dict[str, typing.List[int]] = {}
+    leftover: typing.List[int] = []
+    for index in pending:
+        spec = specs[index]
+        kernel = kernel_for(spec.fn)
+        if kernel is None:
+            leftover.append(index)
+            continue
+        params = effective.get(index, spec.params)
+        try:
+            if not kernel.supports(params):
+                leftover.append(index)
+                continue
+            key = kernel.group_key(params)
+        except Exception:
+            leftover.append(index)
+            continue
+        groups.setdefault(key, []).append(index)
+    batches: typing.List[typing.List[int]] = []
+    width = batch_width()
+    for indices in groups.values():  # insertion order: deterministic
+        if len(indices) < 2:
+            leftover.extend(indices)
+            continue
+        for start in range(0, len(indices), width):
+            chunk = indices[start : start + width]
+            if len(chunk) >= 2:
+                batches.append(chunk)
+            else:
+                leftover.extend(chunk)
+    leftover.sort()
+    return batches, leftover
+
+
+def _merge(total: typing.Dict[str, int], part: typing.Mapping[str, int]) -> None:
+    total["engines_created"] += int(part.get("engines_created", 0))
+    total["events_executed"] += int(part.get("events_executed", 0))
+    total["final_now_fs"] = max(
+        total["final_now_fs"], int(part.get("final_now_fs", 0))
+    )
+
+
+def run_batch_group(
+    payload: typing.Tuple[
+        typing.Callable, typing.Sequence[typing.Tuple[int, Params, int]]
+    ],
+) -> typing.Tuple[typing.List[typing.Tuple[int, str, object, dict, float]], dict]:
+    """Run one batch group to completion; module-level for pool dispatch.
+
+    ``payload`` is ``(fn, [(index, effective_params, seed), ...])``.
+    Returns ``(results, group_sim)`` where each result is ``(index, kind,
+    value, trial_sim, wall_s)`` in the executor's outcome vocabulary.
+    Lanes the kernel ejects (divergence, failed disjointness check,
+    unsupported warm state) — or every lane, if the kernel itself raises
+    — are re-run through the ordinary serial trial path right here, so
+    ejection costs one serial trial, never a lost result.
+
+    The kernel's own work is credited to any armed
+    :class:`~repro.obs.EngineCensus` via
+    :func:`~repro.obs.census.note_external_sim` (per-trial shares, summed
+    exactly); serial re-runs create real engines that announce
+    themselves.
+    """
+    fn, entries = payload
+    from repro.exec.executor import run_one_trial
+    from repro.obs.census import note_external_sim
+    from repro.sim.batch.kernels import kernel_for
+
+    group_sim = {"engines_created": 0, "events_executed": 0, "final_now_fs": 0}
+    kernel = kernel_for(fn)
+    outcomes: typing.List[typing.Optional[Params]] = [None] * len(entries)
+    kernel_wall = 0.0
+    kernel_sim: typing.Dict[str, int] = {}
+    if kernel is not None:
+        start = time.perf_counter()
+        try:
+            outcomes, kernel_sim = kernel.run(
+                [(params, seed) for _index, params, seed in entries]
+            )
+        except Exception:
+            outcomes = [None] * len(entries)
+            kernel_sim = {}
+        kernel_wall = time.perf_counter() - start
+    if kernel_sim:
+        _merge(group_sim, kernel_sim)
+        note_external_sim(kernel_sim)
+
+    # Distribute the kernel's census over its completed lanes so per-trial
+    # telemetry sums to the true total (remainder goes to the first lane).
+    done = [i for i, outcome in enumerate(outcomes) if outcome is not None]
+    shares: typing.Dict[int, typing.Dict[str, int]] = {}
+    walls: typing.Dict[int, float] = {}
+    if done:
+        events = int(kernel_sim.get("events_executed", 0))
+        final = int(kernel_sim.get("final_now_fs", 0))
+        share, remainder = divmod(events, len(done))
+        for position, i in enumerate(done):
+            shares[i] = {
+                "engines_created": 0,
+                "events_executed": share + (remainder if position == 0 else 0),
+                "final_now_fs": final,
+            }
+            walls[i] = kernel_wall / len(done)
+
+    results: typing.List[typing.Tuple[int, str, object, dict, float]] = []
+    for position, (index, params, seed) in enumerate(entries):
+        outcome = outcomes[position] if position < len(outcomes) else None
+        if outcome is not None:
+            results.append(
+                (index, "ok", outcome, shares[position], walls[position])
+            )
+            continue
+        start = time.perf_counter()
+        kind, value, trial_sim = run_one_trial((fn, params, seed))
+        _merge(group_sim, trial_sim)
+        results.append(
+            (index, kind, value, trial_sim, time.perf_counter() - start)
+        )
+    return results, group_sim

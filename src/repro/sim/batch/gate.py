@@ -1,0 +1,52 @@
+"""Global switch for the vectorized lockstep batch engine.
+
+The batch engine (:mod:`repro.sim.batch`) advances many near-identical
+trials in lockstep over numpy arrays instead of running each through its
+own discrete-event engine.  Its outcomes are pinned byte-identical to
+the serial engine by the equivalence suite
+(``tests/test_batch_lockstep.py``), mirroring the ``REPRO_FASTPATH=0``
+contract: the per-trial engine stays the bit-exact reference oracle and
+``REPRO_BATCH=0`` routes every trial back through it.
+
+The flag is sampled by :class:`~repro.exec.TrialExecutor` at the start
+of each :meth:`~repro.exec.TrialExecutor.run` call, so one executor run
+is consistently batched or consistently serial; flipping the switch
+mid-run only affects runs started afterwards.  Default is on; set
+``REPRO_BATCH=0`` in the environment to disable batching.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import typing
+
+_ENABLED = os.environ.get("REPRO_BATCH", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+    "no",
+)
+
+
+def enabled() -> bool:
+    """Whether executor runs started now may batch trials in lockstep."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Set the default for executor runs started after this call."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextlib.contextmanager
+def forced(flag: bool) -> typing.Iterator[None]:
+    """Temporarily force the flag (the equivalence suite's lever)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

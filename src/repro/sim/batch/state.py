@@ -1,0 +1,287 @@
+"""Array-of-trials state for the lockstep batch engine.
+
+Every piece of per-trial simulator state the probe kernel touches lives
+here as a numpy array indexed ``[trial, ...]``:
+
+* cache tags as ``int64`` line addresses (``EMPTY == -1``),
+* true-LRU recency as monotonically increasing *touch ticks* (victim =
+  ``argmin`` over a full set — identical to the serial LRU stack because
+  a full set has every way touched, and last-touch order is stack order),
+* tree-pLRU node bits as an ``[trial, set, ways-1]`` 0/1 array,
+* the ring reservation ledger (``busy_until`` plus per-domain counters),
+* DRAM row-mix state: a pre-drawn block of uniforms per trial (drawing a
+  block consumes the PCG64 stream exactly like single draws) and the
+  running counters,
+* per-agent clocks and accumulators.
+
+The LLC arrays are *compacted*: a trial only ever touches its target
+sets (a handful of the thousands of global sets), so the kernel remaps
+each lane's global set indices to a dense ``[0, n_used)`` range and the
+arrays are allocated at ``n_used`` — a few hundred bytes per lane
+instead of a megabyte, which is both the memory and the gather/scatter
+speed win.  L1/L2/L3 keep their real geometry (they are small, and
+back-invalidation needs to derive their set index from a line address).
+
+Cold trials start from empty arrays and never build a machine at all —
+placement comes from :func:`repro.analysis.probe_sweep.resolve_layout`
+over a bare MMU on the trial's own RNG stream.  Warm (prefix-forked)
+trials restore the machine once via the checkpoint layer and are
+*extracted* into the same arrays; the synthetic ages assigned from the
+restored LRU stacks are ``-(position+1)`` so stack order and tick order
+agree and every fresh tick outranks them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.config import SoCConfig
+from repro.sim import FS_PER_NS
+
+if typing.TYPE_CHECKING:
+    from repro.soc.cache import SetAssocCache
+    from repro.soc.machine import SoC
+
+EMPTY = np.int64(-1)
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupConstants:
+    """Config-derived fixed latencies and geometry, shared by one group.
+
+    Mirrors the precomputation in :class:`repro.soc.machine.SoC.__init__`
+    — every field is derived through the same config methods the machine
+    uses, so the two can never disagree on rounding.
+    """
+
+    l1_sets: int
+    l1_ways: int
+    l2_sets: int
+    l2_ways: int
+    llc_global_sets: int
+    llc_ways: int
+    llc_sets_per_slice: int
+    l3_sets: int
+    l3_ways: int
+    offset_bits: int
+    d1_fs: int
+    d2_fs: int
+    d3_fs: int
+    cpu_pre_fs: int
+    cpu_tail_base_fs: int
+    gpu_pre_fs: int
+    gpu_tail_base_fs: int
+    ring_hold_fs: int
+    dram_hit_fs: int
+    dram_miss_fs: int
+    row_hit_probability: float
+
+    @classmethod
+    def from_config(cls, config: SoCConfig) -> "GroupConstants":
+        cpu = config.cpu_clock.cycles_fs
+        gpu = config.gpu_clock.cycles_fs
+        d1 = cpu(config.cpu_cache.l1_hit_cycles)
+        d2 = cpu(config.cpu_cache.l2_hit_cycles)
+        d3 = gpu(config.gpu_l3.hit_cycles)
+        traverse = cpu(config.ring.traverse_cycles)
+        gpu_traverse = traverse * config.ring.gpu_traverse_multiplier
+        lookup = cpu(config.llc.lookup_cycles)
+        line_slots = 1 + config.ring.slots_per_line(config.llc.line_bytes)
+        hold = cpu(line_slots * config.ring.slot_cycles)
+        base_ns = config.dram.base_ns
+        miss_ns = base_ns + config.dram.row_miss_extra_ns
+        return cls(
+            l1_sets=config.cpu_cache.l1_sets,
+            l1_ways=config.cpu_cache.l1_ways,
+            l2_sets=config.cpu_cache.l2_sets,
+            l2_ways=config.cpu_cache.l2_ways,
+            llc_global_sets=config.llc.slices * config.llc.sets_per_slice,
+            llc_ways=config.llc.ways,
+            llc_sets_per_slice=config.llc.sets_per_slice,
+            l3_sets=config.gpu_l3.total_sets,
+            l3_ways=config.gpu_l3.ways,
+            offset_bits=config.llc.line_bytes.bit_length() - 1,
+            d1_fs=d1,
+            d2_fs=d2,
+            d3_fs=d3,
+            cpu_pre_fs=d2 + traverse,
+            cpu_tail_base_fs=lookup + traverse,
+            gpu_pre_fs=d3 + gpu_traverse,
+            gpu_tail_base_fs=lookup + gpu_traverse,
+            ring_hold_fs=hold,
+            dram_hit_fs=max(1, round(base_ns * FS_PER_NS)),
+            dram_miss_fs=max(1, round(miss_ns * FS_PER_NS)),
+            row_hit_probability=config.dram.row_hit_probability,
+        )
+
+
+class UnmappedSet(Exception):
+    """A restored machine occupies a set outside the lane's compact map."""
+
+
+class CacheArrays:
+    """Tags + recency for one cache level across all trials."""
+
+    def __init__(self, n_trials: int, n_sets: int, ways: int) -> None:
+        self.tags = np.full((n_trials, n_sets, ways), EMPTY, dtype=np.int64)
+        self.age = np.zeros((n_trials, n_sets, ways), dtype=np.int64)
+
+    def load_from(
+        self,
+        trial: int,
+        cache: "SetAssocCache",
+        set_map: typing.Optional[typing.Mapping[int, int]] = None,
+    ) -> None:
+        """Extract one restored serial cache into lane ``trial``.
+
+        Only occupied sets need tags; recency comes from the LRU stack
+        (``-(position+1)`` keeps stack order and lets fresh ticks win).
+        Sets that were touched and then fully invalidated need no
+        extraction: refilling consults recency only once the set is full,
+        by which point every way has been re-touched.  ``set_map``
+        translates the serial cache's set indices into this array's
+        (compact) indices; an occupied set outside the map raises
+        :class:`UnmappedSet` — the caller ejects that lane.
+        """
+        occupied = {set_index for set_index, _way in cache._where.values()}
+        for set_index in occupied:
+            if set_map is None:
+                dest = set_index
+            else:
+                mapped = set_map.get(set_index)
+                if mapped is None:
+                    raise UnmappedSet(set_index)
+                dest = mapped
+            for way, tag in enumerate(cache._tags[set_index]):
+                if tag is not None:
+                    self.tags[trial, dest, way] = tag
+            stack = typing.cast(list, cache._meta[set_index])
+            for position, way in enumerate(stack):
+                self.age[trial, dest, way] = -(position + 1)
+
+
+class PlruArrays:
+    """Tags + tree-pLRU node bits for the GPU L3 across all trials."""
+
+    def __init__(self, n_trials: int, n_sets: int, ways: int) -> None:
+        self.tags = np.full((n_trials, n_sets, ways), EMPTY, dtype=np.int64)
+        self.bits = np.zeros((n_trials, n_sets, max(1, ways - 1)), dtype=np.int64)
+
+    def load_from(self, trial: int, cache: "SetAssocCache") -> None:
+        """Extract one restored L3.  L3 lines are never invalidated, so a
+        set with non-default pLRU bits is always still occupied."""
+        occupied = {set_index for set_index, _way in cache._where.values()}
+        for set_index in occupied:
+            for way, tag in enumerate(cache._tags[set_index]):
+                if tag is not None:
+                    self.tags[trial, set_index, way] = tag
+            bits = typing.cast(list, cache._meta[set_index])
+            self.bits[trial, set_index, : len(bits)] = bits
+
+
+class LockstepState:
+    """The full mutable state of one batch group, ``[trial, ...]``-major."""
+
+    def __init__(
+        self,
+        constants: GroupConstants,
+        n_trials: int,
+        cores: typing.Sequence[int],
+        model_gpu: bool,
+        dram_budget: int,
+        llc_sets: int,
+    ) -> None:
+        self.constants = constants
+        self.n = n_trials
+        self.l1 = {
+            core: CacheArrays(n_trials, constants.l1_sets, constants.l1_ways)
+            for core in cores
+        }
+        self.l2 = {
+            core: CacheArrays(n_trials, constants.l2_sets, constants.l2_ways)
+            for core in cores
+        }
+        self.l3 = (
+            PlruArrays(n_trials, constants.l3_sets, constants.l3_ways)
+            if model_gpu
+            else None
+        )
+        self.llc = CacheArrays(n_trials, llc_sets, constants.llc_ways)
+        self.llc_hits = np.zeros(n_trials, dtype=np.int64)
+        self.llc_misses = np.zeros(n_trials, dtype=np.int64)
+        self.llc_evictions = np.zeros(n_trials, dtype=np.int64)
+        self.ring_busy_until = np.zeros(n_trials, dtype=np.int64)
+        self.ring_transfers = {
+            "cpu": np.zeros(n_trials, dtype=np.int64),
+            "gpu": np.zeros(n_trials, dtype=np.int64),
+        }
+        self.ring_waited = {
+            "cpu": np.zeros(n_trials, dtype=np.int64),
+            "gpu": np.zeros(n_trials, dtype=np.int64),
+        }
+        self.dram_draws = np.zeros((n_trials, max(1, dram_budget)))
+        self.dram_cursor = np.zeros(n_trials, dtype=np.int64)
+        self.dram_accesses = np.zeros(n_trials, dtype=np.int64)
+        self.dram_row_misses = np.zeros(n_trials, dtype=np.int64)
+        self.dram_total_fs = np.zeros(n_trials, dtype=np.int64)
+        # Monotonic touch counter shared by every LRU structure; relative
+        # order per (trial, set) is all that matters.
+        self.tick = 1
+        self.ejected = np.zeros(n_trials, dtype=bool)
+
+    def next_tick(self) -> int:
+        tick = self.tick
+        self.tick += 1
+        return tick
+
+    def load_soc(
+        self,
+        trial: int,
+        soc: "SoC",
+        cores: typing.Sequence[int],
+        llc_global_map: typing.Mapping[int, int],
+    ) -> bool:
+        """Extract one restored machine into lane ``trial`` (warm fork).
+
+        ``llc_global_map`` maps global LLC set indices to the lane's
+        compact indices.  Returns ``False`` (caller ejects the lane,
+        its half-written arrays are masked garbage) if the restored
+        machine occupies an LLC set the lane's access pattern never
+        touches — the compact arrays cannot represent it.
+        """
+        for core in cores:
+            self.l1[core].load_from(trial, soc.cpu_caches[core].l1)
+            self.l2[core].load_from(trial, soc.cpu_caches[core].l2)
+        if self.l3 is not None:
+            self.l3.load_from(trial, soc.gpu_l3._cache)
+        sets_per_slice = soc.config.llc.sets_per_slice
+        try:
+            for slice_index in range(soc.config.llc.slices):
+                base = slice_index * sets_per_slice
+                slice_map = {
+                    gset - base: compact
+                    for gset, compact in llc_global_map.items()
+                    if base <= gset < base + sets_per_slice
+                }
+                self.llc.load_from(
+                    trial, soc.llc.slice_cache(slice_index), slice_map
+                )
+        except UnmappedSet:
+            return False
+        self.llc_hits[trial] = soc.llc.hits
+        self.llc_misses[trial] = soc.llc.misses
+        self.llc_evictions[trial] = sum(
+            soc.llc.slice_cache(i).evictions
+            for i in range(soc.config.llc.slices)
+        )
+        self.ring_busy_until[trial] = soc.ring._resource._busy_until
+        for domain in ("cpu", "gpu"):
+            self.ring_transfers[domain][trial] = soc.ring.transfers.get(domain, 0)
+            self.ring_waited[domain][trial] = soc.ring.waited_fs.get(domain, 0)
+        self.dram_accesses[trial] = soc.dram.accesses
+        self.dram_row_misses[trial] = soc.dram.row_misses
+        self.dram_total_fs[trial] = soc.dram.total_latency_fs
+        return True

@@ -1,0 +1,293 @@
+"""Equivalence suite for the vectorized lockstep batch engine.
+
+The serial per-trial engine is the bit-exact oracle (``REPRO_BATCH=0``
+contract, mirroring ``REPRO_FASTPATH=0``): every outcome the batch tier
+produces must equal the oracle's byte for byte — cold starts, warm
+checkpoint forks, ragged slot counts, divergence ejections, GPU trojans
+and parallel worker pools included.  The kernel may *refuse* work (eject
+lanes, leave groups to the serial path); it may never *change* it.
+
+The suite runs meaningfully under both gate settings: with the batch
+tier on it pins kernel-vs-oracle equality, with ``REPRO_BATCH=0`` it
+pins that the contract plumbing itself (gates, cache keys, executor
+routing) degrades to the plain serial path.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import probe_sweep
+from repro.exec.cache import ResultCache
+from repro.exec.executor import TrialExecutor, TrialSpec, PrefixSpec
+from repro.exec.fingerprint import engine_knobs
+from repro.exec.seeds import canonical_repr, derive_seed
+from repro.obs.ledger import format_record, make_record
+from repro.obs.telemetry import bench_run_record
+from repro.sim.batch import gate as batch_gate
+from repro.sim.batch.kernels import ProbeSweepKernel, kernel_for
+
+
+def _serial(params, seed):
+    return probe_sweep.probe_trial(dict(params), seed)
+
+
+def _kernel_run(trials):
+    return ProbeSweepKernel().run([(dict(p), s) for p, s in trials])
+
+
+def _assert_lockstep_matches_oracle(trials, allow_ejected=0):
+    outcomes, sim = _kernel_run(trials)
+    ejected = sum(1 for o in outcomes if o is None)
+    assert ejected <= allow_ejected, f"{ejected} lanes ejected"
+    for (params, seed), outcome in zip(trials, outcomes):
+        if outcome is None:
+            continue
+        assert outcome == _serial(params, seed)
+    assert sim["events_executed"] > 0
+
+
+# ----------------------------------------------------------------------
+# Kernel vs oracle, per shape
+
+
+def test_cold_cpu_equivalence():
+    _assert_lockstep_matches_oracle([({}, s) for s in range(7, 15)])
+
+
+def test_gpu_trojan_equivalence():
+    _assert_lockstep_matches_oracle(
+        [({"trojan": "gpu"}, s) for s in range(5, 11)]
+    )
+
+
+def test_llc_hit_shape_equivalence():
+    # 6 spy + 6 trojan lines per 8-way set leaves room for LLC hits —
+    # exercises the touch path the self-thrashing default never takes.
+    _assert_lockstep_matches_oracle(
+        [
+            ({"spy_lines_per_set": 6, "trojan_lines_per_set": 6}, s)
+            for s in range(3, 9)
+        ]
+    )
+
+
+def test_small_burst_no_elision_equivalence():
+    # Trojan bursts smaller than the private-cache ways keep the full
+    # modeled L1/L2 (the elision precondition fails) and hit in them.
+    _assert_lockstep_matches_oracle(
+        [({"trojan_lines_per_set": 3}, s) for s in range(2, 8)]
+    )
+
+
+def test_same_core_equivalence():
+    _assert_lockstep_matches_oracle(
+        [({"trojan_core": 0, "spy_core": 0}, s) for s in range(11, 16)]
+    )
+
+
+def test_ragged_slot_counts_equivalence():
+    _assert_lockstep_matches_oracle(
+        [({"n_slots": 4 + (s % 7)}, s) for s in range(30, 40)]
+    )
+
+
+def test_divergence_lanes_ejected_others_complete():
+    trials = [
+        ({"divergence_slot": 3 if s % 3 == 0 else None}, s)
+        for s in range(9, 18)
+    ]
+    outcomes, _sim = _kernel_run(trials)
+    for (params, _seed), outcome in zip(trials, outcomes):
+        if params["divergence_slot"] is not None:
+            assert outcome is None  # ejected for the serial path to raise
+        else:
+            assert outcome is not None
+    _assert_lockstep_matches_oracle(
+        [t for t in trials if t[0]["divergence_slot"] is None]
+    )
+
+
+def test_warm_fork_equivalence():
+    doc = probe_sweep.prepare_probe_prefix({"n_slots": 4}, 77)
+    trials = [
+        ({"n_slots": ns, "_ckpt_state": doc}, 77) for ns in (6, 8, 10, 7)
+    ]
+    _assert_lockstep_matches_oracle(trials)
+
+
+def test_jitter_unsupported_stays_serial():
+    kernel = kernel_for(probe_sweep.probe_trial)
+    assert kernel is not None
+    assert not kernel.supports({"dram_jitter_ns": 1.5})
+    assert kernel.supports({})
+
+
+# ----------------------------------------------------------------------
+# Executor integration
+
+
+def _sweep_specs():
+    prefix = PrefixSpec(
+        fn=probe_sweep.prepare_probe_prefix, params={"n_slots": 3}, seed=77
+    )
+    specs = [TrialSpec(fn=probe_sweep.probe_trial, params={}, seed=100 + s)
+             for s in range(6)]
+    specs += [
+        TrialSpec(
+            fn=probe_sweep.probe_trial,
+            params={"n_slots": ns},
+            seed=77,
+            prefix=prefix,
+        )
+        for ns in (5, 7, 9)
+    ]
+    specs.append(
+        TrialSpec(fn=probe_sweep.probe_trial, params={"divergence_slot": 2},
+                  seed=5)
+    )
+    specs.append(
+        TrialSpec(fn=probe_sweep.probe_trial, params={"dram_jitter_ns": 1.0},
+                  seed=3)
+    )
+    return specs
+
+
+def _run_sweep(workers, batch):
+    with batch_gate.forced(batch):
+        report = TrialExecutor(workers=workers).run(_sweep_specs())
+    return [(o.index, o.kind, o.result) for o in report.outcomes]
+
+
+def test_executor_batch_tier_equivalence_serial():
+    assert _run_sweep(0, True) == _run_sweep(0, False)
+
+
+def test_executor_batch_tier_equivalence_parallel():
+    baseline = _run_sweep(0, False)
+    assert _run_sweep(2, True) == baseline
+    assert _run_sweep(2, False) == baseline
+
+
+# ----------------------------------------------------------------------
+# Property test: random sweeps, serial vs batched vs batched + forked
+
+hyp = pytest.importorskip("hypothesis")
+given, settings, HealthCheck = hyp.given, hyp.settings, hyp.HealthCheck
+st = hyp.strategies
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    data=st.data(),
+    n_trials=st.integers(min_value=1, max_value=10),
+    width=st.integers(min_value=1, max_value=16),
+    workers=st.sampled_from([0, 2, 8]),
+    use_prefix=st.booleans(),
+    gpu=st.booleans(),
+)
+def test_random_sweeps_property(data, n_trials, width, workers, use_prefix, gpu):
+    base = {"trojan": "gpu"} if gpu else {}
+    prefix = (
+        PrefixSpec(
+            fn=probe_sweep.prepare_probe_prefix,
+            params=dict(base, n_slots=2),
+            seed=41,
+        )
+        if use_prefix
+        else None
+    )
+    specs = []
+    for i in range(n_trials):
+        n_slots = data.draw(st.integers(min_value=3, max_value=6))
+        div = data.draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=n_slots - 1))
+        )
+        params = dict(base, n_slots=n_slots)
+        if div is not None:
+            params["divergence_slot"] = div
+        specs.append(
+            TrialSpec(
+                fn=probe_sweep.probe_trial,
+                params=params,
+                seed=41 if prefix is not None else 500 + i,
+                prefix=prefix,
+            )
+        )
+
+    def run(batch):
+        previous = os.environ.get("REPRO_BATCH_WIDTH")
+        os.environ["REPRO_BATCH_WIDTH"] = str(width)
+        try:
+            with batch_gate.forced(batch):
+                report = TrialExecutor(workers=workers).run(specs)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_BATCH_WIDTH", None)
+            else:
+                os.environ["REPRO_BATCH_WIDTH"] = previous
+        return [(o.index, o.kind, o.result) for o in report.outcomes]
+
+    assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# Contract plumbing: gates, cache keys, record fields, seed fast paths
+
+
+def test_engine_knobs_reflect_batch_gate():
+    with batch_gate.forced(True):
+        assert "batch=1" in engine_knobs()
+    with batch_gate.forced(False):
+        assert "batch=0" in engine_knobs()
+
+
+def test_cache_key_separates_engine_paths(tmp_path):
+    cache = ResultCache(tmp_path)
+    with batch_gate.forced(True):
+        on = cache.key_for(probe_sweep.probe_trial, {}, 7)
+    with batch_gate.forced(False):
+        off = cache.key_for(probe_sweep.probe_trial, {}, 7)
+    assert on != off
+
+
+def test_bench_record_engine_fields():
+    record = bench_run_record(
+        workers=0,
+        wall_s=2.0,
+        sim={"engines_created": 0, "events_executed": 100},
+        engine="batched",
+        batch_width=64,
+    )
+    assert record["engine"] == "batched"
+    assert record["batch_width"] == 64
+    # Omitted -> absent, so legacy artifacts keep their exact shape.
+    bare = bench_run_record(workers=0, wall_s=1.0)
+    assert "engine" not in bare and "batch_width" not in bare
+    line = format_record(
+        make_record(name="x", kind="bench", run=record, fingerprint="f" * 64)
+    )
+    assert "engine=batchedx64" in line
+
+
+def test_payload_bits_matches_derive_seed():
+    for seed in (0, 7, 2**62 + 12345):
+        assert probe_sweep.payload_bits(seed, 40) == [
+            derive_seed(seed, "payload", s) & 1 for s in range(40)
+        ]
+
+
+def test_derive_seed_fast_path_matches_canonical():
+    import hashlib
+
+    for args in ((7, "payload", 3), (0, "trial", 12), (41, "a", "b", 2)):
+        material = canonical_repr(args)
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        want = int.from_bytes(digest[:8], "big") & (2**63 - 1)
+        assert derive_seed(*args) == want
+    # Non-primitive components take the canonical fallback.
+    assert isinstance(derive_seed(7, 1.5, None, (1, 2)), int)
