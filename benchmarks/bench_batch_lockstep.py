@@ -94,6 +94,7 @@ def test_batch_lockstep_speedup(benchmark):
             census=census,
             engine="serial",
             batch_width=1,
+            batch_width_source="serial",
         )
     }
     for width, (_out, wall, _census) in sorted(batched.items()):
@@ -105,6 +106,7 @@ def test_batch_lockstep_speedup(benchmark):
             sim={"engines_created": 0, "events_executed": events},
             engine="batched",
             batch_width=width,
+            batch_width_source="env",
         )
         record["speedup_vs_serial"] = round(speedup, 3)
         runs[f"batched_w{width}"] = record

@@ -1,0 +1,91 @@
+"""Faults robustness matrix — serial oracle vs lockstep batch tier.
+
+The ``contention-sweep`` matrix channel runs the raw contention trial
+family (the one with a registered lockstep kernel), so the whole
+intensity grid batches: trials at different fault intensities share one
+kernel shape and advance together.  The matrix aggregates must be
+identical either way — batching is a scheduling decision — and the
+wall-clock ratio lands in ``BENCH_faults_matrix.json`` with
+``speedup_vs_serial`` on the batched row.
+
+The graceful-degradation contract itself (no crashes, BER under the
+ceiling, monotone-ish in intensity) is asserted here too, so the bench
+doubles as the robustness smoke test at a payload size the tier-1 suite
+cannot afford.
+"""
+
+import dataclasses
+import json
+import time
+
+from conftest import RESULTS_DIR, append_ledger_record, report
+
+from repro.faults.matrix import run_matrix
+from repro.obs import EngineCensus
+from repro.obs.telemetry import bench_run_record
+from repro.sim.batch import gate as batch_gate
+
+N_BITS = 24
+N_SEEDS = 6
+ROOT_SEED = 1
+
+
+def _run(batch):
+    with batch_gate.forced(batch):
+        with EngineCensus() as census:
+            t0 = time.perf_counter()
+            result = run_matrix(
+                channel="contention-sweep", n_bits=N_BITS, n_seeds=N_SEEDS,
+                root_seed=ROOT_SEED,
+            )
+            wall = time.perf_counter() - t0
+    return result, wall, census
+
+
+def test_faults_matrix_batched(benchmark):
+    def run():
+        return _run(batch=False), _run(batch=True)
+
+    (serial, serial_wall, census), (batched, batched_wall, _) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    events = census.events_executed
+
+    assert [dataclasses.asdict(p) for p in batched.points] == [
+        dataclasses.asdict(p) for p in serial.points
+    ], "batched matrix diverged from the serial oracle"
+    violations = serial.violations()
+    assert not violations, "\n".join(violations)
+
+    speedup = serial_wall / batched_wall
+    runs = {
+        "serial": bench_run_record(
+            workers=0, wall_s=serial_wall, census=census,
+            engine="serial", batch_width=1, batch_width_source="serial",
+        ),
+        "batched": bench_run_record(
+            workers=0, wall_s=batched_wall,
+            sim={"engines_created": 0, "events_executed": events},
+            engine="batched", batch_width_source="auto",
+        ),
+    }
+    runs["batched"]["speedup_vs_serial"] = round(speedup, 3)
+
+    report(
+        "faults_matrix",
+        f"Faults matrix (contention-sweep, {N_BITS} bits x {N_SEEDS} seeds): "
+        "serial oracle vs lockstep batch tier (aggregates identical)",
+        serial.table(),
+        footer=f"batched speedup {speedup:.2f}x\n" + census.footer(),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "name": "faults_matrix",
+        "channel": "contention-sweep",
+        "matrix": serial.as_dict(),
+        "runs": runs,
+    }
+    (RESULTS_DIR / "BENCH_faults_matrix.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    append_ledger_record("faults_matrix", "bench", runs["batched"])

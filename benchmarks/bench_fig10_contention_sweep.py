@@ -4,12 +4,37 @@ Paper: CPU buffer 512 KB; GPU buffers 1 MB and 2 MB; work-group counts on
 the X axis; 95% CIs over repeated runs.  Bandwidth sits in a narrow
 390-402 kb/s band; error is below 2% over >90% of the space with the
 minimum (0.82%) at 2 MB / 2 work-groups.
+
+The second harness is the batched contention sweep: the same
+work-group axis swept through the raw contention trial family
+(:mod:`repro.analysis.contention_sweep`), once through the serial
+oracle and once through the lockstep batch tier at worker counts 0, 2
+and 8.  Outcomes must be bit-identical in every configuration; the
+wall-clock ratio lands in ``BENCH_fig10.json`` under ``batch`` with a
+``speedup_vs_serial`` per row and an absolute ≥5x acceptance floor that
+``check_bench_regression.py`` re-checks against the committed artifact.
 """
 
+import json
+import time
+
+from conftest import RESULTS_DIR, _load_json, append_ledger_record, report
+
+from repro.analysis import contention_sweep
 from repro.analysis.figures import fig10_contention_sweep
 from repro.analysis.render import format_table
+from repro.exec import TrialExecutor, TrialSpec
+from repro.obs import EngineCensus
+from repro.obs.telemetry import bench_run_record
+from repro.sim.batch import gate as batch_gate
 
 MB = 1024 * 1024
+
+SWEEP_WORKGROUPS = (1, 2, 4, 8)
+SWEEP_SEEDS = 48
+SWEEP_SLOTS = 16
+SWEEP_WORKER_COUNTS = (0, 2, 8)
+ACCEPTANCE_SPEEDUP = 5.0
 
 
 def test_fig10_contention_sweep(benchmark, figure_report, bench_workers):
@@ -51,3 +76,110 @@ def test_fig10_contention_sweep(benchmark, figure_report, bench_workers):
         if p.aggregate.error_percent < 10
     ]
     assert healthy and max(healthy) < 1.4 * min(healthy)
+
+
+def _sweep_specs():
+    return [
+        TrialSpec(
+            fn=contention_sweep.contention_trial,
+            params={"n_slots": SWEEP_SLOTS, "n_workgroups": wg},
+            seed=1000 + s,
+        )
+        for wg in SWEEP_WORKGROUPS
+        for s in range(SWEEP_SEEDS)
+    ]
+
+
+def _run_sweep(batch, workers):
+    executor = TrialExecutor(workers=workers)
+    with batch_gate.forced(batch):
+        with EngineCensus() as census:
+            t0 = time.perf_counter()
+            outcomes = executor.run(_sweep_specs()).outcomes
+            wall = time.perf_counter() - t0
+    out = [(o.index, o.kind, o.result) for o in outcomes]
+    return out, wall, census, executor.last_batch_plans
+
+
+def test_fig10_contention_batched_sweep(benchmark):
+    def run():
+        serial = _run_sweep(batch=False, workers=0)
+        batched = {w: _run_sweep(batch=True, workers=w)
+                   for w in SWEEP_WORKER_COUNTS}
+        return serial, batched
+
+    (serial_out, serial_wall, census, _), batched = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    events = census.events_executed
+
+    # The contract before the speedup: every worker count reproduces the
+    # serial oracle bit for bit.
+    for workers, (out, _wall, _census, _plans) in batched.items():
+        assert out == serial_out, f"workers={workers} diverged from the oracle"
+
+    n_trials = len(_sweep_specs())
+    rows = [
+        ["serial", f"{serial_wall:.3f}", f"{events / serial_wall:,.0f}", "1.00"]
+    ]
+    runs = {
+        "serial": bench_run_record(
+            workers=0,
+            wall_s=serial_wall,
+            census=census,
+            engine="serial",
+            batch_width=1,
+            batch_width_source="serial",
+        )
+    }
+    for workers, (_out, wall, _census, plans) in sorted(batched.items()):
+        speedup = serial_wall / wall
+        rows.append(
+            [f"batched w{workers}", f"{wall:.3f}",
+             f"{events / wall:,.0f}", f"{speedup:.2f}"]
+        )
+        record = bench_run_record(
+            workers=workers,
+            wall_s=wall,
+            sim={"engines_created": 0, "events_executed": events},
+            engine="batched",
+            batch_width=int(plans[0]["width"]) if plans else 0,
+            batch_width_source=str(plans[0]["source"]) if plans else "auto",
+        )
+        record["speedup_vs_serial"] = round(speedup, 3)
+        runs[f"batched_w{workers}"] = record
+
+    table = format_table(["run", "wall s", "agg events/s", "speedup"], rows)
+    best_workers = max(batched, key=lambda w: serial_wall / batched[w][1])
+    best_speedup = serial_wall / batched[best_workers][1]
+    report(
+        "fig10_batch",
+        f"Batched contention sweep: {n_trials} trials "
+        f"({SWEEP_SLOTS} slots, WGs {SWEEP_WORKGROUPS}), serial oracle vs "
+        "lockstep lanes (outcomes bit-identical)",
+        table,
+        footer=f"best: workers {best_workers} at {best_speedup:.2f}x\n"
+        + census.footer(),
+    )
+
+    # The batch block rides inside BENCH_fig10.json next to the figure
+    # runs; check_bench_regression.py re-checks the floor on commit.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_fig10.json"
+    doc = _load_json(path, {"name": "fig10", "runs": {}})
+    doc["batch"] = {
+        "trials": n_trials,
+        "n_slots": SWEEP_SLOTS,
+        "events_executed": events,
+        "acceptance_floor_speedup": ACCEPTANCE_SPEEDUP,
+        "runs": runs,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    append_ledger_record(
+        "fig10_batch", "bench", runs[f"batched_w{best_workers}"]
+    )
+
+    assert best_speedup >= ACCEPTANCE_SPEEDUP, (
+        f"batched contention sweep bought only {best_speedup:.2f}x over the "
+        f"serial oracle (acceptance floor {ACCEPTANCE_SPEEDUP}x)"
+    )

@@ -134,43 +134,72 @@ def build_checks(
     return checks
 
 
-def run_batch_floor_check(results_dir: pathlib.Path) -> typing.Tuple[str, str]:
-    """Absolute lockstep-batching floor, self-contained in the artifact.
+def _floor_blocks(doc: dict) -> typing.Iterator[typing.Tuple[str, dict]]:
+    """Yield every ``(label, block)`` carrying a lockstep-batching floor.
 
-    The bench records the serial oracle and every batched width in one
-    file; the widest batched row must keep an aggregate events/sec of at
-    least ``acceptance_floor_speedup`` times the serial row.  Unlike the
-    baseline-relative checks this can never rot by re-committing a slower
-    figure — the floor rides along inside the artifact.
+    A floor block has ``acceptance_floor_speedup`` plus a ``runs`` dict
+    with a ``serial`` row; it lives either at an artifact's top level
+    (``BENCH_batch.json``) or nested under ``batch`` (the fig10
+    contention-sweep artifact, whose top level belongs to the figure).
     """
-    path = results_dir / BATCH_RESULT
-    if not path.exists():
-        return "skip", "batch floor: no BENCH_batch.json; run the benchmark first"
-    try:
-        doc = json.loads(path.read_text())
-    except ValueError:
-        return "skip", "batch floor: artifact is not valid JSON"
-    floor = _metric(doc, "acceptance_floor_speedup")
-    runs = doc.get("runs")
-    if floor is None or not isinstance(runs, dict):
-        return "skip", "batch floor: artifact lacks floor or runs"
-    serial = _metric(typing.cast(dict, runs), "serial", "events_per_sec")
-    batched = max(
-        (
-            _metric(typing.cast(dict, run), "events_per_sec") or 0.0
-            for key, run in runs.items()
-            if isinstance(run, dict) and key != "serial"
-        ),
-        default=0.0,
-    )
-    if serial is None or serial <= 0 or batched <= 0:
-        return "skip", "batch floor: serial or batched rows absent"
-    speedup = batched / serial
-    status = "ok" if speedup >= floor else "regression"
-    return status, (
-        f"batch floor: best batched {batched:,.0f} ev/s vs serial "
-        f"{serial:,.0f} ev/s = {speedup:.2f}x (floor {floor:.0f}x)"
-    )
+    for label, node in (("", doc), ("batch", doc.get("batch"))):
+        if (
+            isinstance(node, dict)
+            and "acceptance_floor_speedup" in node
+            and isinstance(node.get("runs"), dict)
+        ):
+            yield label, node
+
+
+def run_batch_floor_checks(
+    results_dir: pathlib.Path,
+) -> typing.List[typing.Tuple[str, str]]:
+    """Absolute lockstep-batching floors, self-contained in the artifacts.
+
+    Each batching bench records the serial oracle and every batched
+    configuration in one floor block; the best batched row must keep an
+    aggregate events/sec of at least ``acceptance_floor_speedup`` times
+    the serial row.  Unlike the baseline-relative checks this can never
+    rot by re-committing a slower figure — the floor rides along inside
+    the artifact.
+    """
+    results: typing.List[typing.Tuple[str, str]] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            continue
+        for label, block in _floor_blocks(doc):
+            name = path.stem.removeprefix("BENCH_")
+            if label:
+                name = f"{name}.{label}"
+            floor = _metric(block, "acceptance_floor_speedup")
+            runs = typing.cast(dict, block["runs"])
+            serial = _metric(runs, "serial", "events_per_sec")
+            batched = max(
+                (
+                    _metric(typing.cast(dict, run), "events_per_sec") or 0.0
+                    for key, run in runs.items()
+                    if isinstance(run, dict) and key != "serial"
+                ),
+                default=0.0,
+            )
+            if floor is None or serial is None or serial <= 0 or batched <= 0:
+                results.append(
+                    ("skip", f"{name} floor: serial or batched rows absent")
+                )
+                continue
+            speedup = batched / serial
+            status = "ok" if speedup >= floor else "regression"
+            results.append((status, (
+                f"{name} floor: best batched {batched:,.0f} ev/s vs serial "
+                f"{serial:,.0f} ev/s = {speedup:.2f}x (floor {floor:.0f}x)"
+            )))
+    if not results:
+        results.append(
+            ("skip", "batch floor: no artifact records one; run the benchmarks")
+        )
+    return results
 
 
 def run_check(
@@ -314,13 +343,13 @@ def main(argv: typing.Optional[list] = None) -> int:
         elif status == "ok":
             checked += 1
 
-    status, message = run_batch_floor_check(results_dir)
-    label = {"ok": "ok", "regression": "REGRESSION", "skip": "skip"}[status]
-    print(f"[{label}] {message}")
-    if status == "regression":
-        regressions += 1
-    elif status == "ok":
-        checked += 1
+    for status, message in run_batch_floor_checks(results_dir):
+        label = {"ok": "ok", "regression": "REGRESSION", "skip": "skip"}[status]
+        print(f"[{label}] {message}")
+        if status == "regression":
+            regressions += 1
+        elif status == "ok":
+            checked += 1
 
     if not args.no_drift:
         for status, message in run_drift_checks(results_dir, args.rev):

@@ -66,12 +66,14 @@ def edit_distance(
     The band makes the DP linear-ish in payload length; channel slips are
     small, so a band of 64 is far wider than any real misalignment.  If
     the length difference exceeds the band, the exact distance can't be in
-    the band, so the raw length gap is added.
+    the band, so the Hamming bound (positional mismatches plus the length
+    gap) stands in — it is always a valid Levenshtein upper bound and
+    never looser than the one the unbanded DP would tighten.
     """
     n, m = len(sent), len(received)
     if abs(n - m) > band:
         # Outside the band's reach: fall back to a safe upper bound.
-        return max(n, m)
+        return hamming_errors(sent, received)
     inf = n + m + 1
     previous = [j if j <= band else inf for j in range(m + 1)]
     for i in range(1, n + 1):

@@ -353,6 +353,9 @@ class TrialExecutor:
             self.telemetry = _telemetry.SweepTelemetry()
         else:
             self.telemetry = telemetry
+        #: Batch-tier width decisions from the most recent run — one
+        #: record per dispatched lockstep chunk (see ``plan_groups``).
+        self.last_batch_plans: typing.List[typing.Dict[str, object]] = []
 
     def _checkpoint_store(self) -> CheckpointStore:
         """The blob store parallel prefix groups ship their docs through."""
@@ -573,7 +576,9 @@ class TrialExecutor:
         """
         from repro.sim.batch.engine import plan_groups, run_batch_group
 
-        groups, leftover = plan_groups(specs, pending, effective)
+        plans: typing.List[typing.Dict[str, object]] = []
+        groups, leftover = plan_groups(specs, pending, effective, plans)
+        self.last_batch_plans = plans
         if not groups:
             return leftover
         tel = self.telemetry

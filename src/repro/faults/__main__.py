@@ -43,8 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
         "assert graceful BER degradation.",
     )
     parser.add_argument(
-        "--channel", choices=("llc", "contention", "both"), default="llc",
-        help="which covert channel to stress (default: llc)",
+        "--channel",
+        choices=("llc", "contention", "contention-sweep", "both"),
+        default="llc",
+        help="which covert channel to stress (default: llc); "
+        "contention-sweep runs the raw batchable trial family",
     )
     parser.add_argument(
         "--intensities", type=_parse_intensities,

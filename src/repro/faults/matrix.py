@@ -85,10 +85,68 @@ def faulted_contention_trial(
     )
 
 
+def _contention_sweep_params(
+    intensity: float, n_bits: int
+) -> typing.Dict[str, object]:
+    """Matrix grid point -> contention-family trial params.
+
+    The family models faults natively (``fault_intensity`` scales the
+    seeded ring-burst schedule), so intensity maps straight through; one
+    slot carries one bit, so the payload size maps to ``n_slots``.
+    """
+    return {"fault_intensity": intensity, "n_slots": n_bits}
+
+
+def _contention_sweep_record(
+    outcome: typing.Dict[str, object]
+) -> typing.Dict[str, object]:
+    """Flatten a contention-family outcome into the matrix record shape."""
+    sent = typing.cast(typing.List[int], outcome["bits"])
+    received = typing.cast(typing.List[int], outcome["rx_bits"])
+    errors = sum(1 for s, r in zip(sent, received) if s != r)
+    duration_s = float(typing.cast(int, outcome["final_now_fs"])) * 1e-15
+    return {
+        "error_rate": errors / len(sent) if sent else 0.0,
+        "bandwidth_kbps": (
+            len(received) / duration_s / 1000.0 if duration_s > 0 else 0.0
+        ),
+        "n_sent": len(sent),
+        "n_received": len(received),
+        "frame_attempts": 1,
+    }
+
+
+#: ``contention-sweep`` runs the raw trial family (not the framed
+#: channel protocol) precisely so its specs hit the lockstep batch tier:
+#: kernel lookup is by trial-function identity, and
+#: ``repro.analysis.contention_sweep.contention_trial`` has a registered
+#: kernel while the protocol wrappers do not.
 TRIAL_FNS: typing.Dict[str, typing.Callable] = {
     "llc": faulted_llc_trial,
     "contention": faulted_contention_trial,
+    "contention-sweep": None,  # resolved lazily below (import cycle safety)
 }
+
+#: Per-channel grid-point -> params adapters (default: intensity/n_bits).
+PARAM_ADAPTERS: typing.Dict[
+    str, typing.Callable[[float, int], typing.Dict[str, object]]
+] = {"contention-sweep": _contention_sweep_params}
+
+#: Per-channel outcome -> record adapters (default: identity — the trial
+#: already returns the record shape).
+RESULT_ADAPTERS: typing.Dict[
+    str, typing.Callable[[typing.Dict[str, object]], typing.Dict[str, object]]
+] = {"contention-sweep": _contention_sweep_record}
+
+
+def _resolve_trial_fn(channel: str) -> typing.Callable:
+    fn = TRIAL_FNS.get(channel)
+    if fn is not None:
+        return fn
+    from repro.analysis.contention_sweep import contention_trial
+
+    TRIAL_FNS["contention-sweep"] = contention_trial
+    return contention_trial
 
 
 @dataclasses.dataclass
@@ -185,12 +243,15 @@ def run_matrix(
     """Sweep ``channel`` over ``intensities`` and aggregate per point."""
     if channel not in TRIAL_FNS:
         raise ValueError(f"unknown channel {channel!r}; pick from {sorted(TRIAL_FNS)}")
-    fn = TRIAL_FNS[channel]
+    fn = _resolve_trial_fn(channel)
+    make_params = PARAM_ADAPTERS.get(
+        channel, lambda intensity, n: {"intensity": intensity, "n_bits": n}
+    )
     specs: typing.List[TrialSpec] = []
     for intensity in intensities:
         seeds = fan_out_seeds(root_seed, n_seeds, label=f"faults-{channel}-{intensity!r}")
         specs.extend(
-            TrialSpec(fn, {"intensity": intensity, "n_bits": n_bits}, seed,
+            TrialSpec(fn, make_params(float(intensity), n_bits), seed,
                       tag=intensity)
             for seed in seeds
         )
@@ -199,10 +260,11 @@ def run_matrix(
     )
     report = executor.run(specs)
 
+    adapt = RESULT_ADAPTERS.get(channel, lambda record: record)
     points: typing.List[MatrixPoint] = []
     for intensity in intensities:
         outcomes = [o for o in report.outcomes if o.tag == intensity]
-        ok = [typing.cast(typing.Dict[str, object], o.result)
+        ok = [adapt(typing.cast(typing.Dict[str, object], o.result))
               for o in outcomes if o.ok]
         points.append(
             MatrixPoint(

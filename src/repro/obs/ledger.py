@@ -210,6 +210,8 @@ def format_record(record: typing.Mapping[str, object]) -> str:
         tier = run["engine"]
         if "batch_width" in run:
             tier = f"{tier}x{run['batch_width']}"
+        if "batch_width_source" in run:
+            tier = f"{tier}({run['batch_width_source']})"
         parts.append(f"engine={tier}")
     warnings = record.get("warnings")
     if isinstance(warnings, list) and warnings:

@@ -42,6 +42,7 @@ TRACE_EVENT_NAMES: typing.Tuple[str, ...] = (
     "cpu.probe",      # a timed CPU probe completed (measured cycles)
     "gpu.kernel",     # a GPU kernel ran (span: launch -> completion)
     "fault.inject",   # a fault injector perturbed the machine (see repro.faults)
+    "batch.plan",     # the batch tier chose a lane width for one group
 )
 
 #: The default allowlist: everything except the per-step firehose, which

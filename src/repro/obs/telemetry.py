@@ -420,6 +420,7 @@ def bench_run_record(
     extra: typing.Optional[typing.Mapping[str, object]] = None,
     engine: typing.Optional[str] = None,
     batch_width: typing.Optional[int] = None,
+    batch_width_source: typing.Optional[str] = None,
 ) -> typing.Dict[str, object]:
     """One benchmark run record, in the ``BENCH_<name>.json`` shape.
 
@@ -434,6 +435,10 @@ def bench_run_record(
     (``"serial"`` / ``"batched"``; compare like with like when reading
     the ledger) and ``batch_width`` the lockstep lane count in force —
     both optional so non-sweep benches stay unchanged.
+    ``batch_width_source`` records where that width came from —
+    ``"auto"`` (footprint tuner), ``"env"`` (``REPRO_BATCH_WIDTH``) or
+    ``"serial"`` (batch tier off) — so drift detection can tell a width
+    change from a true perf regression.
     """
     engines = events = 0
     if census is not None:
@@ -453,6 +458,8 @@ def bench_run_record(
         record["engine"] = str(engine)
     if batch_width is not None:
         record["batch_width"] = int(batch_width)
+    if batch_width_source is not None:
+        record["batch_width_source"] = str(batch_width_source)
     for key, stats in (("cache", cache), ("checkpoints", checkpoints)):
         if stats is None:
             continue

@@ -1,0 +1,753 @@
+"""Lockstep kernel for the ring-contention trial family.
+
+Replays :func:`repro.analysis.contention_sweep.contention_trial` over
+``[trial, ...]`` numpy arrays.  Unlike the probe family, the trojan and
+spy *interleave* inside a slot — the ring queueing they inflict on each
+other is the covert signal — so the kernel cannot fold a slot into
+straight-line updates.  Instead it merges the trial's three event
+streams (trojan accesses, spy probes, fault bursts) by minimum logical
+ring-request time, which is exact on the fast path because:
+
+* every ring reservation's effective request time is ``t1 = t0 + pre``
+  and the machine's fold guard keeps reservations FIFO in ``t1`` (a
+  coalesced reservation never jumps a pending earlier event), and
+  request times are nondecreasing in engine order — so "always advance
+  the stream with the smallest next ``t1``" reproduces the serial
+  reservation order exactly;
+* equal request times across two streams are ordered by engine
+  insertion sequence, which the kernel cannot know — lanes with a tie
+  are *ejected* to the serial oracle, never guessed;
+* all shared cache state is per-agent disjoint by construction (the
+  family places spy and trojan lines in different LLC set-index
+  classes), so per-set access order is per-agent program order and only
+  the commutative counters cross agents;
+* every DRAM draw happens inside the family's single-process warm-up
+  prologue, which the kernel replays straight-line from a pre-drawn
+  uniform block; a lane that misses the LLC *after* warm-up would need
+  an engine-ordered draw, so it ejects.
+
+GPU-trojan L3 hits touch no shared state and are consumed greedily
+between merge steps; CPU agents' private caches are elided outright
+(the family's line counts per set exceed both private ways counts, so
+every private access provably misses — the probe kernel's spacing
+argument, applied to both agents).  Warm checkpoint-forked lanes are
+restored once through the checkpoint layer and extracted into the same
+arrays, exactly like the probe kernel's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro import checkpoint as _checkpoint
+from repro.analysis import contention_sweep as _cs
+from repro.config import SoCConfig
+from repro.exec.seeds import stable_digest
+from repro.sim.batch.kernels import _arange, _install
+from repro.sim.batch.state import EMPTY, GroupConstants, LockstepState
+from repro.sim.rng import RngStreams
+from repro.soc.mmu import Mmu
+
+Params = typing.Dict[str, object]
+
+#: Sentinel request time for an exhausted stream (beyond any simulated fs).
+_HORIZON = np.int64(1) << 62
+
+_PLRU_TABLES: typing.Dict[
+    int, typing.Tuple[np.ndarray, np.ndarray]
+] = {}
+
+
+def _plru_tables(ways: int) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """``(victim, touch)`` lookup tables over packed tree-pLRU states.
+
+    A set's ``ways - 1`` direction bits pack into one integer (node
+    ``j``'s bit at position ``j``, the flattened heap layout of
+    :class:`~repro.sim.batch.state.PlruArrays`), so the per-access tree
+    walk of ``kernels._plru_victim`` / ``kernels._plru_touch`` collapses
+    to a single table gather: ``victim[state]`` is the way the walk
+    lands on, ``touch[state, way]`` the state after steering every node
+    on ``way``'s path away from it.  Built once per ways count,
+    vectorized over all ``2**(ways-1)`` states.
+    """
+    cached = _PLRU_TABLES.get(ways)
+    if cached is not None:
+        return cached
+    levels = ways.bit_length() - 1
+    states = np.arange(1 << max(0, ways - 1), dtype=np.int64)
+    node = np.zeros_like(states)
+    way = np.zeros_like(states)
+    for _ in range(levels):
+        side = (states >> node) & 1
+        way = (way << 1) | side
+        node = 2 * node + 1 + side
+    victim = way
+    touch = np.empty((len(states), ways), dtype=np.int64)
+    for w in range(ways):
+        s = states.copy()
+        at = 0  # the node path depends only on the way, not the state
+        for level in range(levels):
+            side = (w >> (levels - 1 - level)) & 1
+            s = (s & ~(1 << at)) | np.int64((1 - side) << at)
+            at = 2 * at + 1 + side
+        touch[:, w] = s
+    _PLRU_TABLES[ways] = (victim, touch)
+    return victim, touch
+
+
+class _Lane:
+    """One trial's scalar setup: placement, payload, schedule, prefix."""
+
+    def __init__(
+        self,
+        params: Params,
+        seed: int,
+        config_template: typing.Optional[SoCConfig] = None,
+    ) -> None:
+        self.params = _cs.merged_params(params)
+        self.seed = seed
+        if config_template is None:
+            self.config = _cs.soc_config(self.params, seed)
+        else:
+            # Within a shape group the seed is the only config field that
+            # varies (``soc_config`` threads it into ``SoCConfig.seed``
+            # verbatim and nowhere else), so one template serves all lanes.
+            self.config = dataclasses.replace(config_template, seed=seed)
+        self.n_slots = int(typing.cast(int, self.params["n_slots"]))
+        self.bits = _cs.payload_bits(seed, self.n_slots)
+        self.workgroups = int(typing.cast(int, self.params["n_workgroups"]))
+        self.unsupported = False
+        doc = _checkpoint.resolve_state(params)
+        if doc is None:
+            rng = RngStreams(self.config.seed)
+            mmu = Mmu(self.config.mmu, rng.stream("mmu"))
+            layout = _cs.resolve_layout(self.config, self.params, mmu)
+            self.spy_lines = layout.spy_lines
+            self.trojan_lines = layout.trojan_lines
+            self.targets = layout.targets
+            self.dram_rng = rng.stream("dram")
+            self.start_slot = 0
+            self.probe_prefix: typing.List[typing.List[int]] = []
+            self.trojan_fs0 = 0
+            self.clock0 = 0
+            self.soc = None
+        else:
+            # Warm fork: restore the machine once (the checkpoint layer's
+            # own path) and extract its arrays; the doc carries the lines.
+            plan = _cs.plan_from_doc(params, seed, doc)
+            self.soc = plan.soc
+            self.spy_lines = plan.spy_lines
+            self.trojan_lines = plan.trojan_lines
+            self.targets = plan.targets
+            self.dram_rng = plan.soc.rng.stream("dram")
+            self.start_slot = plan.start_slot
+            self.probe_prefix = [list(row) for row in plan.probe]
+            self.trojan_fs0 = plan.trojan_fs
+            self.clock0 = plan.soc.engine.now
+            if plan.soc.llc_partition is not None or any(
+                until > self.clock0 for until in plan.soc._core_stall_until
+            ):
+                self.unsupported = True
+        self.fault_sched = _cs.fault_schedule(self.params, seed, self.config)
+
+
+class ContentionKernel:
+    """Vectorized replay of ``contention_sweep.contention_trial``."""
+
+    fn_key = "repro.analysis.contention_sweep:contention_trial"
+
+    @staticmethod
+    def supports(params: Params) -> bool:
+        """Whether a trial with these params is lockstep-replayable.
+
+        Beyond jitter (see the probe kernel), the private-cache elision
+        must hold for *both* agents: each agent's per-set line count has
+        to exceed both private ways counts, the set-index classes must
+        stay distinct through the private index masks, and the two CPU
+        agents must sit on different cores.
+        """
+        try:
+            p = _cs.merged_params(dict(params))
+            config = _cs.soc_config(p, 0)
+        except Exception:
+            return False
+        if float(typing.cast(float, p["dram_jitter_ns"])) != 0.0:
+            return False
+        if p["trojan"] == "cpu" and p["trojan_core"] == p["spy_core"]:
+            return False
+        l1_sets = config.cpu_cache.l1_sets
+        l2_sets = config.cpu_cache.l2_sets
+        max_ways = max(config.cpu_cache.l1_ways, config.cpu_cache.l2_ways)
+        sets_per_slice = config.llc.sets_per_slice
+        n_classes = int(typing.cast(int, p["trojan_sets"])) + 1
+        if sets_per_slice % l1_sets or sets_per_slice % l2_sets:
+            return False
+        if n_classes > min(l1_sets, l2_sets):
+            return False
+        if int(typing.cast(int, p["spy_lines"])) <= max_ways:
+            return False
+        if int(typing.cast(int, p["trojan_lines_per_set"])) <= max_ways:
+            return False
+        return True
+
+    @staticmethod
+    def group_key(params: Params) -> str:
+        """Shape digest: everything but the registered per-trial keys."""
+        p = _cs.merged_params(dict(params))
+        shape = {k: v for k, v in p.items() if k not in _cs.VARIABLE_KEYS}
+        return stable_digest((ContentionKernel.fn_key, sorted(shape.items())))
+
+    @staticmethod
+    def lane_footprint_bytes(params: Params) -> int:
+        """Per-lane state-array bytes (drives lane-width auto-tuning).
+
+        Sums the int64 arrays ``run`` allocates per trial: compact LLC,
+        GPU L3 (tags + pLRU bits), the three event streams, the DRAM
+        block and the accumulators.  An estimate of allocation, not a
+        promise — auto-tuning only needs it deterministic and roughly
+        proportional to the real footprint.
+        """
+        p = _cs.merged_params(dict(params))
+        config = _cs.soc_config(p, 0)
+        n_classes = int(typing.cast(int, p["trojan_sets"])) + 1
+        n_trojan = n_classes - 1
+        lines = int(typing.cast(int, p["trojan_lines_per_set"]))
+        spy = int(typing.cast(int, p["spy_lines"]))
+        probes = int(typing.cast(int, p["probes_per_slot"]))
+        n_slots = int(typing.cast(int, p["n_slots"]))
+        workgroups = int(typing.cast(int, p["n_workgroups"]))
+        bursts = int(
+            round(
+                float(typing.cast(float, p["fault_intensity"]))
+                * float(typing.cast(float, p["fault_bursts_per_slot"]))
+                * n_slots
+            )
+        )
+        cells = 2 * n_classes * config.llc.ways  # compact LLC tags + ages
+        if p["trojan"] == "gpu":
+            cells += config.gpu_l3.total_sets * (2 * config.gpu_l3.ways - 1)
+        cells += n_slots * workgroups * n_trojan * lines  # trojan floors
+        cells += n_slots * probes * spy  # spy schedule share
+        cells += bursts  # fault schedule
+        cells += n_trojan * lines * 3 + spy  # line paddrs + set indices
+        cells += n_trojan * lines + spy  # DRAM uniform block
+        cells += n_slots * probes + n_slots  # probe sums + payload
+        cells += 32  # clocks, cursors, counters
+        return 8 * cells
+
+    def run(
+        self, trials: typing.Sequence[typing.Tuple[Params, int]]
+    ) -> typing.Tuple[typing.List[typing.Optional[Params]], typing.Dict[str, int]]:
+        """Advance all trials in lockstep.
+
+        Returns ``(outcomes, sim)`` where ``outcomes[i]`` is the trial's
+        outcome dict or ``None`` if the lane was ejected (request-time
+        tie, post-warm-up LLC miss, forced divergence, unsupported warm
+        state); ``sim`` credits the work in census terms (one event per
+        simulated access or fault burst — a strict lower bound on the
+        serial engine's count).
+        """
+        lanes: typing.List[_Lane] = []
+        template: typing.Optional[SoCConfig] = None
+        for p0, s0 in trials:
+            lane = _Lane(dict(p0), s0, template)
+            if template is None:
+                template = lane.config
+            lanes.append(lane)
+        n = len(lanes)
+        first = lanes[0]
+        config = first.config
+        const = GroupConstants.from_config(config)
+        p = first.params
+        use_gpu = p["trojan"] == "gpu"
+        probes = int(typing.cast(int, p["probes_per_slot"]))
+        n_spy = int(typing.cast(int, p["spy_lines"]))
+        lines_per_set = int(typing.cast(int, p["trojan_lines_per_set"]))
+        n_classes = int(typing.cast(int, p["trojan_sets"])) + 1
+        n_troj = (n_classes - 1) * lines_per_set
+        per_probe = n_spy
+        per_slot = probes * per_probe
+        base_fs, slot_fs, off_fs, gap_fs = _cs._plan_schedule(p, config)
+        fault_hold = config.cpu_clock.cycles_fs(
+            int(typing.cast(int, p["fault_slots"])) * config.ring.slot_cycles
+        )
+        hold = const.ring_hold_fs
+        if use_gpu:
+            t_pre, t_tail, t_domain = (
+                const.gpu_pre_fs, const.gpu_tail_base_fs, "gpu",
+            )
+        else:
+            t_pre, t_tail, t_domain = (
+                const.cpu_pre_fs, const.cpu_tail_base_fs, "cpu",
+            )
+        cpu_pre, cpu_tail = const.cpu_pre_fs, const.cpu_tail_base_fs
+        l3_victim, l3_touch = _plru_tables(const.l3_ways)
+
+        n_slots = np.array([lane.n_slots for lane in lanes], dtype=np.int64)
+        start_slot = np.array([lane.start_slot for lane in lanes], dtype=np.int64)
+        max_slots = int(n_slots.max()) if n else 0
+        bits = np.zeros((n, max_slots), dtype=bool)
+        diverge = np.full(n, -1, dtype=np.int64)
+        for i, lane in enumerate(lanes):
+            bits[i, : lane.n_slots] = lane.bits
+            div = lane.params["divergence_slot"]
+            if div is not None:
+                diverge[i] = int(typing.cast(int, div))
+
+        # Line placement.  Compact LLC set indices are the set-index
+        # *classes* themselves: spy lines are class 0, trojan line j is
+        # class 1 + j // lines_per_set — the family's layout guarantees
+        # one global set per class.
+        spy_p = np.array([lane.spy_lines for lane in lanes], dtype=np.int64)
+        troj_p = np.array([lane.trojan_lines for lane in lanes], dtype=np.int64)
+        troj_cset = 1 + _arange(max(1, n_troj))[:n_troj] // max(1, lines_per_set)
+        off_bits = const.offset_bits
+        if use_gpu and n_troj:
+            troj_l3 = (troj_p >> off_bits) & (const.l3_sets - 1)
+        else:
+            troj_l3 = None
+        llc_maps: typing.List[typing.Dict[int, int]] = []
+        for lane in lanes:
+            llc_maps.append({
+                int(b) * const.llc_sets_per_slice + int(a): int(a)
+                for a, b in lane.targets
+            })
+
+        # Trojan stream: per-lane floors (ragged — payload, n_slots and
+        # n_workgroups all vary per lane), line index is position mod
+        # the line list (a burst tiles the list ``workgroups`` times).
+        t_end = np.zeros(n, dtype=np.int64)
+        floors: typing.List[np.ndarray] = []
+        for i, lane in enumerate(lanes):
+            burst = lane.workgroups * n_troj
+            starts = [
+                base_fs + s * slot_fs
+                for s in range(lane.start_slot, lane.n_slots)
+                if lane.bits[s]
+            ]
+            floor = np.repeat(np.array(starts, dtype=np.int64), burst)
+            floors.append(floor)
+            t_end[i] = len(floor)
+        t_max = int(t_end.max()) if n else 0
+        troj_floor = np.zeros((n, max(1, t_max)), dtype=np.int64)
+        for i, floor in enumerate(floors):
+            troj_floor[i, : len(floor)] = floor
+
+        # Fault stream: seeded absolute times inside the resumed span.
+        f_end = np.zeros(n, dtype=np.int64)
+        scheds: typing.List[typing.List[int]] = []
+        for i, lane in enumerate(lanes):
+            lo = base_fs + lane.start_slot * slot_fs
+            hi = base_fs + lane.n_slots * slot_fs
+            sched = [t for t in lane.fault_sched if lo <= t < hi]
+            scheds.append(sched)
+            f_end[i] = len(sched)
+        f_max = int(f_end.max()) if n else 0
+        fsched = np.full((n, max(1, f_max)), _HORIZON, dtype=np.int64)
+        for i, sched in enumerate(scheds):
+            fsched[i, : len(sched)] = sched
+
+        state = LockstepState(
+            const,
+            n,
+            cores=(),  # both CPU agents' private caches are elided
+            model_gpu=use_gpu,
+            dram_budget=n_troj + n_spy,
+            llc_sets=n_classes,
+            ring_domains=("cpu", "gpu", "fault"),
+        )
+        cold = np.zeros(n, dtype=bool)
+        for i, lane in enumerate(lanes):
+            if lane.soc is None:
+                cold[i] = True
+                state.dram_draws[i, : n_troj + n_spy] = lane.dram_rng.random(
+                    n_troj + n_spy
+                )
+            elif not lane.unsupported:
+                if not state.load_soc(i, lane.soc, (), llc_maps[i]):
+                    lane.unsupported = True
+            state.ejected[i] = lane.unsupported
+        self._ops = 0
+
+        # Pack the GPU L3's tree-pLRU direction bits (warm lanes loaded
+        # them above) into one integer per set; from here on victim/touch
+        # are single gathers into the ``_plru_tables`` LUTs.
+        l3 = state.l3
+        if use_gpu:
+            weights = np.int64(1) << _arange(max(1, const.l3_ways - 1))
+            l3_state = (l3.bits * weights).sum(axis=2)
+        else:
+            l3_state = np.zeros((n, 1), dtype=np.int64)
+
+        clk = np.array([lane.clock0 for lane in lanes], dtype=np.int64)
+        self._warmup(state, cold, clk, spy_p, troj_p, troj_cset, troj_l3,
+                     use_gpu, t_pre, t_tail, t_domain, l3_state, l3_victim,
+                     l3_touch)
+        clk_t = clk.copy()
+        clk_s = clk.copy()
+        clk_f = clk.copy()
+
+        # Cursors into the three streams.
+        si = start_slot * per_slot
+        s_end = n_slots * per_slot
+        ti = np.zeros(n, dtype=np.int64)
+        fi = np.zeros(n, dtype=np.int64)
+
+        trojan_acc = np.zeros(n, dtype=np.int64)
+        probe_sums = np.zeros((n, max(1, max_slots), probes), dtype=np.int64)
+        llc = state.llc
+        busy = state.ring_busy_until
+        rows = _arange(n)
+
+        # After warm-up the compact LLC's *tags* are frozen: a surviving
+        # access must hit (a post-warm-up miss ejects), hits only touch
+        # ages, and fault bursts never install lines.  So each line's
+        # way — and whether it is resident at all — resolves once, here,
+        # instead of per merge pass.  A lane whose remaining stream
+        # would touch a non-resident line ejects now; that is the same
+        # lane set that would eject at the access itself, because every
+        # remaining access index is provably reached unless the lane
+        # ejects anyway.
+        m_s = llc.tags[:, 0, None, :] == spy_p[:, :, None]
+        spy_way = m_s.argmax(axis=2)
+        state.ejected |= (si < s_end) & ~m_s.any(axis=2).all(axis=1)
+        if n_troj:
+            m_t = llc.tags[:, troj_cset, :] == troj_p[:, :, None]
+            troj_way = m_t.argmax(axis=2)
+            used = np.minimum(t_end, n_troj)[:, None] > _arange(n_troj)
+            state.ejected |= (used & ~m_t.any(axis=2)).any(axis=1)
+        else:
+            troj_way = np.zeros((n, 1), dtype=np.int64)
+
+        # Candidate logical ring-request times (HORIZON = stream done),
+        # maintained *incrementally*: a stream's candidate moves only
+        # when that stream itself commits, so each pass refreshes only
+        # the lanes that advanced instead of recomputing three
+        # full-width arrays.
+        cand_s = np.full(n, _HORIZON, dtype=np.int64)
+        cand_t = np.full(n, _HORIZON, dtype=np.int64)
+        cand_f = np.full(n, _HORIZON, dtype=np.int64)
+
+        def _upd_s(sel: np.ndarray) -> None:
+            sis = si[sel]
+            rem = sis % per_slot
+            floor = np.where(
+                rem % per_probe == 0,
+                base_fs + (sis // per_slot) * slot_fs + off_fs
+                + (rem // per_probe) * gap_fs,
+                0,
+            )
+            cand_s[sel] = np.where(
+                sis < s_end[sel],
+                np.maximum(clk_s[sel], floor) + cpu_pre,
+                _HORIZON,
+            )
+
+        def _upd_t(sel: np.ndarray) -> None:
+            if not t_max:
+                return
+            tis = ti[sel]
+            floor = troj_floor[sel, np.minimum(tis, t_max - 1)]
+            cand_t[sel] = np.where(
+                tis < t_end[sel],
+                np.maximum(clk_t[sel], floor) + t_pre,
+                _HORIZON,
+            )
+
+        def _upd_f(sel: np.ndarray) -> None:
+            if not f_max:
+                return
+            fis = fi[sel]
+            sched = fsched[sel, np.minimum(fis, f_max - 1)]
+            cand_f[sel] = np.where(
+                fis < f_end[sel], np.maximum(clk_f[sel], sched), _HORIZON
+            )
+
+        _upd_s(rows)
+        _upd_f(rows)
+        # Lanes whose trojan may be sitting on L3 hits; only a trojan
+        # commit can create new ones, so it's a dirty set, not a rescan.
+        tdirty = np.ones(n, dtype=bool)
+
+        # ---- the merge loop: one ring event per live lane per pass ----
+        max_steps = int((s_end - si).sum() + t_end.sum() + f_end.sum()) + n + 16
+        steps = 0
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("contention merge loop failed to converge")
+            if tdirty.any():
+                # GPU L3 hits occupy no ring and touch no shared state:
+                # consume runs of them before refreshing the candidates.
+                while use_gpu and n_troj:
+                    open_t = tdirty & ~state.ejected & (ti < t_end)
+                    idx = np.nonzero(open_t)[0]
+                    if not len(idx):
+                        break
+                    lj = ti[idx] % n_troj
+                    paddr = troj_p[idx, lj]
+                    s3 = troj_l3[idx, lj]
+                    tags3 = l3.tags[idx, s3]
+                    match3 = tags3 == paddr[:, None]
+                    hit3 = match3.any(axis=1)
+                    if not hit3.any():
+                        break
+                    h = idx[hit3]
+                    sh = s3[hit3]
+                    st = l3_state[h, sh]
+                    l3_state[h, sh] = l3_touch[st, match3[hit3].argmax(axis=1)]
+                    floor = troj_floor[h, ti[h]]
+                    clk_t[h] = np.maximum(clk_t[h], floor) + const.d3_fs
+                    trojan_acc[h] += const.d3_fs
+                    ti[h] += 1
+                    self._ops += len(h)
+                _upd_t(np.nonzero(tdirty)[0])
+                tdirty[:] = False
+
+            merged = np.minimum(np.minimum(cand_s, cand_t), cand_f)
+            live = ~state.ejected & (merged < _HORIZON)
+            if not live.any():
+                break
+            # Equal request times are ordered by engine insertion
+            # sequence, which the kernel cannot replay: eject the lane.
+            ways_tied = (
+                (cand_s == merged).astype(np.int64)
+                + (cand_t == merged)
+                + (cand_f == merged)
+            )
+            tie = live & (ways_tied >= 2)
+            state.ejected |= tie
+            live &= ~tie
+
+            pick_s = live & (cand_s == merged)
+            if pick_s.any():
+                idx = np.nonzero(pick_s)[0]
+                slot = si[idx] // per_slot
+                p_i = (si[idx] % per_slot) // per_probe
+                div = diverge[idx] == slot
+                if div.any():
+                    state.ejected[idx[div]] = True
+                    idx = idx[~div]
+                    slot = slot[~div]
+                    p_i = p_i[~div]
+                if len(idx):
+                    # Bulk-commit the tail of the probe burst.  Within a
+                    # probe only the first access carries the gap floor,
+                    # so access ``j`` requests at ``t1_j = c0 + pre +
+                    # (j-1)*step`` with ``step = pre + hold + tail`` and
+                    # ``c0`` the first access's completion; the spy never
+                    # queues behind itself (``t1_j`` always clears its own
+                    # busy horizon).  Every ``t1_j`` strictly below both
+                    # competitors' request times — which cannot move while
+                    # the spy runs — commits in serial FIFO order too; an
+                    # exact tie surfaces on the next pass and ejects
+                    # there, just as in single-step replay.
+                    g = si[idx] % per_probe
+                    t1 = cand_s[idx]
+                    waited = np.maximum(busy[idx] - t1, 0)
+                    step = cpu_pre + hold + cpu_tail
+                    c0 = t1 + waited + hold + cpu_tail
+                    limit = np.minimum(cand_t[idx], cand_f[idx])
+                    extra = (limit - c0 - cpu_pre - 1) // step + 1
+                    k = 1 + np.clip(extra, 0, per_probe - 1 - g)
+                    for j in range(int(k.max())):
+                        sub = k > j
+                        rows_j = idx[sub]
+                        llc.age[rows_j, 0, spy_way[rows_j, g[sub] + j]] = (
+                            state.next_tick()
+                        )
+                    state.llc_hits[idx] += k
+                    busy[idx] = c0 + (k - 1) * step - cpu_tail
+                    state.ring_transfers["cpu"][idx] += k
+                    state.ring_waited["cpu"][idx] += waited
+                    probe_sums[idx, slot, p_i] += waited + k * step
+                    clk_s[idx] = c0 + (k - 1) * step
+                    si[idx] += k
+                    self._ops += int(k.sum())
+                    _upd_s(idx)
+
+            pick_t = live & (cand_t == merged)
+            if pick_t.any():
+                idx = np.nonzero(pick_t)[0]
+                lj = ti[idx] % n_troj
+                cset = troj_cset[lj]
+                if use_gpu:
+                    # The greedy pass above established an L3 miss:
+                    # install (non-inclusive, victim dropped) + touch.
+                    s3 = troj_l3[idx, lj]
+                    tags3 = l3.tags[idx, s3]
+                    empty = tags3 == EMPTY
+                    st = l3_state[idx, s3]
+                    way = np.where(
+                        empty.any(axis=1),
+                        empty.argmax(axis=1),
+                        l3_victim[st],
+                    )
+                    l3.tags[idx, s3, way] = troj_p[idx, lj]
+                    l3_state[idx, s3] = l3_touch[st, way]
+                t1 = cand_t[idx]
+                waited = np.maximum(busy[idx] - t1, 0)
+                busy[idx] = t1 + waited + hold
+                state.ring_transfers[t_domain][idx] += 1
+                state.ring_waited[t_domain][idx] += waited
+                state.llc_hits[idx] += 1
+                llc.age[idx, cset, troj_way[idx, lj]] = state.next_tick()
+                lat = waited + (t_pre + hold + t_tail)
+                trojan_acc[idx] += lat
+                clk_t[idx] = t1 + waited + hold + t_tail
+                ti[idx] += 1
+                self._ops += len(idx)
+                tdirty[idx] = True
+
+            pick_f = live & (cand_f == merged)
+            if pick_f.any():
+                idx = np.nonzero(pick_f)[0]
+                t1 = cand_f[idx]
+                waited = np.maximum(busy[idx] - t1, 0)
+                busy[idx] = t1 + waited + fault_hold
+                state.ring_transfers["fault"][idx] += 1
+                state.ring_waited["fault"][idx] += waited
+                clk_f[idx] = t1 + waited + fault_hold
+                fi[idx] += 1
+                self._ops += len(idx)
+                _upd_f(idx)
+
+        # The trojan waits at every slot start, transmitting or not, so
+        # its final event is at least the last slot boundary.
+        ran = n_slots > start_slot
+        clk_t_final = np.where(
+            ran, np.maximum(clk_t, base_fs + (n_slots - 1) * slot_fs), clk_t
+        )
+        final = np.maximum(np.maximum(clk_s, clk_t_final), clk_f)
+
+        outcomes: typing.List[typing.Optional[Params]] = []
+        final_max = 0
+        threshold = _cs.decode_threshold_fs(config, p)
+        for i, lane in enumerate(lanes):
+            if state.ejected[i]:
+                outcomes.append(None)
+                continue
+            probe_rows = lane.probe_prefix + [
+                [int(v) for v in probe_sums[i, s]]
+                for s in range(lane.start_slot, lane.n_slots)
+            ]
+            final_now = int(final[i])
+            final_max = max(final_max, final_now)
+            ring_transfers = {
+                d: int(state.ring_transfers[d][i]) for d in ("cpu", "gpu")
+            }
+            ring_waited = {
+                d: int(state.ring_waited[d][i]) for d in ("cpu", "gpu")
+            }
+            if state.ring_transfers["fault"][i]:
+                ring_transfers["fault"] = int(state.ring_transfers["fault"][i])
+                ring_waited["fault"] = int(state.ring_waited["fault"][i])
+            outcomes.append({
+                "bits": list(lane.bits),
+                "rx_bits": _cs.decode_slots(probe_rows, threshold),
+                "probe_fs": probe_rows,
+                "trojan_fs": int(lane.trojan_fs0 + trojan_acc[i]),
+                "final_now_fs": final_now,
+                "targets": [list(t) for t in lane.targets],
+                "llc": {
+                    "hits": int(state.llc_hits[i]),
+                    "misses": int(state.llc_misses[i]),
+                    "evictions": int(state.llc_evictions[i]),
+                },
+                "dram": {
+                    "accesses": int(state.dram_accesses[i]),
+                    "row_misses": int(state.dram_row_misses[i]),
+                    "total_latency_fs": int(state.dram_total_fs[i]),
+                },
+                "ring": {
+                    "transfers": ring_transfers,
+                    "waited_fs": ring_waited,
+                },
+            })
+        sim = {
+            "engines_created": 0,
+            "events_executed": int(self._ops),
+            "final_now_fs": final_max,
+        }
+        return outcomes, sim
+
+    # ------------------------------------------------------------------
+
+    def _warmup(
+        self,
+        state: LockstepState,
+        cold: np.ndarray,
+        clk: np.ndarray,
+        spy_p: np.ndarray,
+        troj_p: np.ndarray,
+        troj_cset: np.ndarray,
+        troj_l3: typing.Optional[np.ndarray],
+        use_gpu: bool,
+        t_pre: int,
+        t_tail: int,
+        t_domain: str,
+        l3_state: np.ndarray,
+        l3_victim: np.ndarray,
+        l3_touch: np.ndarray,
+    ) -> None:
+        """Straight-line replay of the single-process warm-up prologue.
+
+        Cold lanes only (warm forks restored a machine that already ran
+        it).  Every access misses everything — the lines are fresh and
+        distinct — so each is: ring reserve at ``t1``, LLC install, one
+        DRAM draw, advance the one clock.
+        """
+        if not cold.any():
+            return
+        idx = np.nonzero(cold)[0]
+        const = state.constants
+        llc = state.llc
+        l3 = state.l3
+        busy = state.ring_busy_until
+        n_troj = troj_p.shape[1] if troj_p.size else 0
+        plans = [(troj_p, n_troj, t_pre, t_tail, t_domain, True)]
+        plans.append(
+            (spy_p, spy_p.shape[1], const.cpu_pre_fs, const.cpu_tail_base_fs,
+             "cpu", False)
+        )
+        for paddrs, count, pre, tail, domain, is_trojan in plans:
+            for j in range(count):
+                paddr = paddrs[idx, j]
+                if is_trojan and use_gpu:
+                    s3 = troj_l3[idx, j]
+                    tags3 = l3.tags[idx, s3]
+                    empty = tags3 == EMPTY
+                    st = l3_state[idx, s3]
+                    way = np.where(
+                        empty.any(axis=1),
+                        empty.argmax(axis=1),
+                        l3_victim[st],
+                    )
+                    l3.tags[idx, s3, way] = paddr
+                    l3_state[idx, s3] = l3_touch[st, way]
+                t1 = clk[idx] + pre
+                waited = np.maximum(busy[idx] - t1, 0)
+                busy[idx] = t1 + waited + const.ring_hold_fs
+                state.ring_transfers[domain][idx] += 1
+                state.ring_waited[domain][idx] += waited
+                cset = int(troj_cset[j]) if is_trojan else 0
+                state.llc_misses[idx] += 1
+                _, victim = _install(
+                    llc, idx, np.full(len(idx), cset, dtype=np.int64), paddr,
+                    state.next_tick(),
+                )
+                state.llc_evictions[idx] += victim
+                draw = state.dram_draws[idx, state.dram_cursor[idx]]
+                state.dram_cursor[idx] += 1
+                row_miss = draw >= const.row_hit_probability
+                dram_fs = np.where(
+                    row_miss, const.dram_miss_fs, const.dram_hit_fs
+                )
+                state.dram_accesses[idx] += 1
+                state.dram_row_misses[idx] += row_miss
+                state.dram_total_fs[idx] += dram_fs
+                clk[idx] += pre + waited + const.ring_hold_fs + tail + dram_fs
+                self._ops += len(idx)

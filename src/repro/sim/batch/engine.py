@@ -20,30 +20,78 @@ import os
 import time
 import typing
 
+from repro.errors import ConfigError
+
 Params = typing.Dict[str, object]
 
-#: Widest lockstep group one kernel launch will take.  Wider groups are
-#: chunked: per-lane state is a few hundred KB of arrays, and chunking
-#: also gives a parallel executor units it can spread across workers.
+#: Widest lockstep group one kernel launch will take, override or not.
+#: Wider groups are chunked: chunking bounds per-launch memory and gives
+#: a parallel executor units it can spread across workers.
 DEFAULT_WIDTH = 256
 
+#: Per-launch state-array budget the auto-tuner divides by the group's
+#: worst-case per-lane footprint.  Small enough that a launch stays
+#: cache-friendly and cheap to ship to a pool worker, large enough that
+#: every current kernel shape reaches ``DEFAULT_WIDTH`` lanes anyway —
+#: the budget exists for future shapes whose lanes are megabytes.
+AUTO_WIDTH_BUDGET_BYTES = 64 << 20
 
-def batch_width() -> int:
-    """Per-launch lane cap (``REPRO_BATCH_WIDTH``, default 256, min 2)."""
+#: Narrowest group worth batching (a lone lane gains nothing).
+MIN_WIDTH = 2
+
+
+def batch_width() -> typing.Optional[int]:
+    """The explicit lane-width override, or ``None`` for auto-tuning.
+
+    ``REPRO_BATCH_WIDTH`` must be a positive integer when set; zero,
+    negative, or non-integer values raise :class:`ConfigError` rather
+    than silently falling back to a default the user did not ask for.
+    (A width of 1 is accepted and effectively disables batching: every
+    chunk becomes a singleton and falls to the serial path.)
+    """
     raw = os.environ.get("REPRO_BATCH_WIDTH", "").strip()
     if not raw:
-        return DEFAULT_WIDTH
+        return None
     try:
         value = int(raw)
     except ValueError:
+        value = 0
+    if value <= 0:
+        raise ConfigError(
+            f"REPRO_BATCH_WIDTH must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+def width_for(kernel: typing.Any, params_list: typing.Sequence[Params]) -> int:
+    """Deterministic auto-tuned lane width for one shape group.
+
+    Divides :data:`AUTO_WIDTH_BUDGET_BYTES` by the group's worst-case
+    per-lane state footprint (``kernel.lane_footprint_bytes`` over every
+    lane's params — variable keys like ``n_slots`` change the footprint
+    within a shape).  Pure arithmetic over the trial inputs, so the same
+    sweep always gets the same widths; kernels without a footprint probe
+    get :data:`DEFAULT_WIDTH`.
+    """
+    probe = getattr(kernel, "lane_footprint_bytes", None)
+    if probe is None:
         return DEFAULT_WIDTH
-    return max(2, value)
+    footprint = 0
+    for params in params_list:
+        try:
+            footprint = max(footprint, int(probe(params)))
+        except Exception:
+            return DEFAULT_WIDTH
+    if footprint <= 0:
+        return DEFAULT_WIDTH
+    return max(MIN_WIDTH, min(DEFAULT_WIDTH, AUTO_WIDTH_BUDGET_BYTES // footprint))
 
 
 def plan_groups(
     specs: typing.Sequence[typing.Any],
     pending: typing.Sequence[int],
     effective: typing.Mapping[int, Params],
+    plans_out: typing.Optional[typing.List[typing.Dict[str, object]]] = None,
 ) -> typing.Tuple[typing.List[typing.List[int]], typing.List[int]]:
     """Partition pending trial indices into ``(batch groups, leftovers)``.
 
@@ -52,10 +100,20 @@ def plan_groups(
     same shape land in the same group).  Only groups of two or more lanes
     batch — a lone trial gains nothing from lockstep and the serial path
     is already optimal for it.
+
+    Each shape group is chunked at its lane width — the explicit
+    ``REPRO_BATCH_WIDTH`` override when set, else :func:`width_for`'s
+    footprint-based auto-tune.  When ``plans_out`` is given, one record
+    ``{"kernel", "group", "width", "source", "lanes"}`` is appended per
+    emitted chunk (``source`` is ``"env"`` or ``"auto"``) and the same
+    payload is emitted as a ``batch.plan`` trace event, so ledgers and
+    traces can reproduce exactly how a run was batched.
     """
+    from repro.obs import recorder
     from repro.sim.batch.kernels import kernel_for
 
     groups: typing.Dict[str, typing.List[int]] = {}
+    kernels: typing.Dict[str, typing.Any] = {}
     leftover: typing.List[int] = []
     for index in pending:
         spec = specs[index]
@@ -73,16 +131,37 @@ def plan_groups(
             leftover.append(index)
             continue
         groups.setdefault(key, []).append(index)
+        kernels.setdefault(key, kernel)
     batches: typing.List[typing.List[int]] = []
-    width = batch_width()
-    for indices in groups.values():  # insertion order: deterministic
+    override = batch_width()
+    sink = recorder.sink_for("batch.plan")
+    for key, indices in groups.items():  # insertion order: deterministic
         if len(indices) < 2:
             leftover.extend(indices)
             continue
+        if override is not None:
+            width, source = override, "env"
+        else:
+            width = width_for(
+                kernels[key],
+                [effective.get(i, specs[i].params) for i in indices],
+            )
+            source = "auto"
         for start in range(0, len(indices), width):
             chunk = indices[start : start + width]
             if len(chunk) >= 2:
                 batches.append(chunk)
+                plan = {
+                    "kernel": getattr(kernels[key], "fn_key", "?"),
+                    "group": key,
+                    "width": width,
+                    "source": source,
+                    "lanes": len(chunk),
+                }
+                if plans_out is not None:
+                    plans_out.append(plan)
+                if sink is not None:
+                    sink.emit("batch.plan", 0, "batch", plan)
             else:
                 leftover.extend(chunk)
     leftover.sort()

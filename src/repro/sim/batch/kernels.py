@@ -283,6 +283,33 @@ class ProbeSweepKernel:
         shape = {k: v for k, v in p.items() if k not in _ps.VARIABLE_KEYS}
         return stable_digest((ProbeSweepKernel.fn_key, sorted(shape.items())))
 
+    @staticmethod
+    def lane_footprint_bytes(params: Params) -> int:
+        """Per-lane state-array bytes (drives lane-width auto-tuning).
+
+        Sums the int64 arrays ``run`` allocates per trial — private
+        caches, GPU L3, compact LLC, the DRAM uniform block, probe
+        accumulators.  An estimate of allocation, not a promise.
+        """
+        p = _ps.merged_params(dict(params))
+        config = _ps.soc_config(p, 0)
+        n_sets = int(typing.cast(int, p["target_sets"]))
+        t_per = int(typing.cast(int, p["trojan_lines_per_set"]))
+        s_per = int(typing.cast(int, p["spy_lines_per_set"]))
+        n_slots = int(typing.cast(int, p["n_slots"]))
+        cpu = config.cpu_cache
+        cells = 2 * 2 * (  # two cores' L1+L2, tags + ages
+            cpu.l1_sets * cpu.l1_ways + cpu.l2_sets * cpu.l2_ways
+        )
+        if p["trojan"] == "gpu":
+            cells += config.gpu_l3.total_sets * (2 * config.gpu_l3.ways - 1)
+        cells += 2 * n_sets * config.llc.ways  # compact LLC tags + ages
+        cells += n_slots * n_sets * (t_per + s_per)  # DRAM uniform block
+        cells += n_slots * (n_sets + 1)  # probe values + payload
+        cells += n_sets * (t_per + s_per) * 3  # line paddrs + set indices
+        cells += 32  # clocks, cursors, counters
+        return 8 * cells
+
     def run(
         self, trials: typing.Sequence[typing.Tuple[Params, int]]
     ) -> typing.Tuple[typing.List[typing.Optional[Params]], typing.Dict[str, int]]:
@@ -707,11 +734,19 @@ class ProbeSweepKernel:
         return lat
 
 
+def _contention_kernel() -> typing.Any:
+    # Deferred: contention.py imports this module's primitives.
+    from repro.sim.batch.contention import ContentionKernel
+
+    return ContentionKernel()
+
+
 #: Registry keyed by ``module:qualname`` of the trial function — string
 #: keys so the executor can look kernels up without importing analysis
 #: modules it does not need.
-REGISTRY: typing.Dict[str, typing.Callable[[], ProbeSweepKernel]] = {
+REGISTRY: typing.Dict[str, typing.Callable[[], typing.Any]] = {
     ProbeSweepKernel.fn_key: ProbeSweepKernel,
+    "repro.analysis.contention_sweep:contention_trial": _contention_kernel,
 }
 
 
@@ -720,7 +755,7 @@ def kernel_key(fn: typing.Callable) -> str:
     return f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', '?')}"
 
 
-def kernel_for(fn: typing.Callable) -> typing.Optional[ProbeSweepKernel]:
+def kernel_for(fn: typing.Callable) -> typing.Optional[typing.Any]:
     """Instantiate the registered kernel for ``fn``, if any."""
     factory = REGISTRY.get(kernel_key(fn))
     return factory() if factory is not None else None

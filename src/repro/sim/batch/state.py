@@ -193,9 +193,11 @@ class LockstepState:
         model_gpu: bool,
         dram_budget: int,
         llc_sets: int,
+        ring_domains: typing.Sequence[str] = ("cpu", "gpu"),
     ) -> None:
         self.constants = constants
         self.n = n_trials
+        self.ring_domains = tuple(ring_domains)
         self.l1 = {
             core: CacheArrays(n_trials, constants.l1_sets, constants.l1_ways)
             for core in cores
@@ -215,12 +217,12 @@ class LockstepState:
         self.llc_evictions = np.zeros(n_trials, dtype=np.int64)
         self.ring_busy_until = np.zeros(n_trials, dtype=np.int64)
         self.ring_transfers = {
-            "cpu": np.zeros(n_trials, dtype=np.int64),
-            "gpu": np.zeros(n_trials, dtype=np.int64),
+            domain: np.zeros(n_trials, dtype=np.int64)
+            for domain in self.ring_domains
         }
         self.ring_waited = {
-            "cpu": np.zeros(n_trials, dtype=np.int64),
-            "gpu": np.zeros(n_trials, dtype=np.int64),
+            domain: np.zeros(n_trials, dtype=np.int64)
+            for domain in self.ring_domains
         }
         self.dram_draws = np.zeros((n_trials, max(1, dram_budget)))
         self.dram_cursor = np.zeros(n_trials, dtype=np.int64)
@@ -278,7 +280,7 @@ class LockstepState:
             for i in range(soc.config.llc.slices)
         )
         self.ring_busy_until[trial] = soc.ring._resource._busy_until
-        for domain in ("cpu", "gpu"):
+        for domain in self.ring_domains:
             self.ring_transfers[domain][trial] = soc.ring.transfers.get(domain, 0)
             self.ring_waited[domain][trial] = soc.ring.waited_fs.get(domain, 0)
         self.dram_accesses[trial] = soc.dram.accesses

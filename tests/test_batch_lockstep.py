@@ -17,14 +17,18 @@ import os
 
 import pytest
 
-from repro.analysis import probe_sweep
+from repro.analysis import contention_sweep, probe_sweep
+from repro.errors import ConfigError
 from repro.exec.cache import ResultCache
 from repro.exec.executor import TrialExecutor, TrialSpec, PrefixSpec
 from repro.exec.fingerprint import engine_knobs
 from repro.exec.seeds import canonical_repr, derive_seed
 from repro.obs.ledger import format_record, make_record
+from repro.obs.recorder import recorder
 from repro.obs.telemetry import bench_run_record
+from repro.sim.batch import engine as batch_engine
 from repro.sim.batch import gate as batch_gate
+from repro.sim.batch.contention import ContentionKernel
 from repro.sim.batch.kernels import ProbeSweepKernel, kernel_for
 
 
@@ -236,6 +240,265 @@ def test_random_sweeps_property(data, n_trials, width, workers, use_prefix, gpu)
 
 
 # ----------------------------------------------------------------------
+# Contention kernel vs oracle, per shape
+
+
+def _contention_serial(params, seed):
+    return contention_sweep.contention_trial(dict(params), seed=seed)
+
+
+def _assert_contention_matches_oracle(trials, allow_ejected=0):
+    outcomes, sim = ContentionKernel().run([(dict(p), s) for p, s in trials])
+    ejected = sum(1 for o in outcomes if o is None)
+    assert ejected <= allow_ejected, f"{ejected} lanes ejected"
+    for (params, seed), outcome in zip(trials, outcomes):
+        if outcome is None:
+            continue
+        assert outcome == _contention_serial(params, seed)
+    assert sim["events_executed"] > 0
+
+
+def test_contention_cold_gpu_equivalence():
+    # Ragged slot counts and work-group counts in one lockstep group.
+    _assert_contention_matches_oracle(
+        [({"n_slots": 4 + (s % 3), "n_workgroups": 1 << (s % 4)}, 100 + s)
+         for s in range(8)]
+    )
+
+
+def test_contention_cold_cpu_equivalence():
+    _assert_contention_matches_oracle(
+        [({"n_slots": 4, "n_workgroups": 1 << (s % 4), "trojan": "cpu"},
+          200 + s)
+         for s in range(6)]
+    )
+
+
+def test_contention_faults_equivalence():
+    _assert_contention_matches_oracle(
+        [({"n_slots": 4, "n_workgroups": 2, "fault_intensity": fi}, 300 + s)
+         for s, fi in enumerate((0.0, 0.5, 1.0, 2.0))]
+    )
+
+
+def test_contention_warm_fork_equivalence():
+    base = {"n_slots": 3, "n_workgroups": 2, "fault_intensity": 0.5}
+    doc = contention_sweep.prepare_contention_prefix(dict(base), 9)
+    _assert_contention_matches_oracle(
+        [({**base, "n_slots": ns, "_ckpt_state": doc}, 9)
+         for ns in (5, 7, 6, 8)]
+    )
+
+
+def test_contention_divergence_lanes_ejected():
+    trials = [({"n_slots": 4, "n_workgroups": 2,
+                "divergence_slot": 2 if s % 2 else None}, 400 + s)
+              for s in range(6)]
+    outcomes, _sim = ContentionKernel().run([(dict(p), s) for p, s in trials])
+    for (params, _seed), outcome in zip(trials, outcomes):
+        assert (outcome is None) == (params["divergence_slot"] is not None)
+    _assert_contention_matches_oracle(
+        [t for t in trials if t[0]["divergence_slot"] is None]
+    )
+
+
+def test_contention_jitter_unsupported_stays_serial():
+    kernel = kernel_for(contention_sweep.contention_trial)
+    assert kernel is not None
+    assert not kernel.supports({"dram_jitter_ns": 1.5})
+    assert kernel.supports({})
+
+
+def _contention_specs():
+    base = {"n_slots": 3, "n_workgroups": 2}
+    prefix = PrefixSpec(
+        fn=contention_sweep.prepare_contention_prefix,
+        params=dict(base),
+        seed=9,
+    )
+    specs = [
+        TrialSpec(
+            fn=contention_sweep.contention_trial,
+            params={"n_slots": 4, "n_workgroups": 1 << (s % 3)},
+            seed=600 + s,
+        )
+        for s in range(5)
+    ]
+    specs += [
+        TrialSpec(
+            fn=contention_sweep.contention_trial,
+            params=dict(base, n_slots=ns),
+            seed=9,
+            prefix=prefix,
+        )
+        for ns in (5, 6)
+    ]
+    specs.append(
+        TrialSpec(fn=contention_sweep.contention_trial,
+                  params={"n_slots": 4, "divergence_slot": 1}, seed=7)
+    )
+    specs.append(
+        TrialSpec(fn=contention_sweep.contention_trial,
+                  params={"n_slots": 4, "dram_jitter_ns": 1.0}, seed=3)
+    )
+    return specs
+
+
+def _run_contention_sweep(workers, batch):
+    with batch_gate.forced(batch):
+        report = TrialExecutor(workers=workers).run(_contention_specs())
+    return [(o.index, o.kind, o.result) for o in report.outcomes]
+
+
+def test_contention_executor_equivalence_serial():
+    assert _run_contention_sweep(0, True) == _run_contention_sweep(0, False)
+
+
+def test_contention_executor_equivalence_parallel():
+    baseline = _run_contention_sweep(0, False)
+    assert _run_contention_sweep(2, True) == baseline
+
+
+# ----------------------------------------------------------------------
+# Lane-width auto-tuning
+
+
+def test_batch_width_env_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH_WIDTH", raising=False)
+    assert batch_engine.batch_width() is None
+    monkeypatch.setenv("REPRO_BATCH_WIDTH", "  ")
+    assert batch_engine.batch_width() is None
+    monkeypatch.setenv("REPRO_BATCH_WIDTH", "8")
+    assert batch_engine.batch_width() == 8
+    monkeypatch.setenv("REPRO_BATCH_WIDTH", "1")
+    assert batch_engine.batch_width() == 1
+    for bad in ("0", "-3", "x", "1.5", ""):
+        if not bad:
+            continue
+        monkeypatch.setenv("REPRO_BATCH_WIDTH", bad)
+        with pytest.raises(ConfigError, match="REPRO_BATCH_WIDTH"):
+            batch_engine.batch_width()
+
+
+def test_width_for_auto_tune_deterministic():
+    kernel = kernel_for(contention_sweep.contention_trial)
+    params = [{"n_slots": 4, "n_workgroups": wg} for wg in (1, 2, 4, 8)]
+    width = batch_engine.width_for(kernel, params)
+    assert width == batch_engine.width_for(kernel, params)
+    assert batch_engine.MIN_WIDTH <= width <= batch_engine.DEFAULT_WIDTH
+    # The width is the documented budget arithmetic, nothing hidden.
+    footprint = max(kernel.lane_footprint_bytes(p) for p in params)
+    assert width == max(
+        batch_engine.MIN_WIDTH,
+        min(batch_engine.DEFAULT_WIDTH,
+            batch_engine.AUTO_WIDTH_BUDGET_BYTES // footprint),
+    )
+    # Footprints grow with the trial's state, so fatter lanes can only
+    # narrow the width.
+    assert kernel.lane_footprint_bytes(
+        {"n_slots": 64, "n_workgroups": 8}
+    ) > kernel.lane_footprint_bytes({"n_slots": 4, "n_workgroups": 1})
+
+
+def test_executor_records_batch_plans(monkeypatch):
+    specs = [TrialSpec(fn=contention_sweep.contention_trial,
+                       params={"n_slots": 2}, seed=s) for s in range(6)]
+    executor = TrialExecutor(workers=0)
+    monkeypatch.setenv("REPRO_BATCH_WIDTH", "4")
+    with batch_gate.forced(True):
+        executor.run(specs)
+    plans = executor.last_batch_plans
+    assert plans
+    assert all(p["source"] == "env" and p["width"] == 4 for p in plans)
+    assert sum(p["lanes"] for p in plans) == 6
+    assert all(p["kernel"] == ContentionKernel.fn_key for p in plans)
+
+    monkeypatch.delenv("REPRO_BATCH_WIDTH", raising=False)
+    with batch_gate.forced(True):
+        executor.run(specs)
+    auto_plans = executor.last_batch_plans
+    assert auto_plans and all(p["source"] == "auto" for p in auto_plans)
+    widths = [p["width"] for p in auto_plans]
+    with batch_gate.forced(True):
+        executor.run(specs)
+    assert [p["width"] for p in executor.last_batch_plans] == widths
+
+
+class _ListSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, name, ts_fs, track, args):
+        self.events.append((name, track, args))
+
+
+def test_batch_plan_trace_event(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH_WIDTH", raising=False)
+    specs = [TrialSpec(fn=contention_sweep.contention_trial,
+                       params={"n_slots": 2}, seed=s) for s in range(4)]
+    sink = _ListSink()
+    with recorder.recording(sink, allowlist=["batch.plan"]):
+        with batch_gate.forced(True):
+            TrialExecutor(workers=0).run(specs)
+    plans = [args for name, _track, args in sink.events
+             if name == "batch.plan"]
+    assert plans
+    assert plans[0]["source"] == "auto"
+    assert plans[0]["width"] >= batch_engine.MIN_WIDTH
+    assert plans[0]["lanes"] == 4
+
+
+# ----------------------------------------------------------------------
+# Property test: random contention sweeps across explicit widths
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    data=st.data(),
+    n_trials=st.integers(min_value=2, max_value=6),
+    width=st.integers(min_value=1, max_value=16),
+    workers=st.sampled_from([0, 2]),
+    cpu_trojan=st.booleans(),
+)
+def test_contention_random_sweeps_property(
+    data, n_trials, width, workers, cpu_trojan
+):
+    base = {"trojan": "cpu"} if cpu_trojan else {}
+    specs = []
+    for i in range(n_trials):
+        params = dict(
+            base,
+            n_slots=data.draw(st.integers(min_value=2, max_value=4)),
+            n_workgroups=data.draw(st.sampled_from([1, 2, 4])),
+        )
+        if data.draw(st.booleans()):
+            params["fault_intensity"] = 1.0
+        specs.append(
+            TrialSpec(fn=contention_sweep.contention_trial, params=params,
+                      seed=800 + i)
+        )
+
+    def run(batch):
+        previous = os.environ.get("REPRO_BATCH_WIDTH")
+        os.environ["REPRO_BATCH_WIDTH"] = str(width)
+        try:
+            with batch_gate.forced(batch):
+                report = TrialExecutor(workers=workers).run(specs)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_BATCH_WIDTH", None)
+            else:
+                os.environ["REPRO_BATCH_WIDTH"] = previous
+        return [(o.index, o.kind, o.result) for o in report.outcomes]
+
+    assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
 # Contract plumbing: gates, cache keys, record fields, seed fast paths
 
 
@@ -272,6 +535,25 @@ def test_bench_record_engine_fields():
         make_record(name="x", kind="bench", run=record, fingerprint="f" * 64)
     )
     assert "engine=batchedx64" in line
+
+
+def test_bench_record_batch_width_source():
+    record = bench_run_record(
+        workers=0,
+        wall_s=1.0,
+        sim={"engines_created": 0, "events_executed": 10},
+        engine="batched",
+        batch_width=32,
+        batch_width_source="auto",
+    )
+    assert record["batch_width_source"] == "auto"
+    line = format_record(
+        make_record(name="x", kind="bench", run=record, fingerprint="f" * 64)
+    )
+    assert "engine=batchedx32(auto)" in line
+    # Omitted -> absent, so legacy artifacts keep their exact shape.
+    bare = bench_run_record(workers=0, wall_s=1.0)
+    assert "batch_width_source" not in bare
 
 
 def test_payload_bits_matches_derive_seed():

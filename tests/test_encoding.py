@@ -92,7 +92,11 @@ def test_edit_distance_le_hamming(a, b):
 
 
 def test_edit_distance_band_fallback():
-    assert edit_distance([0] * 10, [0] * 200, band=16) == 200
+    # Length gap beyond the band: the Hamming bound stands in, which for
+    # an all-equal overlap is the exact Levenshtein distance (190 indels).
+    assert edit_distance([0] * 10, [0] * 200, band=16) == 190
+    # Mismatches in the overlap are charged too, keeping the bound safe.
+    assert edit_distance([1] * 10, [0] * 200, band=16) == 200
 
 
 def test_ber_perfect_channel():
