@@ -1,0 +1,205 @@
+"""Model-guided pre-screening: the analytical tier plans a DES sweep.
+
+Two sweeps over the same contention-trial grid (48 operating points x 2
+seeds): an exhaustive DES sweep, and a model-guided one where
+:mod:`repro.model.prescreen` keeps the DES only for the predicted Pareto
+frontier, its margin band, audit probes, and anything the closed forms
+do not support.  Three acceptance floors ride in the committed
+``BENCH_model_prescreen.json`` (re-checked by
+``check_bench_regression.py``):
+
+* the guided sweep reproduces the exhaustive sweep's *measured* Pareto
+  frontier — the model may only skip points the DES would have rejected;
+* it simulates at most ``MAX_TRIAL_FRACTION`` of the exhaustive trials;
+* it finishes at least ``ACCEPTANCE_SPEEDUP`` x faster in wall time.
+
+The artifact also commits every operating point as a channel entry with
+the model's ``predicted_*`` scalars merged next to any DES measurement
+and a per-point ``source`` tag, so the drift checker and the ledger both
+see where each number came from.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR, append_ledger_record, report
+
+from repro.analysis.contention_sweep import contention_run
+from repro.analysis.render import format_table
+from repro.analysis.sweep import SOURCE_DES, grid, run_sweep
+from repro.model import PrescreenBudget, pareto_frontier, predict_point
+from repro.obs.telemetry import bench_run_record
+
+ACCEPTANCE_SPEEDUP = 5.0
+MAX_TRIAL_FRACTION = 0.20
+SEEDS = (1, 2)
+SWEEP_AXES = dict(
+    slot_ns=(500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1200.0, 1400.0,
+             1600.0, 1800.0, 2100.0, 2400.0, 2700.0, 3000.0, 3300.0, 3600.0),
+    n_workgroups=(2, 4, 8),
+    n_slots=(16,),
+)
+BUDGET = PrescreenBudget(
+    bandwidth_margin=0.10, error_margin_points=2.0, random_probes=2,
+    probe_seed=0,
+)
+
+
+def _predict(params):
+    return predict_point("contention_trial", params)
+
+
+def _channel_key(params):
+    return f"wg{params['n_workgroups']}:slot{int(params['slot_ns'])}"
+
+
+def _measured_frontier(result):
+    """Pareto frontier over the *simulated* (bandwidth, error) pairs."""
+    values = [
+        (round(p.aggregate.bandwidth_kbps, 6),
+         round(p.aggregate.error_percent, 6))
+        for p in result.points
+        if p.alive and p.source == SOURCE_DES
+    ]
+    return pareto_frontier(values)
+
+
+def _simulated_trials(result):
+    """Trials that actually reached the DES (model answers excluded)."""
+    return sum(1 for o in result.report.outcomes if o.kind != "model")
+
+
+def test_model_prescreen(benchmark):
+    points = grid(**SWEEP_AXES)
+
+    def run():
+        t0 = time.perf_counter()
+        exhaustive = run_sweep(contention_run, points, seeds=SEEDS)
+        t_exhaustive = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        guided = run_sweep(
+            contention_run, points, seeds=SEEDS,
+            predict=_predict, budget=BUDGET,
+        )
+        t_guided = time.perf_counter() - t0
+        return exhaustive, t_exhaustive, guided, t_guided
+
+    exhaustive, t_exhaustive, guided, t_guided = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    frontier_exhaustive = _measured_frontier(exhaustive)
+    frontier_guided = _measured_frontier(guided)
+    frontier_match = frontier_exhaustive == frontier_guided
+    trials_exhaustive = _simulated_trials(exhaustive)
+    trials_guided = _simulated_trials(guided)
+    fraction = trials_guided / trials_exhaustive
+    speedup = t_exhaustive / t_guided
+    n_des = sum(1 for p in guided.points if p.source == SOURCE_DES)
+
+    # Simulated points must be bit-identical to the exhaustive sweep:
+    # pre-screening decides *whether* the DES runs, never changes *what*
+    # it computes.
+    by_key = {_channel_key(p.params): p for p in exhaustive.points}
+    for point in guided.points:
+        if point.source != SOURCE_DES:
+            continue
+        twin = by_key[_channel_key(point.params)]
+        assert point.aggregate.as_dict() == twin.aggregate.as_dict(), (
+            f"guided DES point {point.params} diverged from exhaustive"
+        )
+
+    # The committed channels: DES measurements where simulated, model
+    # predictions everywhere, per-entry source tag via bench_run_record.
+    channels = {
+        _channel_key(p.params): p.aggregate.as_dict()
+        for p in guided.points
+        if p.alive and p.source == SOURCE_DES
+    }
+    predictions = {
+        _channel_key(p.params): p.predicted
+        for p in guided.points
+        if p.predicted is not None
+    }
+    run_record = bench_run_record(
+        workers=0,
+        wall_s=t_guided,
+        channels=channels,
+        predictions=predictions,
+    )
+    run_record["sources"] = {
+        "des": n_des, "model": len(points) - n_des,
+    }
+
+    table = format_table(guided.header(), guided.rows())
+    summary = (
+        f"exhaustive: {trials_exhaustive} trials in {t_exhaustive:.2f}s; "
+        f"guided: {trials_guided} trials ({100 * fraction:.0f}%) in "
+        f"{t_guided:.2f}s = {speedup:.1f}x\n"
+        f"measured frontier "
+        f"{'reproduced' if frontier_match else 'MISSED'}: "
+        + ", ".join(f"{bw:.0f} kb/s @ {err:.2f}%"
+                    for bw, err in frontier_exhaustive)
+    )
+    report(
+        "model_prescreen",
+        f"Model-guided pre-screened contention sweep "
+        f"({len(points)} points x {len(SEEDS)} seeds)",
+        table,
+        footer=summary,
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "name": "model_prescreen",
+        "run": run_record,
+        "prescreen": {
+            "acceptance_floor_speedup": ACCEPTANCE_SPEEDUP,
+            "max_trial_fraction": MAX_TRIAL_FRACTION,
+            "exhaustive": {
+                "trials": trials_exhaustive,
+                "wall_s": round(t_exhaustive, 4),
+            },
+            "guided": {
+                "trials": trials_guided,
+                "wall_s": round(t_guided, 4),
+            },
+            "speedup": round(speedup, 3),
+            "trial_fraction": round(fraction, 4),
+            "frontier_match": frontier_match,
+            "frontier": [list(v) for v in frontier_exhaustive],
+            "budget": {
+                "bandwidth_margin": BUDGET.bandwidth_margin,
+                "error_margin_points": BUDGET.error_margin_points,
+                "random_probes": BUDGET.random_probes,
+                "probe_seed": BUDGET.probe_seed,
+            },
+        },
+    }
+    path = RESULTS_DIR / "BENCH_model_prescreen.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    append_ledger_record(
+        "model_prescreen",
+        "bench",
+        {
+            "wall_s": round(t_guided, 4),
+            "speedup_vs_exhaustive": round(speedup, 3),
+            "trial_fraction": round(fraction, 4),
+            "frontier_match": frontier_match,
+            "channels": run_record.get("channels"),
+        },
+        predictions={"sources": run_record["sources"]},
+    )
+
+    assert frontier_match, (
+        f"guided sweep missed the measured frontier: "
+        f"{frontier_guided} != {frontier_exhaustive}"
+    )
+    assert fraction <= MAX_TRIAL_FRACTION, (
+        f"guided sweep simulated {trials_guided}/{trials_exhaustive} trials "
+        f"({100 * fraction:.0f}%, cap {100 * MAX_TRIAL_FRACTION:.0f}%)"
+    )
+    assert speedup >= ACCEPTANCE_SPEEDUP, (
+        f"pre-screening bought only {speedup:.2f}x "
+        f"(acceptance floor {ACCEPTANCE_SPEEDUP}x)"
+    )

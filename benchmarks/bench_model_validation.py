@@ -1,0 +1,108 @@
+"""Analytical-tier validation: closed-form predictions vs DES figures.
+
+Re-derives every committed channel of figs. 4 and 7-10 from config alone
+through :mod:`repro.model` and records the per-figure prediction-error
+report as ``BENCH_model_validation.json`` — the artifact
+``check_bench_regression.py`` and the CI model-validation leg enforce.
+Each figure embeds its own error ceilings, so a model or DES change that
+drifts the two tiers apart fails here before it can mislead a
+pre-screened sweep.
+
+Also measures the tier's headline cost claim: a closed-form prediction
+must stay microsecond-scale (the DES needs seconds per point).
+"""
+
+import json
+import statistics
+import time
+
+from conftest import RESULTS_DIR, append_ledger_record, report
+
+from repro.analysis.render import format_table
+from repro.model import predict_point, validate_figures
+
+#: Mean closed-form prediction cost ceiling; the DES takes ~1e6x this.
+PREDICTION_US_CEILING = 2000.0
+
+#: One representative operating point per model family for the timing
+#: probe (params mirror the figure channels).
+TIMING_POINTS = (
+    ("timer", {"counter_threads": 224}),
+    ("llc_channel", {"strategy": "precise-l3", "direction": "gpu-to-cpu"}),
+    ("iteration_factor", {"gpu_buffer_bytes": 512 * 1024}),
+    ("contention_channel", {"gpu_buffer_bytes": 2 * 1024 * 1024,
+                            "n_workgroups": 2}),
+    ("contention_trial", {"n_workgroups": 2, "slot_ns": 700}),
+)
+
+
+def _prediction_us() -> float:
+    """Mean wall microseconds of one closed-form prediction."""
+    samples = []
+    for family, params in TIMING_POINTS:
+        t0 = time.perf_counter()
+        predict_point(family, dict(params))
+        samples.append(1e6 * (time.perf_counter() - t0))
+    return statistics.mean(samples)
+
+
+def test_model_validation(benchmark):
+    doc = benchmark.pedantic(
+        validate_figures,
+        kwargs={"results_dir": str(RESULTS_DIR)},
+        rounds=1,
+        iterations=1,
+    )
+    _prediction_us()  # warm the imports before timing
+    prediction_us = _prediction_us()
+    doc["prediction_us_mean"] = round(prediction_us, 2)
+    doc["prediction_us_ceiling"] = PREDICTION_US_CEILING
+
+    rows = []
+    for figure, rep in sorted(doc["figures"].items()):
+        errors = ", ".join(
+            f"{key.removeprefix('max_')}={value:g}"
+            for key, value in sorted(rep.items())
+            if key.startswith("max_")
+        )
+        ceilings = json.dumps(rep["ceilings"], sort_keys=True)
+        rows.append([
+            figure,
+            rep["family"],
+            str(len(rep["channels"])),
+            errors,
+            ceilings,
+            "pass" if rep["pass"] else "FAIL",
+        ])
+    table = format_table(
+        ["figure", "family", "chans", "max error", "ceilings", "verdict"],
+        rows,
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_model_validation.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    report(
+        "model_validation",
+        "Analytical tier vs committed DES figures "
+        "(bandwidth relative, BER absolute points)",
+        table,
+        footer=f"prediction cost: {prediction_us:.0f} us/point mean "
+        f"(ceiling {PREDICTION_US_CEILING:.0f} us)",
+    )
+    append_ledger_record(
+        "model_validation",
+        "model",
+        {"prediction_us_mean": round(prediction_us, 2),
+         "figures_pass": doc["pass"]},
+        predictions={
+            figure: {"pass": rep["pass"], "ceilings": rep["ceilings"]}
+            for figure, rep in doc["figures"].items()
+        },
+    )
+
+    assert doc["pass"], "a figure exceeded its prediction-error ceiling"
+    assert prediction_us <= PREDICTION_US_CEILING, (
+        f"closed-form prediction took {prediction_us:.0f} us on average "
+        f"(ceiling {PREDICTION_US_CEILING:.0f} us)"
+    )

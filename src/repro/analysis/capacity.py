@@ -26,8 +26,14 @@ def binary_entropy(p: float) -> float:
 
 
 def bsc_capacity(error_rate: float) -> float:
-    """Capacity of a binary symmetric channel, bits per channel bit."""
-    return 1.0 - binary_entropy(min(max(error_rate, 0.0), 1.0))
+    """Capacity of a binary symmetric channel, bits per channel bit.
+
+    Validates like :func:`binary_entropy`: an out-of-range ``error_rate``
+    raises :class:`~repro.errors.AttackError` rather than being silently
+    clamped — a rate outside [0, 1] is always an upstream bug, and
+    clamping here used to let it masquerade as a 0%/100% channel.
+    """
+    return 1.0 - binary_entropy(error_rate)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -22,6 +22,7 @@ from repro.exec.cache import CacheStats, ResultCache
 from repro.exec.executor import (
     CRASH,
     DEAD,
+    MODEL,
     OK,
     TIMEOUT,
     ExecutionReport,
@@ -45,6 +46,7 @@ __all__ = [
     "CRASH",
     "DEAD",
     "ExecutionReport",
+    "MODEL",
     "OK",
     "PrefixSpec",
     "ResultCache",

@@ -63,6 +63,11 @@ TrialFn = typing.Callable[[Params, int], object]
 
 #: Outcome kinds, from best to worst.
 OK, DEAD, CRASH, TIMEOUT = "ok", "dead", "crash", "timeout"
+#: A trial answered by the analytical tier instead of the DES: the spec
+#: carried a pre-resolved prediction, so no simulation ran.  Not a
+#: failure kind — but deliberately distinct from OK so nothing mistakes
+#: a closed-form estimate for simulated evidence.
+MODEL = "model"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,6 +110,11 @@ class TrialSpec:
     #: computed on the *bare* params, so warm and cold runs address the
     #: same cache entries (their results are bit-identical).
     prefix: typing.Optional[PrefixSpec] = None
+    #: Pre-resolved payload from the analytical tier (a pre-screening
+    #: planner's prediction).  When set, ``fn`` is never called: the
+    #: executor short-circuits to a :data:`MODEL` outcome carrying this
+    #: value verbatim — uncached, zero attempts, no simulation.
+    resolved: object = None
 
 
 @dataclasses.dataclass
@@ -112,7 +122,7 @@ class TrialOutcome:
     """What happened to one trial, in submission order."""
 
     index: int
-    kind: str  # OK / DEAD / CRASH / TIMEOUT
+    kind: str  # OK / DEAD / CRASH / TIMEOUT / MODEL
     result: object = None
     error: typing.Optional[str] = None
     from_cache: bool = False
@@ -142,7 +152,7 @@ class ExecutionReport:
 
     @property
     def failures(self) -> typing.List[TrialOutcome]:
-        return [o for o in self.outcomes if o.kind != OK]
+        return [o for o in self.outcomes if o.kind not in (OK, MODEL)]
 
     @property
     def events_per_sec(self) -> float:
@@ -152,9 +162,15 @@ class ExecutionReport:
 
     def summary(self) -> str:
         ok = sum(1 for o in self.outcomes if o.kind == OK)
-        parts = [
+        modeled = sum(1 for o in self.outcomes if o.kind == MODEL)
+        headline = (
             f"{ok}/{len(self.outcomes)} trials ok "
-            f"(workers={self.workers}, {self.wall_s:.2f}s wall)",
+            f"(workers={self.workers}, {self.wall_s:.2f}s wall)"
+        )
+        if modeled:
+            headline += f", {modeled} answered by model"
+        parts = [
+            headline,
             self.cache.summary(),
             (
                 f"sim: engines={self.sim.get('engines_created', 0)} "
@@ -164,7 +180,7 @@ class ExecutionReport:
         ]
         kinds: typing.Dict[str, int] = {}
         for outcome in self.outcomes:
-            if outcome.kind != OK:
+            if outcome.kind not in (OK, MODEL):
                 kinds[outcome.kind] = kinds.get(outcome.kind, 0) + 1
         if kinds:
             detail = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
@@ -484,6 +500,16 @@ class TrialExecutor:
         outcomes: typing.Dict[int, TrialOutcome] = {}
         pending: typing.List[int] = []
         for index, spec in enumerate(specs):
+            if spec.resolved is not None:
+                # Analytical-tier short-circuit: the planner already
+                # answered this point; never simulated, never cached.
+                outcomes[index] = TrialOutcome(
+                    index=index, kind=MODEL, result=spec.resolved,
+                    attempts=0, tag=spec.tag,
+                )
+                if tel is not None:
+                    tel.handle({"ev": "trial.model", "index": index})
+                continue
             hit = self._cache_lookup(spec, index)
             if hit is not None:
                 outcomes[index] = hit
@@ -521,7 +547,7 @@ class TrialExecutor:
                 "cached": sum(1 for o in ordered if o.from_cache),
                 "sim": dict(sim),
             }
-            for kind in (OK, DEAD, CRASH, TIMEOUT):
+            for kind in (OK, DEAD, CRASH, TIMEOUT, MODEL):
                 finish[kind] = sum(1 for o in ordered if o.kind == kind)
             if self.cache is not None:
                 finish["cache"] = self.cache.stats.as_dict()

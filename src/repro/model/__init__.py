@@ -1,0 +1,51 @@
+"""Analytical calculator tier: closed-form channel predictions.
+
+Where the DES *simulates* a covert-channel operating point in seconds,
+this package *calculates* it in microseconds: a queueing approximation
+of ring/DRAM contention (:mod:`repro.model.queueing`), a geometric
+hit/miss model of the LLC / GPU-L3 prime-and-probe protocol
+(:mod:`repro.model.hitmiss`), and a timer-resolution/quantization model
+(:mod:`repro.model.timer`), composed behind one dispatch entry point
+(:func:`predict_point`).  Predictions consume the same ``SoCConfig`` /
+params objects the DES consumes and emit machine-readable reports
+(:class:`ModelPrediction`), validated per figure against the committed
+DES baselines (:mod:`repro.model.validate`).
+
+The tier's production role is **pre-screening**
+(:mod:`repro.model.prescreen`): ``analysis.sweep.run_sweep(predict=...)``
+simulates only the predicted Pareto frontier (plus a margin band, audit
+probes, and everything the model does not support) and carries the
+model's answers for the rest, provenance-tagged ``source="model"``.
+
+CLI: ``python -m repro.model --validate fig09`` / ``--all`` /
+``--point FAMILY --params JSON``.
+"""
+
+from repro.model.predictor import FAMILIES, predict_point
+from repro.model.prescreen import (
+    PrescreenBudget,
+    PrescreenPlan,
+    pareto_frontier,
+    plan_prescreen,
+)
+from repro.model.report import ModelPrediction
+from repro.model.validate import (
+    FIGURE_CEILINGS,
+    FIGURES,
+    validate_figure,
+    validate_figures,
+)
+
+__all__ = [
+    "FAMILIES",
+    "FIGURE_CEILINGS",
+    "FIGURES",
+    "ModelPrediction",
+    "PrescreenBudget",
+    "PrescreenPlan",
+    "pareto_frontier",
+    "plan_prescreen",
+    "predict_point",
+    "validate_figure",
+    "validate_figures",
+]

@@ -1,0 +1,110 @@
+"""CLI for the analytical tier: config in, JSON report out.
+
+Two modes:
+
+* ``--point FAMILY [--params JSON]`` — predict one operating point and
+  print its report.
+* ``--validate FIGURE`` (repeatable) or ``--all`` — compare predictions
+  against the committed DES figure baselines and print the per-figure
+  prediction-error report; exits non-zero when any figure exceeds its
+  ceiling.
+
+``--json PATH`` additionally writes the report to a file (the CI leg
+uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+import typing
+
+from repro.errors import AttackError
+from repro.model import FIGURES, predict_point, validate_figures
+
+
+def _parse_params(raw: typing.Optional[str]) -> typing.Dict[str, object]:
+    if not raw:
+        return {}
+    try:
+        params = json.loads(raw)
+    except ValueError as exc:
+        raise AttackError(f"--params is not valid JSON: {exc}") from exc
+    if not isinstance(params, dict):
+        raise AttackError("--params must be a JSON object")
+    return params
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.model", description=__doc__.splitlines()[0]
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--point",
+        metavar="FAMILY",
+        help="predict one operating point of the given model family",
+    )
+    mode.add_argument(
+        "--validate",
+        metavar="FIGURE",
+        action="append",
+        choices=FIGURES,
+        help="validate predictions against a committed figure baseline "
+        "(repeatable)",
+    )
+    mode.add_argument(
+        "--all",
+        action="store_true",
+        help="validate against every supported figure baseline",
+    )
+    parser.add_argument(
+        "--params",
+        metavar="JSON",
+        help="JSON object of family parameters for --point",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory holding BENCH_*.json baselines (falls back to "
+        "git HEAD when absent)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_path",
+        help="also write the report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.point:
+            started = time.perf_counter()
+            prediction = predict_point(args.point, _parse_params(args.params))
+            report: typing.Dict[str, object] = prediction.as_dict()
+            report["prediction_us"] = round(
+                1e6 * (time.perf_counter() - started), 2
+            )
+            ok = True
+        else:
+            figures = tuple(args.validate) if args.validate else FIGURES
+            report = validate_figures(figures, args.results_dir)
+            ok = bool(report["pass"])
+    except AttackError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.json_path:
+        path = pathlib.Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

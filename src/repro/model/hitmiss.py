@@ -1,0 +1,245 @@
+"""Geometric hit/miss model of the LLC prime+probe channel (Figs. 7-8).
+
+Predicts the per-bit critical path and the bit error rate of the
+handshaked prime+probe protocol from config alone, mirroring the
+endpoints' own cost estimators (``estimate_prime_fs`` and friends in
+:mod:`repro.core.llc_channel.protocol`) so the model and the protocol
+can never disagree about eviction-set sizes or batch shapes.
+
+**Timing.**  One steady-state bit is a handshake phase ``A`` followed by
+a data phase ``B`` that the two agents overlap::
+
+    A = prime_s(RS) + poll_r + settle + prime_r(RS) + prime_r(RR)
+    B = max(t_data + W_avg,  poll_s + prime_s(DATA) + settle + prime_s(RR))
+
+``poll_x`` is one light-probe period (detection lag of a handshake
+prime), ``settle`` the peer-prime settle window (0.75x the largest peer
+prime, the protocol's auto value), ``t_data`` the protocol's own
+``derive_t_data_fs`` closed form and ``W_avg`` the average DATA window:
+a transmitted 1 latches on the first (all-miss) probe while a 0 burns
+all ``data_window_polls`` probes plus their gaps.
+
+**Error.**  Three geometric terms, each tied to a mechanism the DES
+resolves event-by-event:
+
+* a GPU receiver mis-reads a primed 1 when an SLM read glitches stale
+  on any of its per-set probes — ``1 - (1-glitch)^n_sets``;
+* an under-polluted L3 (pollute rounds below the pLRU eviction bound,
+  i.e. FULL_L3_CLEAR) lets primed lines survive, deflating the miss
+  delta — a survival penalty proportional to the round deficit;
+* a single-set plan loses the all-sets majority vote, so ambient noise
+  flips bits in both directions (the ``n_sets == 1`` floor terms).
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.config import SoCConfig, kaby_lake_model
+from repro.core.channel import ChannelDirection
+from repro.core.llc_channel.plan import EvictionStrategy
+from repro.core.llc_channel.protocol import ProtocolTuning
+
+from repro.model.queueing import FS_PER_NS, latency_profile_ns
+
+#: Mirrors :data:`repro.cpu.core.CPU_MEM_PARALLELISM` (imported lazily
+#: there by the protocol for the same constant).
+CPU_MEM_PARALLELISM = 8
+
+#: BER points a single-set plan adds on the GPU side (no cross-set
+#: majority to reject a noisy probe) and the CPU-side residual floors.
+SINGLE_SET_GPU_BER = 3.5
+SINGLE_SET_CPU_BER = 1.0
+CPU_RECEIVER_FLOOR_BER = 0.1
+#: Survival penalty scale: a pollute-round deficit of ``d`` rounds below
+#: the pLRU eviction bound leaves roughly ``SURVIVAL_BER_SCALE * d/bound``
+#: of primed 1-bits readable as hits.
+SURVIVAL_BER_SCALE = 0.25
+
+_STRATEGIES = {s.value: s for s in EvictionStrategy}
+
+
+def _strategy(value: typing.Union[str, EvictionStrategy]) -> EvictionStrategy:
+    if isinstance(value, EvictionStrategy):
+        return value
+    try:
+        return _STRATEGIES[str(value)]
+    except KeyError:
+        raise ValueError(f"unknown eviction strategy: {value!r}") from None
+
+
+def _direction(
+    value: typing.Union[str, ChannelDirection],
+) -> ChannelDirection:
+    if isinstance(value, ChannelDirection):
+        return value
+    return ChannelDirection(str(value))
+
+
+def pollute_geometry(
+    config: SoCConfig, strategy: EvictionStrategy
+) -> typing.Tuple[int, int]:
+    """``(lines_per_location, rounds)`` of the strategy's pollute plan."""
+    l3 = config.gpu_l3
+    if strategy is EvictionStrategy.PRECISE_L3:
+        return l3.ways, l3.plru_rounds_for_eviction
+    if strategy is EvictionStrategy.LLC_ONLY:
+        return 2 * l3.ways, l3.plru_rounds_for_eviction + 2
+    return l3.total_sets * l3.ways, 2
+
+
+class _CpuCosts:
+    """Config-only mirror of ``CpuEndpoint``'s estimators (nanoseconds)."""
+
+    def __init__(self, config: SoCConfig, n_sets: int) -> None:
+        profile = latency_profile_ns(config)
+        self.hit_ns = profile["cpu_llc_ns"]
+        self.miss_ns = profile["cpu_dram_ns"]
+        self.n_sets = n_sets
+        self.n_lines = n_sets * config.llc.ways
+
+    def prime_ns(self) -> float:
+        batches = math.ceil(self.n_lines / CPU_MEM_PARALLELISM)
+        return batches * 1.5 * self.miss_ns
+
+    def probe_ns(self, all_miss: bool) -> float:
+        return self.n_lines * (self.miss_ns if all_miss else self.hit_ns)
+
+    def light_probe_ns(self, handshake_lines: int) -> float:
+        return self.n_sets * handshake_lines * self.miss_ns
+
+
+class _GpuCosts:
+    """Config-only mirror of ``GpuEndpoint``'s estimators (nanoseconds)."""
+
+    def __init__(
+        self, config: SoCConfig, n_sets: int, strategy: EvictionStrategy
+    ) -> None:
+        profile = latency_profile_ns(config)
+        issue_ns = config.gpu_clock.cycles_fs(config.gpu.issue_cycles) / FS_PER_NS
+        self.serial_ns = max(issue_ns, profile["ring_hold_ns"])
+        self.hit_base_ns = profile["gpu_llc_ns"]
+        self.dram_extra_ns = profile["gpu_dram_ns"] - profile["gpu_llc_ns"]
+        self.parallelism = config.gpu.mem_parallelism
+        self.n_sets = n_sets
+        self.prime_lines = config.llc.ways
+        self.strategy = strategy
+        self.pollute_lines, self.pollute_rounds = pollute_geometry(
+            config, strategy
+        )
+
+    def batch_hit_ns(self, n_addrs: int) -> float:
+        return self.hit_base_ns + (n_addrs - 1) * self.serial_ns
+
+    def pollute_cost_ns(self) -> float:
+        per_location = self.pollute_lines * self.pollute_rounds
+        batches = math.ceil(per_location / self.parallelism)
+        per_batch = self.batch_hit_ns(self.parallelism)
+        if self.strategy is EvictionStrategy.FULL_L3_CLEAR:
+            per_batch += 0.3 * self.dram_extra_ns
+        return self.n_sets * batches * per_batch
+
+    def prime_ns(self) -> float:
+        target = self.n_sets * (
+            self.batch_hit_ns(self.prime_lines) + 0.5 * self.dram_extra_ns
+        )
+        return self.pollute_cost_ns() + target
+
+    def probe_ns(self, all_miss: bool) -> float:
+        estimate = self.prime_ns()
+        if not all_miss:
+            estimate -= 0.5 * self.dram_extra_ns * self.n_sets
+        return estimate
+
+    def light_probe_ns(self, handshake_lines: int) -> float:
+        probe = self.n_sets * (
+            self.batch_hit_ns(handshake_lines) + self.dram_extra_ns
+        )
+        return self.pollute_cost_ns() + probe
+
+
+def predict_llc_channel(
+    config: typing.Optional[SoCConfig] = None,
+    strategy: typing.Union[str, EvictionStrategy] = EvictionStrategy.PRECISE_L3,
+    direction: typing.Union[str, ChannelDirection] = ChannelDirection.GPU_TO_CPU,
+    n_sets_per_role: int = 2,
+    tuning: typing.Optional[ProtocolTuning] = None,
+) -> typing.Dict[str, float]:
+    """Bandwidth (kb/s) and BER (%) of one prime+probe operating point."""
+    if config is None:
+        config = kaby_lake_model(scale=16)
+    strategy = _strategy(strategy)
+    direction = _direction(direction)
+    tuning = tuning or ProtocolTuning()
+    n_sets = int(n_sets_per_role)
+    if n_sets < 1:
+        raise ValueError("n_sets_per_role must be >= 1")
+
+    gpu_sends = direction is ChannelDirection.GPU_TO_CPU
+    sender: typing.Union[_CpuCosts, _GpuCosts]
+    receiver: typing.Union[_CpuCosts, _GpuCosts]
+    if gpu_sends:
+        sender = _GpuCosts(config, n_sets, strategy)
+        receiver = _CpuCosts(config, n_sets)
+    else:
+        sender = _CpuCosts(config, n_sets)
+        receiver = _GpuCosts(config, n_sets, strategy)
+
+    recv_gap_ns = tuning.receiver_poll_gap_fs / FS_PER_NS
+    send_gap_ns = tuning.sender_poll_gap_fs / FS_PER_NS
+    handshake = tuning.handshake_probe_lines
+    # Every role has the same geometry, so the peer-prime settle auto
+    # value (0.75x the largest peer prime) reduces to one prime cost.
+    settle_ns = 0.75 * sender.prime_ns()
+    poll_r_ns = receiver.light_probe_ns(handshake) + recv_gap_ns
+    poll_s_ns = sender.light_probe_ns(handshake) + send_gap_ns
+
+    handshake_ns = (
+        sender.prime_ns()  # READY_SEND
+        + poll_r_ns  # receiver detection lag
+        + settle_ns + receiver.prime_ns()  # consume: settle + re-prime RS
+        + receiver.prime_ns()  # READY_RECV
+    )
+    # The protocol's own derive_t_data_fs closed form.
+    t_data_ns = 2 * poll_s_ns + sender.prime_ns() + 500.0
+    window_one_ns = receiver.probe_ns(all_miss=True)
+    window_zero_ns = (
+        tuning.data_window_polls * receiver.probe_ns(all_miss=False)
+        + (tuning.data_window_polls - 1) * recv_gap_ns
+    )
+    window_avg_ns = 0.5 * (window_one_ns + window_zero_ns)
+    sender_tail_ns = (
+        poll_s_ns + sender.prime_ns() + settle_ns + sender.prime_ns()
+    )
+    data_ns = max(t_data_ns + window_avg_ns, sender_tail_ns)
+    t_bit_ns = handshake_ns + data_ns
+    bandwidth_kbps = 1e6 / t_bit_ns
+
+    # -- error terms ----------------------------------------------------
+    glitch = config.slm.read_glitch_probability
+    error = 0.0
+    if gpu_sends:
+        # CPU receiver: pointer-chase probes are deterministic; only the
+        # single-set plan (no majority) picks up ambient flips.
+        error = SINGLE_SET_CPU_BER if n_sets == 1 else CPU_RECEIVER_FLOOR_BER
+    else:
+        p_glitch = 1.0 - (1.0 - glitch) ** n_sets
+        bound = config.gpu_l3.plru_rounds_for_eviction
+        _, rounds = pollute_geometry(config, strategy)
+        p_survive = 0.0
+        if rounds < bound:
+            p_survive = SURVIVAL_BER_SCALE * (bound - rounds) / bound
+        error = 50.0 * (p_glitch + p_survive)
+        if n_sets == 1:
+            error += SINGLE_SET_GPU_BER
+    return {
+        "t_bit_ns": t_bit_ns,
+        "handshake_ns": handshake_ns,
+        "t_data_ns": t_data_ns,
+        "window_avg_ns": window_avg_ns,
+        "sender_tail_ns": sender_tail_ns,
+        "settle_ns": settle_ns,
+        "bandwidth_kbps": bandwidth_kbps,
+        "error_percent": min(50.0, error),
+    }

@@ -1,0 +1,220 @@
+"""Family dispatch: one entry point from (family, params) to a prediction.
+
+Families mirror the DES trial families one-to-one:
+
+``timer``
+    Fig. 4 SLM counter resolution (:mod:`repro.model.timer`).
+``llc_channel``
+    Figs. 7-8 handshaked prime+probe (:mod:`repro.model.hitmiss`).
+``iteration_factor``
+    Fig. 9 trojan pass count per slot (:mod:`repro.model.queueing`).
+``contention_channel``
+    Fig. 10 full contention channel (:mod:`repro.model.queueing`).
+``contention_trial``
+    The ``analysis.contention_sweep`` trial family — the pre-screening
+    workhorse.  Its closed form is calibrated against the DES on the
+    default probe schedule: a trojan burst occupies the ring for
+    ``accesses * BURST_PACE_NS``; the spy detects a slot's bit iff that
+    occupancy reaches past the first probe offset; and once the burst's
+    *recovery* footprint ``accesses * DECAY_NS_PER_ACCESS`` exceeds the
+    slot, the spy's probe schedule slips and neighboring 1-bits
+    contaminate 0-slots — an error that rises linearly in the ratio
+    ``rho = footprint / slot`` (:func:`contamination_error_percent`)
+    until it saturates near 45%.
+
+Every family returns a :class:`~repro.model.report.ModelPrediction`;
+points outside a family's calibrated envelope come back with
+``supported=False`` so pre-screening never trusts them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import SoCConfig, kaby_lake, kaby_lake_model
+from repro.errors import AttackError
+
+from repro.model import hitmiss, queueing, timer
+from repro.model.report import ModelPrediction
+
+#: Ring occupancy one trojan burst access adds (ns) — four ring slot
+#: pairs at the scale-8 contention clock; calibrated so detection
+#: (occupancy > first probe offset) flips between 12 and 24 accesses,
+#: where the DES flips.
+BURST_PACE_NS = 5.714
+#: Slot time one burst access "uses up" before the spy's probe schedule
+#: fully recovers (ns); the DES contamination knee sits at
+#: ``slot ~= 22.9 * accesses`` across 2-16 workgroups.
+DECAY_NS_PER_ACCESS = 22.9
+#: Piecewise-linear contamination curve anchors (rho, error %).
+CONTAMINATION_ONSET_RHO = 0.85
+CONTAMINATION_KNEE_RHO = 1.1
+CONTAMINATION_KNEE_ERR = 27.0
+CONTAMINATION_SLOPE = 23.0
+CONTAMINATION_SATURATION_ERR = 45.0
+
+FAMILIES = (
+    "timer",
+    "llc_channel",
+    "iteration_factor",
+    "contention_channel",
+    "contention_trial",
+)
+
+Params = typing.Mapping[str, object]
+
+
+def contamination_error_percent(rho: float) -> float:
+    """Slot-slip contamination error (%) at footprint/slot ratio ``rho``."""
+    if rho <= CONTAMINATION_ONSET_RHO:
+        return 0.0
+    if rho <= CONTAMINATION_KNEE_RHO:
+        span = CONTAMINATION_KNEE_RHO - CONTAMINATION_ONSET_RHO
+        return CONTAMINATION_KNEE_ERR * (rho - CONTAMINATION_ONSET_RHO) / span
+    err = CONTAMINATION_KNEE_ERR + CONTAMINATION_SLOPE * (
+        rho - CONTAMINATION_KNEE_RHO
+    )
+    return min(CONTAMINATION_SATURATION_ERR, err)
+
+
+def _predict_timer(
+    params: Params, config: typing.Optional[SoCConfig]
+) -> ModelPrediction:
+    config = config or kaby_lake()
+    threads = params.get("counter_threads")
+    detail = timer.predict_timer(
+        config, None if threads is None else int(typing.cast(int, threads))
+    )
+    # The timer is an instrument, not a channel: bandwidth is zero and
+    # "error" is whether the three latency levels resolve.
+    return ModelPrediction(
+        family="timer",
+        bandwidth_kbps=0.0,
+        error_percent=0.0 if detail["levels_separated"] else 50.0,
+        breakdown=detail,
+    )
+
+
+def _predict_llc_channel(
+    params: Params, config: typing.Optional[SoCConfig]
+) -> ModelPrediction:
+    config = config or kaby_lake_model(scale=16)
+    detail = hitmiss.predict_llc_channel(
+        config,
+        strategy=typing.cast(str, params.get("strategy", "precise-l3")),
+        direction=typing.cast(str, params.get("direction", "gpu-to-cpu")),
+        n_sets_per_role=int(typing.cast(int, params.get("n_sets_per_role", 2))),
+    )
+    return ModelPrediction(
+        family="llc_channel",
+        bandwidth_kbps=detail.pop("bandwidth_kbps"),
+        error_percent=detail.pop("error_percent"),
+        breakdown=detail,
+    )
+
+
+def _predict_iteration_factor(
+    params: Params, config: typing.Optional[SoCConfig]
+) -> ModelPrediction:
+    config = config or kaby_lake_model(scale=16)
+    detail = queueing.iteration_factor(
+        config,
+        int(typing.cast(int, params["gpu_buffer_bytes"])),
+        n_workgroups=int(typing.cast(int, params.get("n_workgroups", 2))),
+        slot_us=float(typing.cast(float, params.get("slot_us", 2.6))),
+    )
+    return ModelPrediction(
+        family="iteration_factor",
+        bandwidth_kbps=0.0,
+        error_percent=0.0,
+        breakdown=detail,
+    )
+
+
+def _predict_contention_channel(
+    params: Params, config: typing.Optional[SoCConfig]
+) -> ModelPrediction:
+    config = config or kaby_lake_model(scale=16)
+    detail = queueing.contention_channel_point(
+        config,
+        int(typing.cast(int, params["gpu_buffer_bytes"])),
+        n_workgroups=int(typing.cast(int, params.get("n_workgroups", 2))),
+        slot_us=float(typing.cast(float, params.get("slot_us", 2.6))),
+    )
+    return ModelPrediction(
+        family="contention_channel",
+        bandwidth_kbps=detail.pop("bandwidth_kbps"),
+        error_percent=detail.pop("error_percent"),
+        breakdown=detail,
+    )
+
+
+def _predict_contention_trial(
+    params: Params, config: typing.Optional[SoCConfig]
+) -> ModelPrediction:
+    from repro.analysis.contention_sweep import DEFAULTS, merged_params
+
+    p = merged_params(dict(params))
+    slot_ns = float(typing.cast(float, p["slot_ns"]))
+    offset_ns = float(typing.cast(float, p["probe_offset_ns"]))
+    accesses = (
+        int(typing.cast(int, p["n_workgroups"]))
+        * int(typing.cast(int, p["trojan_sets"]))
+        * int(typing.cast(int, p["trojan_lines_per_set"]))
+    )
+    occupancy_ns = accesses * BURST_PACE_NS
+    footprint_ns = accesses * DECAY_NS_PER_ACCESS
+    rho = footprint_ns / slot_ns
+    detected = occupancy_ns > offset_ns
+    error = contamination_error_percent(rho) if detected else 50.0
+    # Calibrated envelope: the GPU trojan on the default probe schedule,
+    # no fault injection, no mid-trial divergence, detectable bursts.
+    supported = (
+        detected
+        and p["trojan"] == "gpu"
+        and float(typing.cast(float, p["fault_intensity"])) == 0.0
+        and float(typing.cast(float, p["dram_jitter_ns"])) == 0.0
+        and p["divergence_slot"] is None
+        and p["probe_offset_ns"] == DEFAULTS["probe_offset_ns"]
+        and p["probe_gap_ns"] == DEFAULTS["probe_gap_ns"]
+        and p["probes_per_slot"] == DEFAULTS["probes_per_slot"]
+        and p["spy_lines"] == DEFAULTS["spy_lines"]
+    )
+    return ModelPrediction(
+        family="contention_trial",
+        bandwidth_kbps=1e6 / slot_ns,  # one bit per slot
+        error_percent=error,
+        breakdown={
+            "slot_ns": slot_ns,
+            "burst_accesses": float(accesses),
+            "occupancy_ns": occupancy_ns,
+            "footprint_ns": footprint_ns,
+            "rho": rho,
+            "detected": 1.0 if detected else 0.0,
+        },
+        supported=supported,
+    )
+
+
+_DISPATCH: typing.Dict[str, typing.Callable[..., ModelPrediction]] = {
+    "timer": _predict_timer,
+    "llc_channel": _predict_llc_channel,
+    "iteration_factor": _predict_iteration_factor,
+    "contention_channel": _predict_contention_channel,
+    "contention_trial": _predict_contention_trial,
+}
+
+
+def predict_point(
+    family: str,
+    params: typing.Optional[Params] = None,
+    config: typing.Optional[SoCConfig] = None,
+) -> ModelPrediction:
+    """Closed-form prediction for one operating point of ``family``."""
+    try:
+        fn = _DISPATCH[family]
+    except KeyError:
+        raise AttackError(
+            f"unknown model family {family!r}; expected one of {FAMILIES}"
+        ) from None
+    return fn(params or {}, config)

@@ -1,0 +1,140 @@
+"""Model-guided sweep budgets: which grid points earn DES time.
+
+The planner takes one closed-form prediction per grid point and keeps
+the DES for the interesting ones:
+
+* every point whose prediction is missing or ``supported=False``
+  (outside the model's calibrated envelope — the model must never veto
+  what it cannot explain);
+* the predicted Pareto frontier over (bandwidth up, error down);
+* near-frontier points: anything whose prediction, boosted by the
+  budget's margins, would itself be non-dominated — the model's error
+  bars expressed as a keep-zone around the frontier.  Both frontier and
+  margin selection collapse points with *identical* predicted values to
+  one representative (identical predictions cannot order each other);
+* a seeded random sample of the remainder, so a systematically wrong
+  model still gets audited by fresh DES evidence every sweep.
+
+Everything else is skipped and carries its prediction (tagged
+``source="model"``) into the sweep result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.model.report import ModelPrediction
+
+#: Why a point was selected for (or exempted from) simulation.
+FRONTIER = "frontier"
+MARGIN = "margin"
+PROBE = "probe"
+UNSUPPORTED = "unsupported"
+SKIPPED = "model"
+
+
+@dataclasses.dataclass(frozen=True)
+class PrescreenBudget:
+    """How far from the predicted frontier DES time may be spent."""
+
+    #: Fractional bandwidth slack: a point within this much of a
+    #: frontier point's bandwidth (at no worse predicted error) stays.
+    bandwidth_margin: float = 0.10
+    #: Absolute error slack in percentage points (clamped at zero so an
+    #: error-free frontier cannot be undercut into negative territory).
+    error_margin_points: float = 2.0
+    #: Seeded random audit probes drawn from the skipped remainder.
+    random_probes: int = 2
+    probe_seed: int = 0
+
+
+@dataclasses.dataclass
+class PrescreenPlan:
+    """Per-point verdicts; ``simulate[i]`` gates point ``i``'s DES run."""
+
+    simulate: typing.List[bool]
+    #: Per-point reason tag (:data:`FRONTIER` .. :data:`SKIPPED`).
+    reasons: typing.List[str]
+    predictions: typing.List[typing.Optional[ModelPrediction]]
+
+    @property
+    def n_simulated(self) -> int:
+        return sum(self.simulate)
+
+    @property
+    def n_skipped(self) -> int:
+        return len(self.simulate) - self.n_simulated
+
+
+def _dominates(
+    a: typing.Tuple[float, float], b: typing.Tuple[float, float]
+) -> bool:
+    """True when value pair ``a`` (bw, err) Pareto-dominates ``b``."""
+    return a[0] >= b[0] and a[1] <= b[1] and (a[0] > b[0] or a[1] < b[1])
+
+
+def pareto_frontier(
+    values: typing.Sequence[typing.Tuple[float, float]],
+) -> typing.List[typing.Tuple[float, float]]:
+    """Non-dominated (bandwidth, error) value pairs, deduplicated."""
+    unique = sorted(set(values))
+    return [
+        v for v in unique if not any(_dominates(o, v) for o in unique if o != v)
+    ]
+
+
+def plan_prescreen(
+    predictions: typing.Sequence[typing.Optional[ModelPrediction]],
+    budget: typing.Optional[PrescreenBudget] = None,
+) -> PrescreenPlan:
+    """Decide per point whether the DES runs or the prediction stands."""
+    budget = budget or PrescreenBudget()
+    n = len(predictions)
+    simulate = [False] * n
+    reasons = [SKIPPED] * n
+
+    values: typing.List[typing.Optional[typing.Tuple[float, float]]] = []
+    for i, pred in enumerate(predictions):
+        if pred is None or not pred.supported:
+            simulate[i] = True
+            reasons[i] = UNSUPPORTED
+            values.append(None)
+        else:
+            values.append(
+                (round(pred.bandwidth_kbps, 6), round(pred.error_percent, 6))
+            )
+
+    frontier = pareto_frontier([v for v in values if v is not None])
+    frontier_set = set(frontier)
+    claimed: typing.Set[typing.Tuple[float, float]] = set()
+    for i, value in enumerate(values):
+        if value is None:
+            continue
+        if value in frontier_set:
+            if value in claimed:
+                continue  # identical prediction: one representative runs
+            claimed.add(value)
+            simulate[i] = True
+            reasons[i] = FRONTIER
+            continue
+        if value in claimed:
+            continue  # identical near-frontier prediction: one rep runs
+        boosted = (
+            value[0] * (1.0 + budget.bandwidth_margin),
+            max(0.0, value[1] - budget.error_margin_points),
+        )
+        if not any(_dominates(f, boosted) for f in frontier):
+            claimed.add(value)
+            simulate[i] = True
+            reasons[i] = MARGIN
+
+    remainder = [i for i in range(n) if not simulate[i]]
+    rng = random.Random(budget.probe_seed)
+    for i in rng.sample(remainder, min(budget.random_probes, len(remainder))):
+        simulate[i] = True
+        reasons[i] = PROBE
+    return PrescreenPlan(
+        simulate=simulate, reasons=reasons, predictions=list(predictions)
+    )

@@ -1,0 +1,79 @@
+"""Machine-readable prediction reports emitted by the analytical tier.
+
+Every sub-model funnels into one :class:`ModelPrediction`: the predicted
+raw bandwidth, bit error rate, the BSC goodput implied by the two (via
+:mod:`repro.analysis.capacity`), and a per-component breakdown of where
+the prediction came from.  The shape deliberately mirrors the channel
+health dicts the DES benches commit (``bandwidth_kbps`` /
+``error_percent``), so a prediction can sit next to a measurement in a
+``BENCH_*.json`` channels block, a sweep row, or a ledger record without
+translation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelPrediction:
+    """One operating point's closed-form prediction.
+
+    ``bandwidth_kbps``/``error_percent`` use the exact units the DES
+    figures report; ``breakdown`` holds the sub-model's intermediate
+    terms (latencies, hit/miss fractions, flip probabilities) so a
+    surprising prediction can be audited without re-deriving it.
+    """
+
+    family: str
+    bandwidth_kbps: float
+    error_percent: float
+    #: Sub-model intermediates, all JSON-able scalars.
+    breakdown: typing.Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: False when the point's params fall outside the model's validity
+    #: envelope; the prediction is then a best-effort extrapolation and
+    #: pre-screening must not skip the point on its strength.
+    supported: bool = True
+
+    @property
+    def error_rate(self) -> float:
+        return self.error_percent / 100.0
+
+    @property
+    def goodput_kbps(self) -> float:
+        """BSC-capacity-weighted information rate (kb/s)."""
+        from repro.analysis.capacity import bsc_capacity
+
+        rate = min(max(self.error_rate, 0.0), 1.0)
+        return self.bandwidth_kbps * bsc_capacity(rate)
+
+    def as_dict(self) -> typing.Dict[str, object]:
+        """JSON shape: prediction next to measured channel health."""
+        return {
+            "family": self.family,
+            "predicted_bandwidth_kbps": round(self.bandwidth_kbps, 4),
+            "predicted_error_percent": round(self.error_percent, 4),
+            "predicted_goodput_kbps": round(self.goodput_kbps, 4),
+            "supported": self.supported,
+            "breakdown": {
+                key: round(float(value), 6)
+                for key, value in self.breakdown.items()
+            },
+        }
+
+    def as_aggregate(self) -> "typing.Any":
+        """An :class:`~repro.analysis.metrics.AggregateResult` view.
+
+        ``n_runs=0`` is the provenance marker: a zero-run aggregate can
+        only have come from the model tier, never from the DES.
+        """
+        from repro.analysis.metrics import AggregateResult
+
+        return AggregateResult(
+            n_runs=0,
+            bandwidth_kbps=self.bandwidth_kbps,
+            bandwidth_ci=0.0,
+            error_percent=self.error_percent,
+            error_ci=0.0,
+        )

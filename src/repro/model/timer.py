@@ -1,0 +1,84 @@
+"""Timer-resolution/quantization model of the SLM counter (Fig. 4).
+
+The GPU-resident timer is a shared-local-memory counter incremented by
+``n`` spinning threads; a timed memory access reads the counter before
+and after.  Two quantization effects set what the attacker can resolve:
+
+* the counter advances at the SLM's saturating rate
+  ``n / (n + half_rate_threads)`` increments per GPU cycle, so a latency
+  of ``L`` nanoseconds spans ``(L / t_gpu + slm_access) * rate(n)``
+  ticks (the two SLM reads bracket the access, adding one SLM round
+  trip of quantization overhead);
+* two latency levels are distinguishable only when their predicted tick
+  medians sit at least :data:`SEPARATION_TICKS` apart — the same margin
+  Algorithm 1's level classifier uses on the measured medians.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import SoCConfig, kaby_lake
+
+from repro.model.queueing import FS_PER_NS, latency_profile_ns
+
+#: Median tick margin Algorithm 1 requires between adjacent levels.
+SEPARATION_TICKS = 2.0
+
+
+def counter_rate(config: SoCConfig, counter_threads: int) -> float:
+    """SLM increments per GPU cycle with ``n`` counter threads spinning."""
+    slm = config.slm
+    n = max(0, int(counter_threads))
+    return slm.saturated_rate_per_cycle * n / (n + slm.half_rate_threads)
+
+
+def ticks_for_latency_ns(
+    config: SoCConfig, latency_ns: float, counter_threads: int
+) -> float:
+    """Expected tick delta a timed access of ``latency_ns`` reads."""
+    gpu_cycle_ns = config.gpu_clock.cycle_fs / FS_PER_NS
+    cycles = latency_ns / gpu_cycle_ns + config.slm.access_cycles
+    return cycles * counter_rate(config, counter_threads)
+
+
+def default_counter_threads(config: SoCConfig) -> int:
+    """The characterization default: every thread minus one wavefront."""
+    return config.gpu.max_threads_per_workgroup - config.gpu.wavefront_size
+
+
+def predict_timer(
+    config: typing.Optional[SoCConfig] = None,
+    counter_threads: typing.Optional[int] = None,
+) -> typing.Dict[str, float]:
+    """Predicted tick medians per level plus the separation verdict.
+
+    Matches ``characterize_timer``'s defaults: the full-scale machine
+    and ``max_threads - wavefront`` counter threads.
+    """
+    if config is None:
+        config = kaby_lake()
+    if counter_threads is None:
+        counter_threads = default_counter_threads(config)
+    profile = latency_profile_ns(config)
+    levels = {
+        "l3_ticks": ticks_for_latency_ns(
+            config, profile["gpu_l3_ns"], counter_threads
+        ),
+        "llc_ticks": ticks_for_latency_ns(
+            config, profile["gpu_llc_ns"], counter_threads
+        ),
+        "memory_ticks": ticks_for_latency_ns(
+            config, profile["gpu_dram_ns"], counter_threads
+        ),
+    }
+    separated = (
+        levels["l3_ticks"] + SEPARATION_TICKS <= levels["llc_ticks"]
+        and levels["llc_ticks"] + SEPARATION_TICKS <= levels["memory_ticks"]
+    )
+    return {
+        **levels,
+        "counter_threads": float(counter_threads),
+        "rate_per_cycle": counter_rate(config, counter_threads),
+        "levels_separated": 1.0 if separated else 0.0,
+    }

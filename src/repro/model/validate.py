@@ -1,0 +1,234 @@
+"""Validate the analytical tier against the committed DES figures.
+
+For each supported figure this module re-derives every committed channel
+point from config alone, compares prediction to measurement, and emits a
+machine-readable error report (committed as
+``benchmarks/results/BENCH_model_validation.json`` next to the figure
+baselines).  Bandwidth errors are relative; BER errors are absolute
+percentage points (several figure channels measure 0.00% BER, where a
+relative error is undefined).
+
+Per-figure ceilings are part of the report, so downstream enforcement
+(``check_bench_regression.py``, the CI model-validation leg) needs no
+second copy of the envelope.  The ceilings encode the tier's *calibrated
+accuracy with headroom* — tight where the closed forms are exact (Fig. 9
+streaming passes: 10%), loose where the DES resolves genuinely emergent
+behavior the model only bounds (the single-set and whole-L3-clear
+protocol points of Figs. 7-8, whose measured bandwidths also carry the
+widest confidence intervals).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.errors import AttackError
+from repro.obs.drift import channels_of, committed_bench_doc
+
+from repro.model.predictor import predict_point
+
+#: figure name -> enforcement ceilings (also embedded in the report).
+FIGURE_CEILINGS: typing.Dict[str, typing.Dict[str, float]] = {
+    "fig04": {"metric_rel": 0.15},
+    "fig07": {"bandwidth_rel": 0.50, "ber_abs_points": 10.0},
+    "fig08": {"bandwidth_rel": 0.55, "ber_abs_points": 10.0},
+    "fig09": {"metric_rel": 0.10},
+    "fig10": {"bandwidth_rel": 0.20, "ber_abs_points": 15.0},
+}
+
+FIGURES = tuple(sorted(FIGURE_CEILINGS))
+
+
+def _load_baseline(
+    figure: str,
+    results_dir: typing.Union[str, pathlib.Path, None],
+) -> typing.Optional[typing.Dict[str, typing.Mapping[str, object]]]:
+    """Per-channel baseline: working-tree artifact first, then git."""
+    if results_dir is not None:
+        path = pathlib.Path(results_dir) / f"BENCH_{figure}.json"
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            doc = None
+        channels = channels_of(doc)
+        if channels:
+            return channels
+    return channels_of(committed_bench_doc(figure))
+
+
+def _predict_for(figure: str, channel: str) -> typing.Dict[str, object]:
+    """Map one committed channel key back to model-family params."""
+    if figure == "fig04":
+        n = int(channel.replace("timer", ""))
+        return {"family": "timer", "params": {"counter_threads": n}}
+    if figure == "fig07":
+        strategy, direction = channel.split(":")
+        return {
+            "family": "llc_channel",
+            "params": {
+                "strategy": strategy,
+                "direction": direction,
+                "n_sets_per_role": 2,
+            },
+        }
+    if figure == "fig08":
+        sets, direction = channel.split(":")
+        return {
+            "family": "llc_channel",
+            "params": {
+                "strategy": "precise-l3",
+                "direction": direction,
+                "n_sets_per_role": int(sets.replace("sets", "")),
+            },
+        }
+    if figure == "fig09":
+        kib = int(channel.replace("gpu", "").replace("KB", ""))
+        return {
+            "family": "iteration_factor",
+            "params": {"gpu_buffer_bytes": kib * 1024},
+        }
+    if figure == "fig10":
+        wg, buf = channel.split(":")
+        mib = int(buf.replace("gpu", "").replace("MB", ""))
+        return {
+            "family": "contention_channel",
+            "params": {
+                "gpu_buffer_bytes": mib * 1024 * 1024,
+                "n_workgroups": int(wg.replace("wg", "")),
+            },
+        }
+    raise AttackError(f"no model mapping for figure {figure!r}")
+
+
+def _metric_row(
+    figure: str,
+    measured: typing.Mapping[str, object],
+    prediction: typing.Mapping[str, object],
+    ceiling: float,
+) -> typing.Dict[str, object]:
+    """Scalar-metric figures (fig04 ticks, fig09 iteration factor)."""
+    breakdown = typing.cast(
+        typing.Mapping[str, float], prediction.get("breakdown", {})
+    )
+    if figure == "fig04":
+        meas = float(typing.cast(float, measured["memory_mean_ticks"]))
+        pred = float(breakdown["memory_ticks"])
+        row: typing.Dict[str, object] = {
+            "measured_memory_mean_ticks": meas,
+            "predicted_memory_mean_ticks": round(pred, 4),
+            "measured_levels_separated": measured.get("levels_separated"),
+            "predicted_levels_separated": breakdown.get("levels_separated"),
+        }
+        separation_ok = bool(measured.get("levels_separated")) == bool(
+            breakdown.get("levels_separated")
+        )
+    else:
+        meas = float(typing.cast(float, measured["iteration_factor"]))
+        pred = float(breakdown["iteration_factor"])
+        row = {
+            "measured_iteration_factor": meas,
+            "predicted_iteration_factor": round(pred, 4),
+        }
+        separation_ok = True
+    rel = abs(pred - meas) / meas if meas else 0.0
+    row["rel_error"] = round(rel, 4)
+    row["pass"] = bool(rel <= ceiling and separation_ok)
+    return row
+
+
+def _channel_row(
+    measured: typing.Mapping[str, object],
+    prediction: typing.Mapping[str, object],
+    ceilings: typing.Mapping[str, float],
+) -> typing.Dict[str, object]:
+    """Bandwidth/BER figures (fig07, fig08, fig10)."""
+    bw = float(typing.cast(float, measured["bandwidth_kbps"]))
+    ber = float(typing.cast(float, measured["error_percent"]))
+    bw_pred = float(typing.cast(float, prediction["predicted_bandwidth_kbps"]))
+    ber_pred = float(typing.cast(float, prediction["predicted_error_percent"]))
+    bw_rel = abs(bw_pred - bw) / bw if bw else 0.0
+    ber_abs = abs(ber_pred - ber)
+    return {
+        "measured_bandwidth_kbps": bw,
+        "predicted_bandwidth_kbps": bw_pred,
+        "bandwidth_rel_error": round(bw_rel, 4),
+        "measured_error_percent": ber,
+        "predicted_error_percent": ber_pred,
+        "ber_abs_error_points": round(ber_abs, 4),
+        "pass": bool(
+            bw_rel <= ceilings["bandwidth_rel"]
+            and ber_abs <= ceilings["ber_abs_points"]
+        ),
+    }
+
+
+def validate_figure(
+    figure: str,
+    results_dir: typing.Union[str, pathlib.Path, None] = "benchmarks/results",
+) -> typing.Dict[str, object]:
+    """Prediction-error report for one figure's committed channels."""
+    if figure not in FIGURE_CEILINGS:
+        raise AttackError(
+            f"unknown figure {figure!r}; expected one of {FIGURES}"
+        )
+    baseline = _load_baseline(figure, results_dir)
+    if not baseline:
+        raise AttackError(
+            f"no committed baseline found for {figure!r} "
+            f"(missing BENCH_{figure}.json in {results_dir} and git HEAD)"
+        )
+    ceilings = FIGURE_CEILINGS[figure]
+    channels: typing.Dict[str, object] = {}
+    family = ""
+    for name in sorted(baseline):
+        mapping = _predict_for(figure, name)
+        family = typing.cast(str, mapping["family"])
+        prediction = predict_point(
+            family, typing.cast(typing.Dict[str, object], mapping["params"])
+        ).as_dict()
+        measured = baseline[name]
+        if "metric_rel" in ceilings:
+            channels[name] = _metric_row(
+                figure, measured, prediction, ceilings["metric_rel"]
+            )
+        else:
+            channels[name] = _channel_row(measured, prediction, ceilings)
+    rows = [typing.cast(typing.Dict[str, object], r) for r in channels.values()]
+    report: typing.Dict[str, object] = {
+        "family": family,
+        "ceilings": dict(ceilings),
+        "channels": channels,
+        "pass": all(bool(r["pass"]) for r in rows),
+    }
+    if "metric_rel" in ceilings:
+        report["max_rel_error"] = max(
+            float(typing.cast(float, r["rel_error"])) for r in rows
+        )
+    else:
+        report["max_bandwidth_rel_error"] = max(
+            float(typing.cast(float, r["bandwidth_rel_error"])) for r in rows
+        )
+        report["max_ber_abs_error_points"] = max(
+            float(typing.cast(float, r["ber_abs_error_points"])) for r in rows
+        )
+    return report
+
+
+def validate_figures(
+    figures: typing.Sequence[str] = FIGURES,
+    results_dir: typing.Union[str, pathlib.Path, None] = "benchmarks/results",
+) -> typing.Dict[str, object]:
+    """The full prediction-error document (``BENCH_model_validation``)."""
+    per_figure = {
+        figure: validate_figure(figure, results_dir) for figure in figures
+    }
+    return {
+        "name": "model_validation",
+        "figures": per_figure,
+        "pass": all(
+            bool(typing.cast(dict, report)["pass"])
+            for report in per_figure.values()
+        ),
+    }

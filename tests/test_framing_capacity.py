@@ -202,6 +202,15 @@ def test_entropy_range_validation():
         binary_entropy(1.5)
 
 
+@pytest.mark.parametrize("rate", [-0.01, 1.01, 2.0, -5.0])
+def test_capacity_range_validation(rate):
+    """Regression: ``bsc_capacity`` used to silently clamp an
+    out-of-range error rate while ``binary_entropy`` raised — both must
+    reject it, an impossible rate is always an upstream bug."""
+    with pytest.raises(AttackError):
+        bsc_capacity(rate)
+
+
 def test_capacity_report_from_result():
     sent = [1, 0] * 50
     received = list(sent)
